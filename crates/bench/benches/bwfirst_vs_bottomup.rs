@@ -1,0 +1,29 @@
+//! Bench: `BW-First` vs the bottom-up reduction (E6's kernel).
+//!
+//! On unconstrained trees both do comparable work; under a root-link
+//! bottleneck `BW-First` prunes unreachable subtrees and pulls ahead —
+//! Section 5's efficiency claim, timed.
+
+use bwfirst_bench::trees;
+use bwfirst_core::{bottom_up, bw_first};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("throughput_solvers");
+    for size in [63usize, 255, 1023] {
+        for (label, slow) in [("open", 1i128), ("bottleneck_x16", 16)] {
+            let p = trees::bottleneck(size, 42, slow);
+            g.bench_with_input(BenchmarkId::new(format!("bw_first/{label}"), size), &p, |b, p| {
+                b.iter(|| bw_first(black_box(p)));
+            });
+            g.bench_with_input(BenchmarkId::new(format!("bottom_up/{label}"), size), &p, |b, p| {
+                b.iter(|| bottom_up(black_box(p)));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

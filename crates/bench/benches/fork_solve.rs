@@ -1,0 +1,30 @@
+//! Bench: Proposition 1 fork reduction (E1's kernel).
+//!
+//! The closed form is the inner loop of the bottom-up baseline, so its cost
+//! directly scales that method's total work.
+
+use bwfirst_bench::trees;
+use bwfirst_core::fork::ForkChild;
+use bwfirst_core::fork_equivalent_rate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fork_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fork_solve");
+    for k in [4usize, 64, 1024] {
+        let p = trees::fork(k, 7);
+        let root_rate = p.compute_rate(p.root());
+        let children: Vec<ForkChild> = p
+            .children(p.root())
+            .iter()
+            .map(|&n| ForkChild { c: p.link_time(n).unwrap(), rate: p.compute_rate(n) })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &children, |b, children| {
+            b.iter(|| fork_equivalent_rate(black_box(root_rate), black_box(children)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fork_solve);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench: the steady-state LP (exact simplex) vs `BW-First` (E14's kernel)
+//! — how much does the independent oracle cost?
+
+use bwfirst_bench::trees;
+use bwfirst_core::bw_first;
+use bwfirst_lp::steady_state_lp;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_oracle");
+    g.sample_size(20);
+    for size in [7usize, 15, 31] {
+        let p = trees::supply_tree(size, 33);
+        g.bench_with_input(BenchmarkId::new("simplex", size), &p, |b, p| {
+            b.iter(|| steady_state_lp(black_box(p)));
+        });
+        g.bench_with_input(BenchmarkId::new("bw_first", size), &p, |b, p| {
+            b.iter(|| bw_first(black_box(p)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench: overlay construction and search on physical networks (E17's
+//! kernel) — how many candidate trees per second the scorer sustains.
+
+use bwfirst_overlay::graph::{random_graph, RandomGraphConfig};
+use bwfirst_overlay::{best_overlay, min_link_tree, NodeIx, OverlaySearch};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_overlay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overlay");
+    g.sample_size(20);
+    for size in [16usize, 32] {
+        let graph = random_graph(&RandomGraphConfig {
+            size,
+            weight_range: (2, 5),
+            link_num: (2, 10),
+            link_den: (1, 2),
+            ..Default::default()
+        });
+        g.bench_with_input(BenchmarkId::new("min_link_tree", size), &graph, |b, graph| {
+            b.iter(|| min_link_tree(black_box(graph), NodeIx(0)));
+        });
+        let cfg = OverlaySearch { restarts: 2, passes: 4, seed: 3 };
+        g.bench_with_input(BenchmarkId::new("search", size), &graph, |b, graph| {
+            b.iter(|| best_overlay(black_box(graph), NodeIx(0), &cfg));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_overlay);
+criterion_main!(benches);

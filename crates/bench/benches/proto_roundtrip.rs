@@ -1,0 +1,23 @@
+//! Bench: distributed negotiation latency over live threads/channels (E11's
+//! kernel) — the cost of one `BW-First` round on a running platform.
+
+use bwfirst_bench::trees;
+use bwfirst_proto::ProtocolSession;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_negotiate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("proto_negotiate");
+    g.sample_size(30);
+    for size in [15usize, 63, 255] {
+        let p = trees::supply_tree(size, 21);
+        let session = ProtocolSession::spawn(&p);
+        g.bench_with_input(BenchmarkId::from_parameter(size), &session, |b, session| {
+            b.iter(|| black_box(session.negotiate()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_negotiate);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench: event-driven vs demand-driven executors on the example tree (E7's
+//! kernel) — simulation cost of the two protocols over the same horizon.
+
+use bwfirst_core::schedule::EventDrivenSchedule;
+use bwfirst_core::{bw_first, SteadyState};
+use bwfirst_platform::examples::example_tree;
+use bwfirst_rational::rat;
+use bwfirst_sim::demand_driven::{self, DemandConfig};
+use bwfirst_sim::{event_driven, SimConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_protocols(c: &mut Criterion) {
+    let p = example_tree();
+    let ss = SteadyState::from_solution(&bw_first(&p));
+    let ev = EventDrivenSchedule::standard(&p, &ss);
+    let cfg = SimConfig {
+        horizon: rat(360, 1),
+        stop_injection_at: None,
+        total_tasks: None,
+        record_gantt: false,
+    };
+    let mut g = c.benchmark_group("protocol_compare");
+    g.bench_function("event_driven/360u", |b| {
+        b.iter(|| event_driven::simulate(black_box(&p), black_box(&ev), &cfg));
+    });
+    g.bench_function("demand_driven/360u", |b| {
+        b.iter(|| demand_driven::simulate(black_box(&p), DemandConfig::default(), &cfg));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

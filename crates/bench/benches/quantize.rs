@@ -1,0 +1,31 @@
+//! Bench: rate quantization and the schedule rebuild it enables (E15's
+//! kernel) — the cost of compacting an lcm-exploded schedule.
+
+use bwfirst_bench::trees;
+use bwfirst_core::quantize::quantize;
+use bwfirst_core::schedule::TreeSchedule;
+use bwfirst_core::{bw_first, SteadyState};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantize");
+    for size in [63usize, 255] {
+        let p = trees::supply_tree(size, 1);
+        let ss = SteadyState::from_solution(&bw_first(&p));
+        for grid in [360i128, 2520] {
+            g.bench_with_input(BenchmarkId::new(format!("grid_{grid}"), size), &(&p, &ss), |b, (p, ss)| {
+                b.iter(|| quantize(black_box(p), black_box(ss), grid));
+            });
+        }
+        // Schedule rebuild on the quantized rates (the payoff step).
+        let q = quantize(&p, &ss, 2520);
+        g.bench_with_input(BenchmarkId::new("schedule_after_2520", size), &(&p, &q), |b, (p, q)| {
+            b.iter(|| TreeSchedule::build(black_box(p), black_box(q)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_quantize);
+criterion_main!(benches);

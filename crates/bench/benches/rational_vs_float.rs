@@ -1,0 +1,25 @@
+//! Bench: the price of exactness — `BW-First` on exact rationals vs the
+//! `f64` fast path (the DESIGN.md ablation for topology-search workloads).
+
+use bwfirst_bench::trees;
+use bwfirst_core::float::bw_first_f64;
+use bwfirst_core::bw_first;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_exact_vs_float(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rational_vs_float");
+    for size in [63usize, 255, 1023] {
+        let p = trees::supply_tree(size, 9);
+        g.bench_with_input(BenchmarkId::new("rational", size), &p, |b, p| {
+            b.iter(|| bw_first(black_box(p)));
+        });
+        g.bench_with_input(BenchmarkId::new("f64", size), &p, |b, p| {
+            b.iter(|| bw_first_f64(black_box(p)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_float);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench: schedule reconstruction (Lemma 1 periods + Section 6.2 quantities
+//! + the Section 6.3 interleaved order) — E9's kernel.
+
+use bwfirst_bench::trees;
+use bwfirst_core::schedule::{EventDrivenSchedule, LocalScheduleKind, TreeSchedule};
+use bwfirst_core::{bw_first, SteadyState};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_schedule_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_build");
+    for size in [15usize, 63, 255] {
+        let p = trees::supply_tree(size, 5);
+        let ss = SteadyState::from_solution(&bw_first(&p));
+        g.bench_with_input(BenchmarkId::new("periods", size), &(&p, &ss), |b, (p, ss)| {
+            b.iter(|| TreeSchedule::build(black_box(p), black_box(ss)));
+        });
+        for (kind, label) in [
+            (LocalScheduleKind::Interleaved, "interleaved"),
+            (LocalScheduleKind::AllAtOnce, "all_at_once"),
+            (LocalScheduleKind::RoundRobin, "round_robin"),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, size), &(&p, &ss), |b, (p, ss)| {
+                b.iter(|| EventDrivenSchedule::build(black_box(p), black_box(ss), kind));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedule_build);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench: the discrete-event simulator on the Section 8 example tree (E5's
+//! kernel): cost per simulated steady-state period.
+
+use bwfirst_core::schedule::EventDrivenSchedule;
+use bwfirst_core::{bw_first, SteadyState};
+use bwfirst_platform::examples::example_tree;
+use bwfirst_rational::rat;
+use bwfirst_sim::{event_driven, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_simulate(c: &mut Criterion) {
+    let p = example_tree();
+    let ss = SteadyState::from_solution(&bw_first(&p));
+    let ev = EventDrivenSchedule::standard(&p, &ss);
+    let mut g = c.benchmark_group("simulate_example");
+    for periods in [1i128, 10, 100] {
+        let cfg = SimConfig {
+            horizon: rat(36 * periods, 1),
+            stop_injection_at: None,
+            total_tasks: None,
+            record_gantt: false,
+        };
+        g.bench_with_input(BenchmarkId::new("event_driven", periods), &cfg, |b, cfg| {
+            b.iter(|| event_driven::simulate(black_box(&p), black_box(&ev), cfg));
+        });
+    }
+    // Gantt recording overhead at 10 periods.
+    let cfg = SimConfig::to_horizon(rat(360, 1));
+    g.bench_function("event_driven_with_gantt/10", |b| {
+        b.iter(|| event_driven::simulate(black_box(&p), black_box(&ev), &cfg));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulate);
+criterion_main!(benches);

@@ -1,0 +1,235 @@
+//! Machine-readable experiment records: the quantitative core of the key
+//! experiments as serde-serializable structs, for plotting and regression
+//! tracking (written to `paper_output/records.json` by
+//! `paper_experiments records`).
+
+use crate::trees::{bottleneck, supply_tree};
+use bwfirst_core::schedule::{synchronous_period, EventDrivenSchedule, TreeSchedule};
+use bwfirst_core::{bottom_up, bw_first, quantize, startup, SteadyState};
+use bwfirst_platform::examples::{example_tree, section9_counterexample};
+use bwfirst_rational::{rat, Rat};
+use bwfirst_sim::demand_driven::DemandConfig;
+use bwfirst_sim::makespan;
+use bwfirst_sim::{event_driven, result_return, SimConfig};
+use serde::Serialize;
+
+/// One point of the E6 visits sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct VisitRecord {
+    /// Tree size in nodes.
+    pub nodes: usize,
+    /// Root-link slowdown factor.
+    pub slowdown: i64,
+    /// Exact throughput (as a string rational and an f64).
+    pub throughput: String,
+    /// Throughput as f64 for plotting.
+    pub throughput_f64: f64,
+    /// Nodes BW-First visited.
+    pub bwfirst_visits: usize,
+    /// Edges the bottom-up reduction processed.
+    pub bottom_up_edges: usize,
+}
+
+/// One point of the E13 makespan sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct MakespanRecord {
+    /// Workload size.
+    pub tasks: u64,
+    /// `N/throughput` lower bound.
+    pub lower_bound: f64,
+    /// Event-driven measured makespan.
+    pub event_driven: f64,
+    /// Demand-driven measured makespan.
+    pub demand_driven: f64,
+}
+
+/// One point of the E15 quantization sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct QuantizeRecord {
+    /// Grid denominator `G` (`0` = exact schedule).
+    pub grid: i64,
+    /// Throughput after quantization.
+    pub throughput_f64: f64,
+    /// Relative loss vs exact.
+    pub loss_pct: f64,
+    /// Largest per-node consuming period.
+    pub max_t_omega: i128,
+}
+
+/// The E5 headline metrics.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure5Record {
+    /// Exact steady throughput as a rational string.
+    pub throughput: String,
+    /// Synchronous period.
+    pub period: i128,
+    /// Proposition 4 bound.
+    pub startup_bound: i128,
+    /// Measured steady-state entry.
+    pub steady_entry: f64,
+    /// Tasks completed in the first period.
+    pub first_period_tasks: u64,
+    /// Wind-down length after stopping injection at t=115.
+    pub wind_down: f64,
+    /// Peak buffered tasks at any node.
+    pub peak_buffer: u64,
+}
+
+/// The E8 result-return rates.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResultReturnRecord {
+    /// Separated send/return accounting.
+    pub separated_rate: f64,
+    /// Merged-cost simplification.
+    pub merged_rate: f64,
+}
+
+/// Everything `paper_experiments records` emits.
+#[derive(Debug, Clone, Serialize)]
+pub struct Records {
+    /// E5 metrics on the example tree.
+    pub figure5: Figure5Record,
+    /// E6 sweep.
+    pub visits: Vec<VisitRecord>,
+    /// E8 counter-example rates.
+    pub result_return: ResultReturnRecord,
+    /// E13 sweep on the example tree.
+    pub makespan: Vec<MakespanRecord>,
+    /// E15 sweep on a period-exploding platform.
+    pub quantization: Vec<QuantizeRecord>,
+}
+
+/// Recomputes the record set (exact library calls, no text parsing).
+#[must_use]
+pub fn collect() -> Records {
+    // E5.
+    let p = example_tree();
+    let ss = SteadyState::from_solution(&bw_first(&p));
+    let ev = EventDrivenSchedule::standard(&p, &ss);
+    let period = synchronous_period(&ss);
+    let bound = startup::tree_startup_bound(&p, &ev.tree);
+    let stop = rat(115, 1);
+    let cfg = SimConfig {
+        horizon: rat(220, 1),
+        stop_injection_at: Some(stop),
+        total_tasks: None,
+        record_gantt: false,
+    };
+    let rep = event_driven::simulate(&p, &ev, &cfg);
+    let figure5 = Figure5Record {
+        throughput: ss.throughput.to_string(),
+        period,
+        startup_bound: bound,
+        steady_entry: rep
+            .steady_state_entry(ss.throughput, Rat::from_int(period), stop)
+            .map_or(f64::NAN, Rat::to_f64),
+        first_period_tasks: rep.completions_in(Rat::ZERO, Rat::from_int(period)),
+        wind_down: rep.wind_down().map_or(f64::NAN, Rat::to_f64),
+        peak_buffer: rep.buffers.iter().map(|b| b.max).max().unwrap_or(0),
+    };
+
+    // E6.
+    let mut visits = Vec::new();
+    for &size in &crate::trees::SIZES {
+        for slow in [1i64, 4, 16, 64] {
+            let p = bottleneck(size, 42, slow as i128);
+            let sol = bw_first(&p);
+            let bu = bottom_up(&p);
+            visits.push(VisitRecord {
+                nodes: size,
+                slowdown: slow,
+                throughput: sol.throughput().to_string(),
+                throughput_f64: sol.throughput().to_f64(),
+                bwfirst_visits: sol.visit_count(),
+                bottom_up_edges: bu.children_processed,
+            });
+        }
+    }
+
+    // E8.
+    let rr = section9_counterexample();
+    let cfg = SimConfig {
+        horizon: rat(400, 1),
+        stop_injection_at: None,
+        total_tasks: None,
+        record_gantt: false,
+    };
+    let sep = result_return::simulate(&rr, &cfg);
+    let merged = result_return::simulate_merged(&rr, &cfg);
+    let result_return = ResultReturnRecord {
+        separated_rate: sep.throughput_in(rat(200, 1), rat(400, 1)).to_f64(),
+        merged_rate: merged.throughput_in(rat(200, 1), rat(400, 1)).to_f64(),
+    };
+
+    // E13.
+    let p = example_tree();
+    let ss = SteadyState::from_solution(&bw_first(&p));
+    let ev = EventDrivenSchedule::standard(&p, &ss);
+    let makespan = [50u64, 200, 1000]
+        .into_iter()
+        .map(|n| MakespanRecord {
+            tasks: n,
+            lower_bound: makespan::lower_bound(&ss, n).to_f64(),
+            event_driven: makespan::event_driven_makespan(&p, &ss, &ev, n).to_f64(),
+            demand_driven: makespan::demand_driven_makespan(&p, &ss, DemandConfig::default(), n).to_f64(),
+        })
+        .collect();
+
+    // E15.
+    let p = supply_tree(63, 1);
+    let exact = SteadyState::from_solution(&bw_first(&p));
+    let mut quantization = Vec::new();
+    let exact_sched = TreeSchedule::build(&p, &exact);
+    quantization.push(QuantizeRecord {
+        grid: 0,
+        throughput_f64: exact.throughput.to_f64(),
+        loss_pct: 0.0,
+        max_t_omega: exact_sched.iter().map(|s| s.t_omega).max().unwrap_or(1),
+    });
+    for grid in [60i64, 360, 2520] {
+        let q = quantize::quantize(&p, &exact, grid as i128);
+        let sched = TreeSchedule::build(&p, &q);
+        quantization.push(QuantizeRecord {
+            grid,
+            throughput_f64: q.throughput.to_f64(),
+            loss_pct: 100.0 * ((exact.throughput - q.throughput) / exact.throughput).to_f64(),
+            max_t_omega: sched.iter().map(|s| s.t_omega).max().unwrap_or(1),
+        });
+    }
+
+    Records { figure5, visits, result_return, makespan, quantization }
+}
+
+/// Serializes the records as pretty JSON.
+#[must_use]
+pub fn to_json(records: &Records) -> String {
+    serde_json::to_string_pretty(records).expect("records serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_capture_the_headlines() {
+        let r = collect();
+        assert_eq!(r.figure5.throughput, "10/9");
+        assert_eq!(r.figure5.period, 36);
+        assert_eq!(r.figure5.startup_bound, 27);
+        assert!(r.figure5.steady_entry <= 27.0);
+        assert!((r.result_return.separated_rate - 2.0).abs() < 0.05);
+        assert!((r.result_return.merged_rate - 1.0).abs() < 0.05);
+        assert_eq!(r.visits.len(), 16);
+        assert!(r.visits.iter().all(|v| v.bwfirst_visits <= v.nodes));
+        // Quantization monotone: finer grid, smaller loss.
+        let losses: Vec<f64> = r.quantization.iter().skip(1).map(|q| q.loss_pct).collect();
+        assert!(losses.windows(2).all(|w| w[1] <= w[0] + 1e-9));
+        // Makespan ratios decrease with N.
+        let ratios: Vec<f64> = r.makespan.iter().map(|m| m.event_driven / m.lower_bound).collect();
+        assert!(ratios.windows(2).all(|w| w[1] <= w[0]));
+        // JSON output parses back.
+        let json = to_json(&r);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(v["figure5"]["throughput"].is_string());
+    }
+}

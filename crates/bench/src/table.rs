@@ -1,0 +1,77 @@
+//! Minimal aligned-column table printing for experiment reports.
+
+/// A simple text table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Table {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, cell)| format!("{:<w$}", cell, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "10/9"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "name   value");
+        assert_eq!(lines[2], "alpha  1");
+        assert_eq!(lines[3], "b      10/9");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Shared workload generators for experiments and benches.
+
+use bwfirst_platform::generators::{bottlenecked_tree, random_tree, RandomTreeConfig};
+use bwfirst_platform::Platform;
+use bwfirst_rational::{rat, Rat};
+
+/// Standard tree sizes used by the scaling experiments.
+pub const SIZES: [usize; 4] = [15, 63, 255, 1023];
+
+/// A deterministic random platform of the given size and seed.
+#[must_use]
+pub fn tree(size: usize, seed: u64) -> Platform {
+    random_tree(&RandomTreeConfig { size, seed, ..Default::default() })
+}
+
+/// A platform with root links slowed by `slow`, creating a bandwidth
+/// bottleneck under which most of the tree cannot be fed.
+///
+/// Tuned so CPUs are slow relative to links (`w ∈ 8..24`, `c ≲ 1`): without
+/// a bottleneck the task flow must fan out across most of the tree, so the
+/// pruning effect of the bottleneck is visible in the visit counts.
+#[must_use]
+pub fn bottleneck(size: usize, seed: u64, slow: i128) -> Platform {
+    let cfg = RandomTreeConfig {
+        size,
+        seed,
+        weight_num: (8, 24),
+        weight_den: (1, 1),
+        link_num: (1, 3),
+        link_den: (2, 4),
+        ..Default::default()
+    };
+    bottlenecked_tree(&cfg, rat(slow, 1))
+}
+
+/// A supply-heavy platform: slow CPUs with *integer* weights and unit-ish
+/// integer links, so the flow fans out across many nodes while lcm-based
+/// periods stay bounded. Used by the schedule and protocol experiments.
+#[must_use]
+pub fn supply_tree(size: usize, seed: u64) -> Platform {
+    random_tree(&RandomTreeConfig {
+        size,
+        seed,
+        weight_num: (6, 20),
+        weight_den: (1, 1),
+        link_num: (1, 2),
+        link_den: (1, 1),
+        ..Default::default()
+    })
+}
+
+/// A random fork (root + `k` leaf children) for Proposition 1 experiments.
+#[must_use]
+pub fn fork(k: usize, seed: u64) -> Platform {
+    use bwfirst_platform::Weight;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF0_4C);
+    let mut sample = |hi: i128| rat(rng.gen_range(1..=hi), rng.gen_range(1..=3));
+    let children: Vec<(Rat, Weight)> =
+        (0..k).map(|_| (sample(6), Weight::Time(sample(12)))).collect();
+    bwfirst_platform::generators::fork(Weight::Time(sample(12)), &children)
+}
+
+/// Rounds a rational to 4 decimal places for display.
+#[must_use]
+pub fn f(r: Rat) -> String {
+    format!("{:.4}", r.to_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_is_flat() {
+        let p = fork(8, 3);
+        assert_eq!(p.len(), 9);
+        assert_eq!(p.height(), 1);
+    }
+
+    #[test]
+    fn bottleneck_is_reproducible() {
+        let a = bottleneck(31, 7, 16);
+        let b = bottleneck(31, 7, 16);
+        assert_eq!(a.len(), b.len());
+        for id in a.node_ids() {
+            assert_eq!(a.link_time(id), b.link_time(id));
+        }
+    }
+}

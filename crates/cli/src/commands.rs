@@ -1,0 +1,444 @@
+//! Command implementations. Pure string-in/string-out for testability:
+//! `dispatch` receives a file-reading closure instead of touching the
+//! filesystem itself.
+
+use crate::args::{Args, CliError};
+use bwfirst_core::schedule::{synchronous_period, EventDrivenSchedule, SlotAction};
+use bwfirst_core::{bw_first, quantize, startup, SteadyState};
+use bwfirst_platform::generators;
+use bwfirst_platform::{io, Platform, Weight};
+use bwfirst_rational::{rat, Rat};
+use bwfirst_sim::demand_driven::{self, DemandConfig};
+use bwfirst_sim::{event_driven, SimConfig};
+use std::fmt::Write;
+
+/// Usage text.
+#[must_use]
+pub fn usage() -> String {
+    "\
+bwfirst — bandwidth-centric scheduling of independent-task applications
+
+usage:
+  bwfirst solve <platform.json>
+      optimal steady-state throughput, per-node rates, pruned nodes
+  bwfirst schedule <platform.json> [--grid G]
+      event-driven periods and local schedules (optionally quantized to 1/G)
+  bwfirst simulate <platform.json> [--horizon H] [--stop T] [--tasks N]
+                   [--protocol event|demand|demand-int] [--gantt COLS]
+      discrete-event simulation with throughput/buffer/wind-down metrics
+  bwfirst generate <random|star|chain|kary|example> [--size N] [--seed S]
+                   [--arity K] [--depth D]
+      emit a platform JSON on stdout
+  bwfirst validate <platform.json> [--grid G]
+      solve, build the event-driven schedule, and check every invariant
+  bwfirst dot <platform.json>
+      Graphviz DOT export
+  bwfirst graph <random> [--size N] [--seed S] [--extra PCT]
+      emit a physical-network graph JSON on stdout
+  bwfirst overlay <graph.json> [--root N] [--restarts R] [--passes P]
+      search for the best tree overlay on a physical network
+"
+    .to_string()
+}
+
+fn load(platform_json: &str) -> Result<Platform, CliError> {
+    io::from_json(platform_json).map_err(|e| CliError::Platform(e.to_string()))
+}
+
+/// Runs the parsed command; `read_file` supplies file contents.
+pub fn dispatch<F>(args: &Args, read_file: F) -> Result<String, CliError>
+where
+    F: Fn(&str) -> Result<String, String>,
+{
+    let read = |path: &str| -> Result<Platform, CliError> {
+        let text = read_file(path).map_err(CliError::Platform)?;
+        load(&text)
+    };
+    match args.command.as_str() {
+        "solve" => {
+            let p = read(args.pos(0, "platform file")?)?;
+            Ok(cmd_solve(&p))
+        }
+        "schedule" => {
+            let p = read(args.pos(0, "platform file")?)?;
+            let grid = args.flag_opt::<i128>("grid", "--grid")?;
+            Ok(cmd_schedule(&p, grid))
+        }
+        "simulate" => {
+            let p = read(args.pos(0, "platform file")?)?;
+            let horizon = args.flag_opt::<i128>("horizon", "--horizon")?;
+            let stop = args.flag_opt::<i128>("stop", "--stop")?;
+            let tasks = args.flag_opt::<u64>("tasks", "--tasks")?;
+            let gantt = args.flag_opt::<usize>("gantt", "--gantt")?;
+            let protocol = args.flags.get("protocol").map_or("event", String::as_str);
+            cmd_simulate(&p, horizon, stop, tasks, gantt, protocol)
+        }
+        "generate" => cmd_generate(args),
+        "validate" => {
+            let p = read(args.pos(0, "platform file")?)?;
+            let grid = args.flag_opt::<i128>("grid", "--grid")?;
+            Ok(cmd_validate(&p, grid))
+        }
+        "dot" => {
+            let p = read(args.pos(0, "platform file")?)?;
+            Ok(io::to_dot(&p))
+        }
+        "graph" => cmd_graph(args),
+        "overlay" => {
+            let text = read_file(args.pos(0, "graph file")?).map_err(CliError::Platform)?;
+            cmd_overlay(&text, args)
+        }
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn cmd_solve(p: &Platform) -> String {
+    let sol = bw_first(p);
+    let ss = SteadyState::from_solution(&sol);
+    let mut out = String::new();
+    writeln!(out, "nodes            : {}", p.len()).unwrap();
+    writeln!(out, "throughput       : {} tasks per time unit ({:.4})", sol.throughput(), sol.throughput().to_f64()).unwrap();
+    writeln!(out, "rootless         : {}", ss.rootless_throughput(p)).unwrap();
+    writeln!(out, "visited          : {} nodes", sol.visit_count()).unwrap();
+    let unvisited: Vec<String> = sol.unvisited().iter().map(ToString::to_string).collect();
+    writeln!(out, "pruned           : {}", if unvisited.is_empty() { "-".to_string() } else { unvisited.join(", ") }).unwrap();
+    writeln!(out, "protocol messages: {}", sol.message_count() + 2).unwrap();
+    writeln!(out, "\nnode   eta_in      alpha").unwrap();
+    for id in p.node_ids() {
+        writeln!(out, "{:<6} {:<11} {}", id.to_string(), ss.eta_in[id.index()].to_string(), ss.alpha[id.index()]).unwrap();
+    }
+    out
+}
+
+fn cmd_schedule(p: &Platform, grid: Option<i128>) -> String {
+    let sol = bw_first(p);
+    let mut ss = SteadyState::from_solution(&sol);
+    let mut out = String::new();
+    if let Some(g) = grid {
+        let q = quantize::quantize(p, &ss, g);
+        writeln!(
+            out,
+            "quantized to grid 1/{g}: throughput {} -> {} (loss bound {})",
+            ss.throughput,
+            q.throughput,
+            quantize::loss_bound(p, &ss, g)
+        )
+        .unwrap();
+        ss = q;
+    }
+    if !ss.throughput.is_positive() {
+        writeln!(out, "platform has zero throughput; nothing to schedule").unwrap();
+        return out;
+    }
+    let ev = EventDrivenSchedule::standard(p, &ss);
+    writeln!(out, "synchronous period T = {}", synchronous_period(&ss)).unwrap();
+    writeln!(out, "tree start-up bound  = {}", startup::tree_startup_bound(p, &ev.tree)).unwrap();
+    writeln!(out, "\nnode   T^r     T^c     T^s     T^w     bunch  order").unwrap();
+    for s in ev.tree.iter() {
+        let order: Vec<String> = ev
+            .local(s.node)
+            .unwrap()
+            .actions
+            .iter()
+            .map(|a| match a {
+                SlotAction::Compute => "C".to_string(),
+                SlotAction::Send(k) => format!("S{}", k.0),
+            })
+            .collect();
+        let order = if order.len() > 24 {
+            format!("{} ... ({} actions)", order[..24].join(" "), order.len())
+        } else {
+            order.join(" ")
+        };
+        writeln!(
+            out,
+            "{:<6} {:<7} {:<7} {:<7} {:<7} {:<6} {order}",
+            s.node.to_string(),
+            s.t_recv.map_or("-".to_string(), |v| v.to_string()),
+            s.t_comp,
+            s.t_send,
+            s.t_omega,
+            s.bunch,
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn cmd_simulate(
+    p: &Platform,
+    horizon: Option<i128>,
+    stop: Option<i128>,
+    tasks: Option<u64>,
+    gantt: Option<usize>,
+    protocol: &str,
+) -> Result<String, CliError> {
+    let ss = SteadyState::from_solution(&bw_first(p));
+    if !ss.throughput.is_positive() {
+        return Ok("platform has zero throughput; nothing to simulate\n".to_string());
+    }
+    let period = synchronous_period(&ss);
+    let horizon = Rat::from_int(horizon.unwrap_or_else(|| (period * 8).clamp(200, 100_000)));
+    let cfg = SimConfig {
+        horizon,
+        stop_injection_at: stop.map(Rat::from_int),
+        total_tasks: tasks,
+        record_gantt: gantt.is_some(),
+    };
+    let rep = match protocol {
+        "event" => {
+            let ev = EventDrivenSchedule::standard(p, &ss);
+            event_driven::simulate(p, &ev, &cfg)
+        }
+        "demand" => demand_driven::simulate(p, DemandConfig::default(), &cfg),
+        "demand-int" => demand_driven::simulate(p, DemandConfig::interruptible(), &cfg),
+        other => {
+            return Err(CliError::BadValue { what: "--protocol", value: other.to_string() })
+        }
+    };
+    let mut out = String::new();
+    writeln!(out, "protocol          : {protocol}").unwrap();
+    writeln!(out, "horizon           : {horizon}").unwrap();
+    writeln!(out, "predicted rate    : {} ({:.4})", ss.throughput, ss.throughput.to_f64()).unwrap();
+    let half = horizon / Rat::TWO;
+    writeln!(out, "measured rate     : {:.4} (second half of run)", rep.throughput_in(half, horizon).to_f64()).unwrap();
+    writeln!(out, "tasks computed    : {}", rep.total_computed()).unwrap();
+    if let Some(entry) = rep.steady_state_entry(ss.throughput, Rat::from_int(period), cfg.injection_end()) {
+        writeln!(out, "steady entry      : {:.4}", entry.to_f64()).unwrap();
+    }
+    if let Some(wd) = rep.wind_down() {
+        writeln!(out, "wind-down         : {:.4}", wd.to_f64()).unwrap();
+    }
+    let peak = rep.buffers.iter().map(|b| b.max).max().unwrap_or(0);
+    writeln!(out, "peak buffer       : {peak}").unwrap();
+    if let (Some(cols), Some(g)) = (gantt, &rep.gantt) {
+        let until = horizon.min(rat(80, 1));
+        let nodes: Vec<_> = p.node_ids().filter(|&n| ss.is_active(n)).collect();
+        writeln!(out, "\nGantt (first {until} units):").unwrap();
+        out.push_str(&g.ascii(&nodes, until, cols.max(20)));
+    }
+    Ok(out)
+}
+
+fn cmd_validate(p: &Platform, grid: Option<i128>) -> String {
+    let mut ss = SteadyState::from_solution(&bw_first(p));
+    let mut out = String::new();
+    if let Some(g) = grid {
+        ss = quantize::quantize(p, &ss, g);
+        writeln!(out, "validating the 1/{g}-quantized schedule").unwrap();
+    }
+    if !ss.throughput.is_positive() {
+        writeln!(out, "platform has zero throughput; nothing to validate").unwrap();
+        return out;
+    }
+    let ev = EventDrivenSchedule::standard(p, &ss);
+    let violations = bwfirst_core::validate_schedule(p, &ss, &ev);
+    writeln!(out, "throughput : {}", ss.throughput).unwrap();
+    writeln!(out, "active     : {} of {} nodes", ev.tree.active_count(), p.len()).unwrap();
+    if violations.is_empty() {
+        writeln!(out, "result     : OK — rates, periods, quantities and orders all consistent").unwrap();
+    } else {
+        writeln!(out, "result     : {} violation(s)", violations.len()).unwrap();
+        for v in violations {
+            writeln!(out, "  - {v}").unwrap();
+        }
+    }
+    out
+}
+
+fn cmd_graph(args: &Args) -> Result<String, CliError> {
+    use bwfirst_overlay::graph::{random_graph, RandomGraphConfig};
+    let kind = args.pos(0, "graph kind")?;
+    if kind != "random" {
+        return Err(CliError::BadValue { what: "graph kind", value: kind.to_string() });
+    }
+    let size: usize = args.flag_or("size", "--size", 24)?;
+    let seed: u64 = args.flag_or("seed", "--seed", 1)?;
+    let extra: u32 = args.flag_or("extra", "--extra", 150)?;
+    let g = random_graph(&RandomGraphConfig { size, seed, extra_edge_pct: extra, ..Default::default() });
+    Ok(bwfirst_overlay::io::to_json(&g))
+}
+
+fn cmd_overlay(graph_json: &str, args: &Args) -> Result<String, CliError> {
+    use bwfirst_overlay::{best_overlay, NodeIx, OverlaySearch};
+    let g = bwfirst_overlay::io::from_json(graph_json).map_err(|e| CliError::Platform(e.to_string()))?;
+    let root: u32 = args.flag_or("root", "--root", 0)?;
+    if root as usize >= g.len() {
+        return Err(CliError::BadValue { what: "--root", value: root.to_string() });
+    }
+    let cfg = OverlaySearch {
+        restarts: args.flag_or("restarts", "--restarts", 4)?,
+        passes: args.flag_or("passes", "--passes", 8)?,
+        seed: args.flag_or("seed", "--seed", 0x5EA_C4)?,
+    };
+    let res = best_overlay(&g, NodeIx(root), &cfg);
+    let mut out = String::new();
+    writeln!(out, "graph              : {} nodes, {} links", g.len(), g.edge_count()).unwrap();
+    writeln!(out, "min-link baseline  : {}", res.min_link_baseline).unwrap();
+    writeln!(out, "shortest-path tree : {}", res.spt_baseline).unwrap();
+    writeln!(out, "searched overlay   : {} ({} candidates scored)", res.throughput, res.candidates_scored).unwrap();
+    writeln!(out, "\nwinning overlay platform:\n{}", io::to_json(&res.platform)).unwrap();
+    Ok(out)
+}
+
+fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    let kind = args.pos(0, "generator kind")?;
+    let size: usize = args.flag_or("size", "--size", 31)?;
+    let seed: u64 = args.flag_or("seed", "--seed", 1)?;
+    let arity: usize = args.flag_or("arity", "--arity", 2)?;
+    let depth: usize = args.flag_or("depth", "--depth", 3)?;
+    let w = Weight::Time(rat(4, 1));
+    let c = rat(1, 1);
+    let p = match kind {
+        "random" => generators::random_tree(&generators::RandomTreeConfig {
+            size,
+            seed,
+            ..Default::default()
+        }),
+        "star" => generators::star(w, size.saturating_sub(1), w, c),
+        "chain" => generators::daisy_chain(w, &vec![(w, c); size.saturating_sub(1)]),
+        "kary" => generators::kary_tree(depth, arity, w, c),
+        "example" => bwfirst_platform::examples::example_tree(),
+        other => return Err(CliError::BadValue { what: "generator kind", value: other.to_string() }),
+    };
+    Ok(io::to_json(&p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn run(argv: &[&str]) -> Result<String, CliError> {
+        let args = parse_args(argv.iter().map(ToString::to_string)).unwrap();
+        dispatch(&args, |path| {
+            if path == "example.json" {
+                Ok(io::to_json(&bwfirst_platform::examples::example_tree()))
+            } else {
+                Err(format!("no such file {path}"))
+            }
+        })
+    }
+
+    #[test]
+    fn solve_reports_throughput_and_pruned_nodes() {
+        let out = run(&["solve", "example.json"]).unwrap();
+        assert!(out.contains("throughput       : 10/9"));
+        assert!(out.contains("pruned           : P5, P9, P10, P11"));
+        assert!(out.contains("P4     1/6         1/6"));
+    }
+
+    #[test]
+    fn schedule_prints_periods() {
+        let out = run(&["schedule", "example.json"]).unwrap();
+        assert!(out.contains("synchronous period T = 36"));
+        assert!(out.contains("tree start-up bound  = 27"));
+        assert!(out.contains("S1 S2 S3 C S1 S2 S3 S1 S2 S3"));
+    }
+
+    #[test]
+    fn schedule_with_grid_quantizes() {
+        let out = run(&["schedule", "example.json", "--grid", "6"]).unwrap();
+        assert!(out.contains("quantized to grid 1/6"), "got: {out}");
+        // 1/9 and 1/12 round to zero on a 1/6 grid, leaving the five 1/6
+        // workers: throughput drops to 5/6.
+        assert!(out.contains("-> 5/6"), "got: {out}");
+    }
+
+    #[test]
+    fn simulate_event_runs() {
+        let out = run(&["simulate", "example.json", "--horizon", "150", "--gantt", "80"]).unwrap();
+        assert!(out.contains("predicted rate    : 10/9"));
+        // The measurement window is not period-aligned; accept 1.1x.
+        assert!(out.contains("measured rate     : 1.1"), "got: {out}");
+        assert!(out.contains("Gantt"));
+    }
+
+    #[test]
+    fn simulate_demand_runs() {
+        let out = run(&["simulate", "example.json", "--horizon", "150", "--protocol", "demand"]).unwrap();
+        assert!(out.contains("protocol          : demand"));
+    }
+
+    #[test]
+    fn simulate_rejects_bad_protocol() {
+        let err = run(&["simulate", "example.json", "--protocol", "psychic"]).unwrap_err();
+        assert!(matches!(err, CliError::BadValue { what: "--protocol", .. }));
+    }
+
+    #[test]
+    fn generate_roundtrips_through_solve() {
+        let json = run(&["generate", "random", "--size", "20", "--seed", "5"]).unwrap();
+        let p = io::from_json(&json).unwrap();
+        assert_eq!(p.len(), 20);
+        let json2 = run(&["generate", "example"]).unwrap();
+        let p2 = io::from_json(&json2).unwrap();
+        assert_eq!(bw_first(&p2).throughput(), rat(10, 9));
+    }
+
+    #[test]
+    fn generate_star_chain_kary() {
+        let star = io::from_json(&run(&["generate", "star", "--size", "6"]).unwrap()).unwrap();
+        assert_eq!(star.len(), 6);
+        assert_eq!(star.height(), 1);
+        let chain = io::from_json(&run(&["generate", "chain", "--size", "4"]).unwrap()).unwrap();
+        assert_eq!(chain.height(), 3);
+        let kary = io::from_json(&run(&["generate", "kary", "--depth", "2", "--arity", "3"]).unwrap()).unwrap();
+        assert_eq!(kary.len(), 13);
+    }
+
+    #[test]
+    fn dot_command() {
+        let out = run(&["dot", "example.json"]).unwrap();
+        assert!(out.starts_with("digraph platform"));
+    }
+
+    #[test]
+    fn unknown_command_and_missing_file() {
+        assert!(matches!(run(&["frobnicate"]), Err(CliError::UnknownCommand(_))));
+        assert!(matches!(run(&["solve", "missing.json"]), Err(CliError::Platform(_))));
+    }
+
+    #[test]
+    fn graph_and_overlay_commands() {
+        let gjson = run(&["graph", "random", "--size", "10", "--seed", "3"]).unwrap();
+        let g = bwfirst_overlay::io::from_json(&gjson).unwrap();
+        assert_eq!(g.len(), 10);
+        // Route the overlay command through a synthetic "file".
+        let args = parse_args(["overlay", "g.json", "--restarts", "1", "--passes", "2"].iter().map(ToString::to_string)).unwrap();
+        let out = dispatch(&args, |path| {
+            if path == "g.json" { Ok(gjson.clone()) } else { Err("missing".into()) }
+        })
+        .unwrap();
+        assert!(out.contains("searched overlay"));
+        assert!(out.contains("winning overlay platform"));
+        // The emitted platform is loadable and solvable.
+        let json_start = out.find('{').unwrap();
+        let p = io::from_json(&out[json_start..]).unwrap();
+        assert_eq!(p.len(), 10);
+    }
+
+    #[test]
+    fn overlay_rejects_bad_root() {
+        let gjson = run(&["graph", "random", "--size", "4"]).unwrap();
+        let args = parse_args(["overlay", "g.json", "--root", "99"].iter().map(ToString::to_string)).unwrap();
+        let err = dispatch(&args, |_| Ok(gjson.clone())).unwrap_err();
+        assert!(matches!(err, CliError::BadValue { what: "--root", .. }));
+    }
+
+    #[test]
+    fn validate_command() {
+        let out = run(&["validate", "example.json"]).unwrap();
+        assert!(out.contains("result     : OK"), "got: {out}");
+        let out = run(&["validate", "example.json", "--grid", "12"]).unwrap();
+        assert!(out.contains("1/12-quantized"));
+        assert!(out.contains("result     : OK"), "got: {out}");
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&["help"]).unwrap();
+        assert!(out.contains("bwfirst solve"));
+    }
+}

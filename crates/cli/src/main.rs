@@ -1,0 +1,26 @@
+//! Thin I/O shell around the testable command implementations.
+
+use bwfirst_cli::{dispatch, parse_args, usage, CliError};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(raw) {
+        Ok(a) => a,
+        Err(CliError::Missing) => {
+            eprint!("{}", usage());
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match dispatch(&args, |path| std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", usage());
+            std::process::exit(1);
+        }
+    }
+}

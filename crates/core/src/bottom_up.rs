@@ -1,0 +1,161 @@
+//! The bottom-up reduction baseline (Beaumont et al.).
+//!
+//! Iteratively select a node all of whose children are leaves, collapse that
+//! fork into a single node of equivalent rate via Proposition 1, and repeat
+//! until only the root remains; its final rate is the tree's maximum
+//! steady-state throughput.
+//!
+//! The paper's Section 5 argues this performs a *large number of unnecessary
+//! operations* for strongly bandwidth-limited platforms — it reduces every
+//! fork even when whole subtrees can never be fed. The accounting fields of
+//! [`BottomUpOutcome`] (reductions and children processed) substantiate that
+//! comparison in experiment E6.
+
+use crate::fork::{fork_equivalent_rate, ForkChild};
+use bwfirst_platform::{NodeId, Platform};
+use bwfirst_rational::Rat;
+use serde::{Deserialize, Serialize};
+
+/// Result and work accounting of a bottom-up reduction run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BottomUpOutcome {
+    /// Maximum steady-state throughput of the tree (tasks per time unit).
+    pub throughput: Rat,
+    /// Number of fork reductions performed (= number of internal nodes).
+    pub reductions: usize,
+    /// Total children processed across all reductions (= number of edges).
+    pub children_processed: usize,
+    /// Equivalent rate of each node's subtree after its reduction. For
+    /// leaves this is the node's own rate; entry order is by [`NodeId`].
+    pub subtree_rate: Vec<Rat>,
+}
+
+/// Runs the bottom-up reduction on `platform`.
+#[must_use]
+pub fn bottom_up(platform: &Platform) -> BottomUpOutcome {
+    let n = platform.len();
+    // Post-order guarantees children are reduced before their parent; the
+    // "iteratively pick a node whose children are all leaves" of the paper is
+    // exactly a post-order sweep.
+    let mut rate: Vec<Rat> = (0..n).map(|i| platform.compute_rate(NodeId(i as u32))).collect();
+    let mut reductions = 0;
+    let mut children_processed = 0;
+    for id in post_order(platform) {
+        if platform.is_leaf(id) {
+            continue;
+        }
+        let children: Vec<ForkChild> = platform
+            .children(id)
+            .iter()
+            .map(|&k| ForkChild { c: platform.link_time(k).expect("child has link"), rate: rate[k.index()] })
+            .collect();
+        let red = fork_equivalent_rate(platform.compute_rate(id), &children);
+        rate[id.index()] = red.rate;
+        reductions += 1;
+        children_processed += children.len();
+    }
+    BottomUpOutcome {
+        throughput: rate[platform.root().index()],
+        reductions,
+        children_processed,
+        subtree_rate: rate,
+    }
+}
+
+/// Post-order traversal (children before parents).
+fn post_order(platform: &Platform) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(platform.len());
+    let mut stack: Vec<(NodeId, bool)> = vec![(platform.root(), false)];
+    while let Some((id, expanded)) = stack.pop() {
+        if expanded {
+            out.push(id);
+        } else {
+            stack.push((id, true));
+            for &k in platform.children(id) {
+                stack.push((k, false));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfirst_platform::examples::{example_throughput, example_tree};
+    use bwfirst_platform::generators::{daisy_chain, fork, star};
+    use bwfirst_platform::Weight;
+    use bwfirst_rational::rat;
+
+    fn w(n: i128) -> Weight {
+        Weight::Time(rat(n, 1))
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let p = fork(w(4), &[]);
+        let out = bottom_up(&p);
+        assert_eq!(out.throughput, rat(1, 4));
+        assert_eq!(out.reductions, 0);
+        assert_eq!(out.children_processed, 0);
+    }
+
+    #[test]
+    fn simple_fork() {
+        // Root w=1 with one child w=1 over c=1: both run at rate 1,
+        // port exactly saturated by the child.
+        let p = fork(w(1), &[(rat(1, 1), w(1))]);
+        let out = bottom_up(&p);
+        assert_eq!(out.throughput, rat(2, 1));
+        assert_eq!(out.reductions, 1);
+        assert_eq!(out.children_processed, 1);
+    }
+
+    #[test]
+    fn star_is_bandwidth_limited() {
+        // 10 unit-rate workers behind c=1 links: the port feeds exactly 1
+        // task/unit in total, so throughput = r_root + 1.
+        let p = star(w(2), 10, w(1), rat(1, 1));
+        let out = bottom_up(&p);
+        assert_eq!(out.throughput, rat(1, 2) + rat(1, 1));
+    }
+
+    #[test]
+    fn daisy_chain_reduces_inner_nodes_first() {
+        // P0 -(1)- P1 -(1)- P2, all w=2 (rate 1/2 each).
+        // P1 fork: r = 1/2 + 1/2 = 1 (port half busy).
+        // P0 fork: child rate 1 needs c·r = 1 → fully fed. Total 3/2.
+        let p = daisy_chain(w(2), &[(w(2), rat(1, 1)), (w(2), rat(1, 1))]);
+        let out = bottom_up(&p);
+        assert_eq!(out.throughput, rat(3, 2));
+        assert_eq!(out.reductions, 2);
+        assert_eq!(out.children_processed, 2);
+    }
+
+    #[test]
+    fn example_tree_throughput_is_10_over_9() {
+        let out = bottom_up(&example_tree());
+        assert_eq!(out.throughput, example_throughput());
+        // Bottom-up visits every internal node, used or not.
+        assert_eq!(out.reductions, 5); // P0, P1, P2, P3, P7
+        assert_eq!(out.children_processed, 11); // every edge
+    }
+
+    #[test]
+    fn example_tree_intermediate_rates() {
+        let out = bottom_up(&example_tree());
+        // Subtree equivalent rates computed in the design doc.
+        assert_eq!(out.subtree_rate[1], rat(1, 3)); // P1 fork
+        assert_eq!(out.subtree_rate[2], rat(1, 3)); // P2 fork
+        assert_eq!(out.subtree_rate[7], rat(3, 10)); // P7 fork
+        assert_eq!(out.subtree_rate[3], rat(3, 5)); // P3 fork
+        assert_eq!(out.subtree_rate[0], rat(10, 9)); // whole tree
+    }
+
+    #[test]
+    fn switch_root_contributes_nothing_itself() {
+        let p = fork(Weight::Infinite, &[(rat(1, 2), w(1))]);
+        let out = bottom_up(&p);
+        assert_eq!(out.throughput, Rat::ONE);
+    }
+}

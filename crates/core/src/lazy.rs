@@ -1,0 +1,269 @@
+//! `BW-First` over lazily generated — conceptually infinite — trees.
+//!
+//! Section 5 remarks that, unlike the bottom-up reduction (which must start
+//! from the leaves), `BW-First` can evaluate the throughput of *infinite*
+//! network trees: the traversal only descends while the parent still has
+//! tasks (`δ > 0`) and port time (`τ > 0`) to offer, so an infinite tree is
+//! explored only as deep as tasks actually flow.
+//!
+//! Exact rational arithmetic descends forever on trees where the flow decays
+//! geometrically without vanishing, so this module truncates at a depth
+//! limit and brackets the true throughput:
+//!
+//! * **lower bound** — nodes at the limit accept only their own `α`
+//!   (children pruned): a feasible schedule of a finite subtree;
+//! * **upper bound** — nodes at the limit consume *everything* proposed
+//!   (`θ = 0`): a perfect consumer can only overestimate, because a real
+//!   subtree never absorbs more than its proposal, and by the
+//!   bandwidth-centric principle saturating a faster-link child first never
+//!   hurts the total.
+//!
+//! Experiment E10 shows the two bounds converging as the depth limit grows,
+//! reproducing the finite-vs-infinite observation of Bataineh & Robertazzi
+//! cited by the paper.
+
+use bwfirst_platform::{NodeId, Platform};
+use bwfirst_rational::Rat;
+
+/// A tree revealed on demand. Implementations may be infinite.
+pub trait TreeSource {
+    /// Opaque node handle.
+    type Node: Clone;
+
+    /// The root handle and its computing rate.
+    fn root(&self) -> (Self::Node, Rat);
+
+    /// Children of `node` as `(handle, link time c, computing rate)`.
+    /// Need not be sorted; the solver applies the bandwidth-centric order.
+    fn children(&self, node: &Self::Node) -> Vec<(Self::Node, Rat, Rat)>;
+}
+
+/// Which truncation to apply at the depth limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Prune children below the limit (feasible ⇒ lower bound).
+    Lower,
+    /// Perfect consumers at the limit (optimistic ⇒ upper bound).
+    Upper,
+}
+
+struct LazyFrame<N> {
+    depth: usize,
+    delta: Rat,
+    tau: Rat,
+    kids: Vec<(N, Rat, Rat)>,
+    next: usize,
+    open: Rat, // (β) of the open transaction; c of the open child kept in kids
+}
+
+/// Runs `BW-First` on a lazy tree with root proposal `lambda`, truncating at
+/// `depth_limit` according to `bound`. Returns the resulting throughput
+/// estimate (`λ − θ_root`). Nodes are expanded only while tasks flow.
+#[must_use]
+pub fn bw_first_lazy<S: TreeSource>(source: &S, lambda: Rat, depth_limit: usize, bound: Bound) -> Rat {
+    let (root, root_rate) = source.root();
+    let enter = |node: S::Node, depth: usize, rate: Rat, lambda: Rat, source: &S| -> LazyFrame<S::Node> {
+        let alpha = rate.min(lambda);
+        let at_limit = depth >= depth_limit;
+        let (delta, kids) = match (at_limit, bound) {
+            (true, Bound::Lower) => (lambda - alpha, Vec::new()),
+            (true, Bound::Upper) => (Rat::ZERO, Vec::new()), // consume everything
+            (false, _) => {
+                let mut kids = source.children(&node);
+                kids.sort_by(|a, b| a.1.cmp(&b.1));
+                (lambda - alpha, kids)
+            }
+        };
+        LazyFrame { depth, delta, tau: Rat::ONE, kids, next: 0, open: Rat::ZERO }
+    };
+
+    let mut stack = vec![enter(root, 0, root_rate, lambda, source)];
+    loop {
+        let top = stack.last_mut().expect("stack non-empty");
+        if top.delta.is_positive() && top.tau.is_positive() && top.next < top.kids.len() {
+            let (child, _c, rate) = top.kids[top.next].clone();
+            let b = top.kids[top.next].1.recip();
+            let beta = top.delta.min(top.tau * b);
+            top.open = beta;
+            let depth = top.depth + 1;
+            stack.push(enter(child, depth, rate, beta, source));
+            continue;
+        }
+        let done = stack.pop().expect("frame");
+        let theta = done.delta;
+        match stack.last_mut() {
+            None => return lambda - theta,
+            Some(parent) => {
+                let consumed = parent.open - theta;
+                let c = parent.kids[parent.next].1;
+                parent.delta -= consumed;
+                parent.tau -= consumed * c;
+                parent.next += 1;
+            }
+        }
+    }
+}
+
+/// Lower/upper throughput bounds of a lazy tree at a given depth limit,
+/// using the canonical root proposal `r_root + max_i b_i` (computed from the
+/// root's immediate children; for a childless root just `r_root`).
+#[must_use]
+pub fn throughput_bounds<S: TreeSource>(source: &S, depth_limit: usize) -> (Rat, Rat) {
+    let (root, root_rate) = source.root();
+    let best_bw = source
+        .children(&root)
+        .iter()
+        .map(|(_, c, _)| c.recip())
+        .max()
+        .unwrap_or(Rat::ZERO);
+    let lambda = root_rate + best_bw;
+    (
+        bw_first_lazy(source, lambda, depth_limit, Bound::Lower),
+        bw_first_lazy(source, lambda, depth_limit, Bound::Upper),
+    )
+}
+
+/// An infinite homogeneous chain: every node computes at `rate` and feeds a
+/// single child over a link of time `c`.
+#[derive(Debug, Clone, Copy)]
+pub struct InfiniteChain {
+    /// Computing rate of every node.
+    pub rate: Rat,
+    /// Link time of every hop.
+    pub c: Rat,
+}
+
+impl TreeSource for InfiniteChain {
+    type Node = ();
+
+    fn root(&self) -> ((), Rat) {
+        ((), self.rate)
+    }
+
+    fn children(&self, _node: &()) -> Vec<((), Rat, Rat)> {
+        vec![((), self.c, self.rate)]
+    }
+}
+
+/// An infinite homogeneous `arity`-ary tree.
+#[derive(Debug, Clone, Copy)]
+pub struct InfiniteKary {
+    /// Children per node.
+    pub arity: usize,
+    /// Computing rate of every node.
+    pub rate: Rat,
+    /// Link time of every edge.
+    pub c: Rat,
+}
+
+impl TreeSource for InfiniteKary {
+    type Node = ();
+
+    fn root(&self) -> ((), Rat) {
+        ((), self.rate)
+    }
+
+    fn children(&self, _node: &()) -> Vec<((), Rat, Rat)> {
+        vec![((), self.c, self.rate); self.arity]
+    }
+}
+
+/// Adapter exposing a finite [`Platform`] as a [`TreeSource`] — lets the
+/// lazy solver be cross-checked against the exact one.
+#[derive(Debug, Clone, Copy)]
+pub struct PlatformSource<'a>(pub &'a Platform);
+
+impl TreeSource for PlatformSource<'_> {
+    type Node = NodeId;
+
+    fn root(&self) -> (NodeId, Rat) {
+        (self.0.root(), self.0.compute_rate(self.0.root()))
+    }
+
+    fn children(&self, node: &NodeId) -> Vec<(NodeId, Rat, Rat)> {
+        self.0
+            .children(*node)
+            .iter()
+            .map(|&k| (k, self.0.link_time(k).expect("child link"), self.0.compute_rate(k)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bwfirst::bw_first;
+    use bwfirst_platform::examples::example_tree;
+    use bwfirst_rational::rat;
+
+    #[test]
+    fn finite_platform_bounds_collapse_at_full_depth() {
+        let p = example_tree();
+        let exact = bw_first(&p).throughput();
+        let src = PlatformSource(&p);
+        let (lo, hi) = throughput_bounds(&src, p.height() + 1);
+        assert_eq!(lo, exact);
+        assert_eq!(hi, exact);
+    }
+
+    #[test]
+    fn bounds_bracket_exact_at_every_depth() {
+        let p = example_tree();
+        let exact = bw_first(&p).throughput();
+        let src = PlatformSource(&p);
+        for depth in 0..=4 {
+            let (lo, hi) = throughput_bounds(&src, depth);
+            assert!(lo <= exact, "lower bound exceeds exact at depth {depth}");
+            assert!(hi >= exact, "upper bound below exact at depth {depth}");
+        }
+    }
+
+    #[test]
+    fn bounds_tighten_with_depth() {
+        let p = example_tree();
+        let src = PlatformSource(&p);
+        let widths: Vec<Rat> = (0..=4)
+            .map(|d| {
+                let (lo, hi) = throughput_bounds(&src, d);
+                hi - lo
+            })
+            .collect();
+        for w in widths.windows(2) {
+            assert!(w[1] <= w[0], "bound width must not grow with depth");
+        }
+        assert!(widths.last().unwrap().is_zero());
+    }
+
+    #[test]
+    fn infinite_chain_converges() {
+        // rate 1/2 per node, c = 2: each hop forwards at most 1/2 task/unit
+        // of port time per task... flow decays geometrically; bounds converge.
+        let chain = InfiniteChain { rate: rat(1, 2), c: rat(2, 1) };
+        let (lo1, hi1) = throughput_bounds(&chain, 4);
+        let (lo2, hi2) = throughput_bounds(&chain, 16);
+        assert!(lo1 <= lo2 && hi2 <= hi1);
+        assert!(hi2 - lo2 < rat(1, 1000));
+        // Analytic steady state: root keeps 1/2, forwards the rest subject
+        // to port time; total converges below rate + b = 1/2 + 1/2 = 1.
+        assert!(hi2 <= rat(1, 1) + rat(1, 100));
+    }
+
+    #[test]
+    fn infinite_kary_converges_and_exceeds_chain() {
+        let kary = InfiniteKary { arity: 3, rate: rat(1, 4), c: rat(2, 1) };
+        let (lo, hi) = throughput_bounds(&kary, 20);
+        assert!(hi - lo < rat(1, 1000));
+        let chain = InfiniteChain { rate: rat(1, 4), c: rat(2, 1) };
+        let (clo, _) = throughput_bounds(&chain, 20);
+        assert!(lo >= clo);
+    }
+
+    #[test]
+    fn depth_zero_lower_bound_is_root_alone() {
+        let chain = InfiniteChain { rate: rat(1, 3), c: rat(1, 1) };
+        let lo = bw_first_lazy(&chain, rat(4, 3), 0, Bound::Lower);
+        assert_eq!(lo, rat(1, 3));
+        let hi = bw_first_lazy(&chain, rat(4, 3), 0, Bound::Upper);
+        assert_eq!(hi, rat(4, 3)); // perfect consumer swallows the proposal
+    }
+}

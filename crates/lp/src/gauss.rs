@@ -1,0 +1,138 @@
+//! Exact Gaussian elimination over rationals.
+//!
+//! Small and dense — exactly what the vertex-enumeration test oracle and
+//! basis extraction need. Partial "pivoting" picks any nonzero pivot (exact
+//! arithmetic needs no magnitude heuristics).
+
+use bwfirst_rational::Rat;
+
+/// Solves `A x = b` for square `A` (row-major). Returns `None` when `A` is
+/// singular. Panics if shapes disagree.
+#[must_use]
+pub fn solve(a: &[Vec<Rat>], b: &[Rat]) -> Option<Vec<Rat>> {
+    let n = a.len();
+    assert!(a.iter().all(|row| row.len() == n), "A must be square");
+    assert_eq!(b.len(), n, "b must match A");
+    // Augmented matrix.
+    let mut m: Vec<Vec<Rat>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &rhs)| {
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+    for col in 0..n {
+        // Find a pivot.
+        let pivot_row = (col..n).find(|&r| !m[r][col].is_zero())?;
+        m.swap(col, pivot_row);
+        let inv = m[col][col].recip();
+        for x in &mut m[col][col..] {
+            *x *= inv;
+        }
+        for r in 0..n {
+            if r != col && !m[r][col].is_zero() {
+                let factor = m[r][col];
+                for c in col..=n {
+                    let v = m[col][c];
+                    m[r][c] -= factor * v;
+                }
+            }
+        }
+    }
+    Some(m.into_iter().map(|row| row[n]).collect())
+}
+
+/// Rank of a (possibly rectangular) rational matrix.
+#[must_use]
+pub fn rank(a: &[Vec<Rat>]) -> usize {
+    if a.is_empty() {
+        return 0;
+    }
+    let rows = a.len();
+    let cols = a[0].len();
+    let mut m = a.to_vec();
+    let mut rank = 0;
+    for col in 0..cols {
+        let Some(pivot_row) = (rank..rows).find(|&r| !m[r][col].is_zero()) else { continue };
+        m.swap(rank, pivot_row);
+        let inv = m[rank][col].recip();
+        for x in &mut m[rank] {
+            *x *= inv;
+        }
+        for r in 0..rows {
+            if r != rank && !m[r][col].is_zero() {
+                let factor = m[r][col];
+                for c in 0..cols {
+                    let v = m[rank][c];
+                    m[r][c] -= factor * v;
+                }
+            }
+        }
+        rank += 1;
+        if rank == rows {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfirst_rational::rat;
+
+    fn m(rows: &[&[i128]]) -> Vec<Vec<Rat>> {
+        rows.iter().map(|r| r.iter().map(|&v| rat(v, 1)).collect()).collect()
+    }
+
+    #[test]
+    fn solves_2x2() {
+        // x + y = 3, x - y = 1 → x = 2, y = 1.
+        let a = m(&[&[1, 1], &[1, -1]]);
+        let x = solve(&a, &[rat(3, 1), rat(1, 1)]).unwrap();
+        assert_eq!(x, vec![rat(2, 1), rat(1, 1)]);
+    }
+
+    #[test]
+    fn solves_with_row_swap() {
+        // First pivot is zero: needs the swap.
+        let a = m(&[&[0, 2], &[3, 1]]);
+        let x = solve(&a, &[rat(4, 1), rat(5, 1)]).unwrap();
+        assert_eq!(x, vec![rat(1, 1), rat(2, 1)]);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = m(&[&[1, 2], &[2, 4]]);
+        assert!(solve(&a, &[rat(1, 1), rat(2, 1)]).is_none());
+    }
+
+    #[test]
+    fn exact_fractions() {
+        // (1/3)x = 1 → x = 3, no rounding.
+        let a = vec![vec![rat(1, 3)]];
+        assert_eq!(solve(&a, &[rat(1, 1)]).unwrap(), vec![rat(3, 1)]);
+    }
+
+    #[test]
+    fn rank_of_matrices() {
+        assert_eq!(rank(&m(&[&[1, 2], &[2, 4]])), 1);
+        assert_eq!(rank(&m(&[&[1, 0], &[0, 1]])), 2);
+        assert_eq!(rank(&m(&[&[0, 0], &[0, 0]])), 0);
+        assert_eq!(rank(&m(&[&[1, 2, 3], &[4, 5, 6]])), 2);
+        assert_eq!(rank(&[]), 0);
+    }
+
+    #[test]
+    fn solution_satisfies_system() {
+        let a = m(&[&[2, 1, -1], &[-3, -1, 2], &[-2, 1, 2]]);
+        let b = [rat(8, 1), rat(-11, 1), rat(-3, 1)];
+        let x = solve(&a, &b).unwrap();
+        for (row, &rhs) in a.iter().zip(&b) {
+            let lhs: Rat = row.iter().zip(&x).map(|(&c, &v)| c * v).sum();
+            assert_eq!(lhs, rhs);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Dense two-phase primal simplex over exact rationals.
+//!
+//! *Maximizes* `cᵀx` subject to `Ax ≤ b`, `x ≥ 0` (negative `b` allowed —
+//! phase 1 finds a feasible basis with artificial variables). Pivoting uses
+//! **Bland's rule** (smallest-index entering and leaving candidates), which
+//! cannot cycle, so with exact arithmetic the solver always terminates with
+//! the true optimum, `Unbounded`, or `Infeasible` — no tolerances anywhere.
+//!
+//! Dense tableaus are perfectly adequate here: the steady-state LP of an
+//! `n`-node tree has `~2n` variables and `~4n` rows.
+
+use bwfirst_rational::Rat;
+
+/// `max cᵀx  s.t.  Ax ≤ b, x ≥ 0` (rows are `(a, b)` pairs).
+#[derive(Debug, Clone)]
+pub struct StandardForm {
+    /// Objective coefficients `c`.
+    pub objective: Vec<Rat>,
+    /// Constraint rows `(a, b)`: `a·x ≤ b`.
+    pub rows: Vec<(Vec<Rat>, Rat)>,
+}
+
+/// Solver outcome for a [`StandardForm`] problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StandardOutcome {
+    /// Optimal vertex found.
+    Optimal {
+        /// `cᵀx` at the optimum.
+        value: Rat,
+        /// The optimal `x` (length = number of structural variables).
+        solution: Vec<Rat>,
+    },
+    /// Objective unbounded above.
+    Unbounded,
+    /// Empty feasible region.
+    Infeasible,
+}
+
+struct Tableau {
+    /// `m × (cols + 1)` matrix; the last column is the rhs.
+    t: Vec<Vec<Rat>>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Total number of columns excluding rhs.
+    cols: usize,
+}
+
+impl Tableau {
+    fn rhs(&self, row: usize) -> Rat {
+        self.t[row][self.cols]
+    }
+
+    /// Reduced-cost row `c̄ = c − c_Bᵀ·T` and current objective value for an
+    /// arbitrary objective vector over all columns.
+    fn reduced_costs(&self, c: &[Rat]) -> (Vec<Rat>, Rat) {
+        let mut cbar = c.to_vec();
+        let mut value = Rat::ZERO;
+        for (row, &b) in self.t.iter().zip(&self.basis) {
+            let cb = c[b];
+            if cb.is_zero() {
+                continue;
+            }
+            value += cb * row[self.cols];
+            for (j, entry) in row[..self.cols].iter().enumerate() {
+                cbar[j] -= cb * *entry;
+            }
+        }
+        (cbar, value)
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let inv = self.t[row][col].recip();
+        for x in &mut self.t[row] {
+            *x *= inv;
+        }
+        for r in 0..self.t.len() {
+            if r != row && !self.t[r][col].is_zero() {
+                let factor = self.t[r][col];
+                for j in 0..=self.cols {
+                    let v = self.t[row][j];
+                    self.t[r][j] -= factor * v;
+                }
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations for objective `c` (over all columns),
+    /// restricted to entering columns `< limit`. Returns `None` on
+    /// unboundedness.
+    fn optimize(&mut self, c: &[Rat], limit: usize) -> Option<()> {
+        loop {
+            let (cbar, _) = self.reduced_costs(c);
+            // Bland: smallest-index improving column.
+            let Some(enter) = (0..limit).find(|&j| cbar[j].is_positive()) else {
+                return Some(());
+            };
+            // Ratio test; Bland tie-break on the smallest basis index.
+            let mut leave: Option<(usize, Rat)> = None;
+            for r in 0..self.t.len() {
+                let a = self.t[r][enter];
+                if !a.is_positive() {
+                    continue;
+                }
+                let ratio = self.rhs(r) / a;
+                match &leave {
+                    None => leave = Some((r, ratio)),
+                    Some((lr, lratio)) => {
+                        if ratio < *lratio || (ratio == *lratio && self.basis[r] < self.basis[*lr]) {
+                            leave = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+            let (row, _) = leave?;
+            self.pivot(row, enter);
+        }
+    }
+}
+
+/// Solves a [`StandardForm`] problem exactly.
+#[must_use]
+pub fn solve_standard(sf: &StandardForm) -> StandardOutcome {
+    let n = sf.objective.len();
+    let m = sf.rows.len();
+    debug_assert!(sf.rows.iter().all(|(a, _)| a.len() == n), "row width mismatch");
+
+    // Columns: structural (n) | slack (m) | artificial (k).
+    let needs_artificial: Vec<bool> = sf.rows.iter().map(|&(_, b)| b.is_negative()).collect();
+    let k = needs_artificial.iter().filter(|&&x| x).count();
+    let cols = n + m + k;
+    let mut t = Vec::with_capacity(m);
+    let mut basis = Vec::with_capacity(m);
+    let mut art = 0usize;
+    for (i, (a, b)) in sf.rows.iter().enumerate() {
+        let mut row = vec![Rat::ZERO; cols + 1];
+        let flip = needs_artificial[i];
+        for (j, &coeff) in a.iter().enumerate() {
+            row[j] = if flip { -coeff } else { coeff };
+        }
+        row[n + i] = if flip { -Rat::ONE } else { Rat::ONE }; // slack
+        row[cols] = if flip { -*b } else { *b };
+        if flip {
+            row[n + m + art] = Rat::ONE;
+            basis.push(n + m + art);
+            art += 1;
+        } else {
+            basis.push(n + i);
+        }
+        t.push(row);
+    }
+    let mut tab = Tableau { t, basis, cols };
+
+    // Phase 1: drive artificials to zero.
+    if k > 0 {
+        let mut c1 = vec![Rat::ZERO; cols];
+        for c in &mut c1[n + m..] {
+            *c = -Rat::ONE;
+        }
+        tab.optimize(&c1, cols).expect("phase 1 is bounded");
+        let (_, value) = tab.reduced_costs(&c1);
+        if value.is_negative() {
+            return StandardOutcome::Infeasible;
+        }
+        // Pivot any degenerate basic artificial out, or drop its (redundant)
+        // row entirely.
+        let mut r = 0;
+        while r < tab.t.len() {
+            if tab.basis[r] >= n + m {
+                if let Some(j) = (0..n + m).find(|&j| !tab.t[r][j].is_zero()) {
+                    tab.pivot(r, j);
+                } else {
+                    tab.t.remove(r);
+                    tab.basis.remove(r);
+                    continue;
+                }
+            }
+            r += 1;
+        }
+        // Truncate artificial columns.
+        for row in &mut tab.t {
+            let rhs = row[cols];
+            row.truncate(n + m);
+            row.push(rhs);
+        }
+        tab.cols = n + m;
+    }
+
+    // Phase 2: the real objective (zero on slacks).
+    let mut c2 = vec![Rat::ZERO; tab.cols];
+    c2[..n].copy_from_slice(&sf.objective);
+    if tab.optimize(&c2, tab.cols).is_none() {
+        return StandardOutcome::Unbounded;
+    }
+
+    let mut solution = vec![Rat::ZERO; n];
+    for (r, &b) in tab.basis.iter().enumerate() {
+        if b < n {
+            solution[b] = tab.rhs(r);
+        }
+    }
+    let value = sf.objective.iter().zip(&solution).map(|(&c, &x)| c * x).sum();
+    StandardOutcome::Optimal { value, solution }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfirst_rational::rat;
+
+    fn r(n: i128) -> Rat {
+        rat(n, 1)
+    }
+
+    fn lp(obj: &[i128], rows: &[(&[i128], i128)]) -> StandardForm {
+        StandardForm {
+            objective: obj.iter().map(|&v| r(v)).collect(),
+            rows: rows.iter().map(|&(a, b)| (a.iter().map(|&v| r(v)).collect(), r(b))).collect(),
+        }
+    }
+
+    #[test]
+    fn textbook_example() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → value 36 at (2, 6).
+        let sf = lp(&[3, 5], &[(&[1, 0], 4), (&[0, 2], 12), (&[3, 2], 18)]);
+        assert_eq!(
+            solve_standard(&sf),
+            StandardOutcome::Optimal { value: r(36), solution: vec![r(2), r(6)] }
+        );
+    }
+
+    #[test]
+    fn degenerate_vertex_terminates() {
+        // A classically degenerate LP (Beale-like structure); Bland's rule
+        // must terminate with the optimum.
+        let sf = StandardForm {
+            objective: vec![rat(3, 4), r(-150), rat(1, 50), r(-6)],
+            rows: vec![
+                (vec![rat(1, 4), r(-60), rat(-1, 25), r(9)], r(0)),
+                (vec![rat(1, 2), r(-90), rat(-1, 50), r(3)], r(0)),
+                (vec![r(0), r(0), r(1), r(0)], r(1)),
+            ],
+        };
+        let StandardOutcome::Optimal { value, .. } = solve_standard(&sf) else { panic!("must solve") };
+        assert_eq!(value, rat(1, 20));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let sf = lp(&[1, 1], &[(&[1, -1], 1)]);
+        assert_eq!(solve_standard(&sf), StandardOutcome::Unbounded);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ -1 with x ≥ 0.
+        let sf = lp(&[1], &[(&[1], -1)]);
+        assert_eq!(solve_standard(&sf), StandardOutcome::Infeasible);
+    }
+
+    #[test]
+    fn negative_rhs_feasible() {
+        // x ≥ 2 (as -x ≤ -2), x ≤ 5, max -x → x = 2.
+        let sf = lp(&[-1], &[(&[-1], -2), (&[1], 5)]);
+        assert_eq!(
+            solve_standard(&sf),
+            StandardOutcome::Optimal { value: r(-2), solution: vec![r(2)] }
+        );
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_dropped() {
+        // x = 1 written twice (4 inequality rows), max x.
+        let sf = lp(&[1], &[(&[1], 1), (&[-1], -1), (&[1], 1), (&[-1], -1)]);
+        assert_eq!(
+            solve_standard(&sf),
+            StandardOutcome::Optimal { value: r(1), solution: vec![r(1)] }
+        );
+    }
+
+    #[test]
+    fn no_constraints_zero_objective() {
+        let sf = lp(&[0, 0], &[]);
+        let StandardOutcome::Optimal { value, .. } = solve_standard(&sf) else { panic!() };
+        assert_eq!(value, r(0));
+    }
+
+    #[test]
+    fn no_constraints_positive_objective_unbounded() {
+        let sf = lp(&[1], &[]);
+        assert_eq!(solve_standard(&sf), StandardOutcome::Unbounded);
+    }
+}

@@ -1,0 +1,153 @@
+//! The steady-state linear program of a tree platform.
+//!
+//! Variables (all ≥ 0):
+//!
+//! * `α_i` — tasks node `i` computes per time unit,
+//! * `f_i` — tasks flowing over the edge into node `i` per time unit
+//!   (non-root nodes only).
+//!
+//! Constraints, straight from the paper's Section 3 model:
+//!
+//! * CPU cap: `α_i ≤ r_i` (and `α_i = 0` for switches),
+//! * conservation (equation 1): `f_i = α_i + Σ_{k child of i} f_k`
+//!   (for the root the inflow is the task source — unconstrained),
+//! * sending port: `Σ_{k child of i} c_k·f_k ≤ 1`,
+//! * receiving port: `c_i·f_i ≤ 1`.
+//!
+//! Objective: maximize `Σ α_i` — the platform throughput. On trees this LP
+//! computes exactly what `BW-First` computes; the two implementations share
+//! *no* code beyond the platform model, making the equality a strong
+//! correctness oracle (experiment E14).
+
+use crate::problem::{Cmp, LpOutcome, ProblemBuilder, VarId};
+use bwfirst_platform::Platform;
+use bwfirst_rational::Rat;
+
+/// The LP optimum together with the per-node rates it assigns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SteadyLpSolution {
+    /// Maximum steady-state throughput.
+    pub throughput: Rat,
+    /// Compute rate per node.
+    pub alpha: Vec<Rat>,
+    /// Inflow per node (`0` for the root slot; the root's inflow is the
+    /// task source).
+    pub flow_in: Vec<Rat>,
+}
+
+/// Builds and solves the steady-state LP for `platform`.
+///
+/// Panics only if the LP were infeasible or unbounded, which the model
+/// rules out (`x = 0` is feasible; throughput ≤ Σ rᵢ is finite).
+#[must_use]
+pub fn steady_state_lp(platform: &Platform) -> SteadyLpSolution {
+    let n = platform.len();
+    let mut pb = ProblemBuilder::new();
+    // α variables carry objective weight 1, flows weight 0.
+    let alpha: Vec<VarId> = (0..n).map(|_| pb.var(Rat::ONE)).collect();
+    let flow: Vec<VarId> = (0..n).map(|_| pb.var(Rat::ZERO)).collect();
+
+    for id in platform.node_ids() {
+        let i = id.index();
+        // CPU cap (switches: α = 0 via ≤ 0).
+        pb.constraint(&[(alpha[i], Rat::ONE)], Cmp::Le, platform.compute_rate(id));
+        // Sending port budget.
+        let kids = platform.children(id);
+        if !kids.is_empty() {
+            let terms: Vec<(VarId, Rat)> = kids
+                .iter()
+                .map(|&k| (flow[k.index()], platform.link_time(k).expect("child link")))
+                .collect();
+            pb.constraint(&terms, Cmp::Le, Rat::ONE);
+        }
+        if let Some(c) = platform.link_time(id) {
+            // Receiving port budget.
+            pb.constraint(&[(flow[i], c)], Cmp::Le, Rat::ONE);
+            // Conservation: f_i − α_i − Σ f_k = 0.
+            let mut terms = vec![(flow[i], Rat::ONE), (alpha[i], -Rat::ONE)];
+            for &k in kids {
+                terms.push((flow[k.index()], -Rat::ONE));
+            }
+            pb.constraint(&terms, Cmp::Eq, Rat::ZERO);
+        }
+    }
+
+    match pb.solve() {
+        LpOutcome::Optimal { value, solution } => SteadyLpSolution {
+            throughput: value,
+            alpha: (0..n).map(|i| solution[i]).collect(),
+            flow_in: (0..n).map(|i| solution[n + i]).collect(),
+        },
+        other => unreachable!("steady-state LP is always solvable, got {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfirst_core::{bottom_up, bw_first};
+    use bwfirst_platform::examples::{example_throughput, example_tree, example_unvisited};
+    use bwfirst_platform::generators::{daisy_chain, random_tree, star, RandomTreeConfig};
+    use bwfirst_platform::Weight;
+    use bwfirst_rational::rat;
+
+    #[test]
+    fn example_tree_matches_bw_first() {
+        let p = example_tree();
+        let lp = steady_state_lp(&p);
+        assert_eq!(lp.throughput, example_throughput());
+        // The LP may pick a different optimal vertex, but unreachable nodes
+        // can never carry flow: their receive path is port-starved.
+        let total: Rat = lp.alpha.iter().sum();
+        assert_eq!(total, lp.throughput);
+        let _ = example_unvisited();
+    }
+
+    #[test]
+    fn star_and_chain_match() {
+        let w = |n: i128| Weight::Time(rat(n, 1));
+        let cases = [
+            star(w(2), 10, w(1), rat(1, 1)),
+            daisy_chain(w(2), &[(w(2), rat(1, 1)), (w(2), rat(1, 1))]),
+            star(Weight::Infinite, 3, w(1), rat(1, 2)),
+        ];
+        for p in cases {
+            assert_eq!(steady_state_lp(&p).throughput, bw_first(&p).throughput());
+        }
+    }
+
+    #[test]
+    fn random_trees_match_both_solvers() {
+        for seed in 0..15u64 {
+            let p = random_tree(&RandomTreeConfig { size: 24, seed, ..Default::default() });
+            let lp = steady_state_lp(&p);
+            let greedy = bw_first(&p).throughput();
+            let reduction = bottom_up(&p).throughput;
+            assert_eq!(lp.throughput, greedy, "LP vs BW-First, seed {seed}");
+            assert_eq!(lp.throughput, reduction, "LP vs bottom-up, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lp_solution_is_feasible_steady_state() {
+        // Plug the LP's rates into the core feasibility checker.
+        let p = example_tree();
+        let lp = steady_state_lp(&p);
+        let ss = bwfirst_core::SteadyState {
+            eta_in: {
+                let mut e = lp.flow_in.clone();
+                e[0] = lp.throughput; // the root's inflow is the source
+                e
+            },
+            alpha: lp.alpha.clone(),
+            throughput: lp.throughput,
+        };
+        ss.verify(&p).expect("LP rates respect the single-port model");
+    }
+
+    #[test]
+    fn single_node_lp() {
+        let p = star(Weight::Time(rat(7, 2)), 0, Weight::Infinite, rat(1, 1));
+        assert_eq!(steady_state_lp(&p).throughput, rat(2, 7));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the simplex: a brute-force vertex-enumeration oracle
+//! confirms optima on small random LPs, and the steady-state LP equals
+//! `BW-First` on arbitrary random platforms.
+
+use bwfirst_lp::{gauss, steady_state_lp, Cmp, LpOutcome, ProblemBuilder};
+use bwfirst_platform::generators::{random_tree, RandomTreeConfig};
+use bwfirst_rational::{rat, Rat};
+use proptest::prelude::*;
+
+/// Brute-force LP oracle: enumerate every basis (subset of n active
+/// constraints among `rows + axes`), solve the linear system, keep the best
+/// feasible vertex. Exponential — only for tiny instances.
+///
+/// Returns `None` when the feasible set has no vertex with a better value
+/// than any enumerated one AND some ray improves (i.e. possibly unbounded) —
+/// the caller handles that case by bounding the box.
+fn oracle_max(objective: &[Rat], rows: &[(Vec<Rat>, Rat)]) -> Option<(Rat, Vec<Rat>)> {
+    let n = objective.len();
+    // Constraint set: given rows plus the axes x_i ≥ 0 (as -x_i ≤ 0).
+    let mut all: Vec<(Vec<Rat>, Rat)> = rows.to_vec();
+    for i in 0..n {
+        let mut a = vec![Rat::ZERO; n];
+        a[i] = -Rat::ONE;
+        all.push((a, Rat::ZERO));
+    }
+    let m = all.len();
+    let feasible = |x: &[Rat]| all.iter().all(|(a, b)| a.iter().zip(x).map(|(&c, &v)| c * v).sum::<Rat>() <= *b);
+    let mut best: Option<(Rat, Vec<Rat>)> = None;
+    // All n-subsets of constraint indices.
+    let mut idx: Vec<usize> = (0..n).collect();
+    loop {
+        // Try this subset as the active set.
+        let a: Vec<Vec<Rat>> = idx.iter().map(|&i| all[i].0.clone()).collect();
+        let b: Vec<Rat> = idx.iter().map(|&i| all[i].1).collect();
+        if let Some(x) = gauss::solve(&a, &b) {
+            if feasible(&x) {
+                let value: Rat = objective.iter().zip(&x).map(|(&c, &v)| c * v).sum();
+                if best.as_ref().is_none_or(|(bv, _)| value > *bv) {
+                    best = Some((value, x));
+                }
+            }
+        }
+        // Next combination (lexicographic).
+        let mut i = n;
+        loop {
+            if i == 0 {
+                return best;
+            }
+            i -= 1;
+            if idx[i] != i + m - n {
+                idx[i] += 1;
+                for j in i + 1..n {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn small_rat() -> impl Strategy<Value = Rat> {
+    (-6i128..=6, 1i128..=3).prop_map(|(n, d)| rat(n, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random bounded LPs: simplex matches the vertex-enumeration oracle.
+    #[test]
+    fn simplex_matches_vertex_oracle(
+        obj in proptest::collection::vec(small_rat(), 2..4),
+        raw_rows in proptest::collection::vec((proptest::collection::vec(small_rat(), 4), 0i128..8), 1..5),
+    ) {
+        let n = obj.len();
+        // A bounding box keeps every instance bounded and feasible (0 ∈ box).
+        let mut rows: Vec<(Vec<Rat>, Rat)> = raw_rows
+            .into_iter()
+            .map(|(a, b)| (a[..n].to_vec(), rat(b, 1)))
+            .collect();
+        for i in 0..n {
+            let mut a = vec![Rat::ZERO; n];
+            a[i] = Rat::ONE;
+            rows.push((a, rat(10, 1)));
+        }
+        // Keep only instances where the origin is feasible (b ≥ 0): the
+        // oracle handles the general case, but this keeps instances honest.
+        prop_assume!(rows.iter().all(|(_, b)| !b.is_negative()));
+
+        let mut pb = ProblemBuilder::new();
+        let vars: Vec<_> = obj.iter().map(|&c| pb.var(c)).collect();
+        for (a, b) in &rows {
+            let terms: Vec<_> = vars.iter().copied().zip(a.iter().copied()).collect();
+            pb.constraint(&terms, Cmp::Le, *b);
+        }
+        let LpOutcome::Optimal { value, solution } = pb.solve() else {
+            return Err(TestCaseError::fail("bounded LP must be solvable"));
+        };
+        prop_assert!(pb.is_feasible(&solution));
+        prop_assert_eq!(pb.objective_at(&solution), value);
+
+        let (oracle_value, _) = oracle_max(&obj, &rows).expect("bounded feasible LP has a vertex");
+        prop_assert_eq!(value, oracle_value);
+    }
+
+    /// The steady-state LP equals BW-First on arbitrary random platforms.
+    #[test]
+    fn steady_lp_equals_bw_first(size in 2usize..28, seed in any::<u64>(), switch_pct in 0u8..30) {
+        let p = random_tree(&RandomTreeConfig { size, seed, switch_pct, ..Default::default() });
+        let lp = steady_state_lp(&p);
+        let greedy = bwfirst_core::bw_first(&p).throughput();
+        prop_assert_eq!(lp.throughput, greedy);
+    }
+
+    /// The LP's rates always form a feasible steady state.
+    #[test]
+    fn steady_lp_rates_are_feasible(size in 2usize..24, seed in any::<u64>()) {
+        let p = random_tree(&RandomTreeConfig { size, seed, ..Default::default() });
+        let lp = steady_state_lp(&p);
+        let mut eta_in = lp.flow_in.clone();
+        eta_in[0] = lp.throughput;
+        let ss = bwfirst_core::SteadyState { eta_in, alpha: lp.alpha.clone(), throughput: lp.throughput };
+        prop_assert!(ss.verify(&p).is_ok());
+    }
+}

@@ -1,0 +1,340 @@
+//! The physical network: an undirected, link-weighted graph of compute
+//! nodes.
+
+use bwfirst_platform::Weight;
+use bwfirst_rational::{rat, Rat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Index of a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeIx(pub u32);
+
+impl NodeIx {
+    /// The index as `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeIx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Graph construction errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a node that does not exist.
+    UnknownNode(NodeIx),
+    /// A self-loop or duplicate edge was added.
+    BadEdge(NodeIx, NodeIx),
+    /// An edge had non-positive communication time.
+    NonPositiveLink(NodeIx, NodeIx),
+    /// The graph is not connected (overlays must span it).
+    Disconnected,
+    /// JSON parsing failed (I/O layer).
+    ParseJson(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::BadEdge(a, b) => write!(f, "bad edge {a}-{b} (self-loop or duplicate)"),
+            GraphError::NonPositiveLink(a, b) => write!(f, "edge {a}-{b} has non-positive link time"),
+            GraphError::Disconnected => f.write_str("graph is not connected"),
+            GraphError::ParseJson(msg) => write!(f, "cannot parse graph JSON: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Incremental construction of a [`Graph`].
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    weights: Vec<Weight>,
+    edges: Vec<(NodeIx, NodeIx, Rat)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a compute node.
+    pub fn node(&mut self, w: impl Into<Weight>) -> NodeIx {
+        self.weights.push(w.into());
+        NodeIx(self.weights.len() as u32 - 1)
+    }
+
+    /// Adds an undirected link with communication time `c`.
+    pub fn edge(&mut self, a: NodeIx, b: NodeIx, c: Rat) {
+        self.edges.push((a, b, c));
+    }
+
+    /// Validates connectivity and freezes the graph.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        let n = self.weights.len();
+        let mut adjacency: Vec<Vec<(NodeIx, Rat)>> = vec![Vec::new(); n];
+        for &(a, b, c) in &self.edges {
+            if a.index() >= n {
+                return Err(GraphError::UnknownNode(a));
+            }
+            if b.index() >= n {
+                return Err(GraphError::UnknownNode(b));
+            }
+            if a == b || adjacency[a.index()].iter().any(|&(k, _)| k == b) {
+                return Err(GraphError::BadEdge(a, b));
+            }
+            if !c.is_positive() {
+                return Err(GraphError::NonPositiveLink(a, b));
+            }
+            adjacency[a.index()].push((b, c));
+            adjacency[b.index()].push((a, c));
+        }
+        let g = Graph { weights: self.weights, adjacency };
+        if g.len() > 0 && !g.is_connected() {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(g)
+    }
+}
+
+/// An undirected physical network.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    weights: Vec<Weight>,
+    adjacency: Vec<Vec<(NodeIx, Rat)>>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` for the empty graph.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Iterator over node indices.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeIx> + '_ {
+        (0..self.len() as u32).map(NodeIx)
+    }
+
+    /// Compute weight of a node.
+    #[must_use]
+    pub fn weight(&self, n: NodeIx) -> Weight {
+        self.weights[n.index()]
+    }
+
+    /// Neighbors of a node with link times.
+    #[must_use]
+    pub fn neighbors(&self, n: NodeIx) -> &[(NodeIx, Rat)] {
+        &self.adjacency[n.index()]
+    }
+
+    /// Link time of the edge `a-b`, if present.
+    #[must_use]
+    pub fn link(&self, a: NodeIx, b: NodeIx) -> Option<Rat> {
+        self.adjacency[a.index()].iter().find(|&&(k, _)| k == b).map(|&(_, c)| c)
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// `true` iff every node is reachable from node 0.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![NodeIx(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for &(k, _) in self.neighbors(n) {
+                if !seen[k.index()] {
+                    seen[k.index()] = true;
+                    count += 1;
+                    stack.push(k);
+                }
+            }
+        }
+        count == self.len()
+    }
+}
+
+/// Configuration for seeded random connected graphs.
+#[derive(Debug, Clone)]
+pub struct RandomGraphConfig {
+    /// Number of nodes.
+    pub size: usize,
+    /// Expected extra edges beyond the connecting spanning tree, as a
+    /// percentage of `size` (0 = tree, 100 ≈ one extra edge per node).
+    pub extra_edge_pct: u32,
+    /// Inclusive range for processing-time numerators (denominator 1).
+    pub weight_range: (i128, i128),
+    /// Inclusive range for link-time numerators.
+    pub link_num: (i128, i128),
+    /// Inclusive range for link-time denominators.
+    pub link_den: (i128, i128),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomGraphConfig {
+    fn default() -> Self {
+        RandomGraphConfig {
+            size: 24,
+            extra_edge_pct: 150,
+            weight_range: (4, 16),
+            link_num: (1, 4),
+            link_den: (1, 2),
+            seed: 0x0E_17,
+        }
+    }
+}
+
+/// A seeded random *connected* graph: a random spanning skeleton plus extra
+/// random edges.
+#[must_use]
+pub fn random_graph(cfg: &RandomGraphConfig) -> Graph {
+    assert!(cfg.size >= 1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = GraphBuilder::new();
+    let sample_c = |rng: &mut StdRng| {
+        rat(rng.gen_range(cfg.link_num.0..=cfg.link_num.1), rng.gen_range(cfg.link_den.0..=cfg.link_den.1))
+    };
+    let nodes: Vec<NodeIx> = (0..cfg.size)
+        .map(|_| b.node(Weight::Time(rat(rng.gen_range(cfg.weight_range.0..=cfg.weight_range.1), 1))))
+        .collect();
+    let mut pairs: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    // Connecting skeleton: attach each node to a random earlier one.
+    for i in 1..cfg.size {
+        let j = rng.gen_range(0..i);
+        let c = sample_c(&mut rng);
+        b.edge(nodes[i], nodes[j], c);
+        pairs.insert((nodes[j].0, nodes[i].0));
+    }
+    // Extra random edges (bounded retry keeps dense configs terminating).
+    let extra = cfg.size * cfg.extra_edge_pct as usize / 100;
+    let mut placed = 0;
+    let mut attempts = 0;
+    while placed < extra && attempts < extra * 20 + 20 {
+        attempts += 1;
+        let a = rng.gen_range(0..cfg.size as u32);
+        let z = rng.gen_range(0..cfg.size as u32);
+        if a == z {
+            continue;
+        }
+        let key = (a.min(z), a.max(z));
+        if !pairs.insert(key) {
+            continue;
+        }
+        let c = sample_c(&mut rng);
+        b.edge(NodeIx(key.0), NodeIx(key.1), c);
+        placed += 1;
+    }
+    b.build().expect("random graph is connected by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(n: i128) -> Weight {
+        Weight::Time(rat(n, 1))
+    }
+
+    #[test]
+    fn builds_and_queries() {
+        let mut b = GraphBuilder::new();
+        let a = b.node(w(1));
+        let c = b.node(w(2));
+        let d = b.node(Weight::Infinite);
+        b.edge(a, c, rat(1, 2));
+        b.edge(c, d, rat(2, 1));
+        let g = b.build().unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.link(a, c), Some(rat(1, 2)));
+        assert_eq!(g.link(c, a), Some(rat(1, 2)));
+        assert_eq!(g.link(a, d), None);
+        assert!(g.weight(d).is_infinite());
+        assert_eq!(g.neighbors(c).len(), 2);
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let mut b = GraphBuilder::new();
+        b.node(w(1));
+        b.node(w(1));
+        assert_eq!(b.build().unwrap_err(), GraphError::Disconnected);
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicate() {
+        let mut b = GraphBuilder::new();
+        let a = b.node(w(1));
+        b.edge(a, a, rat(1, 1));
+        assert_eq!(b.build().unwrap_err(), GraphError::BadEdge(a, a));
+
+        let mut b = GraphBuilder::new();
+        let a = b.node(w(1));
+        let c = b.node(w(1));
+        b.edge(a, c, rat(1, 1));
+        b.edge(c, a, rat(2, 1));
+        assert_eq!(b.build().unwrap_err(), GraphError::BadEdge(c, a));
+    }
+
+    #[test]
+    fn rejects_bad_refs_and_weights() {
+        let mut b = GraphBuilder::new();
+        let a = b.node(w(1));
+        b.edge(a, NodeIx(9), rat(1, 1));
+        assert_eq!(b.build().unwrap_err(), GraphError::UnknownNode(NodeIx(9)));
+
+        let mut b = GraphBuilder::new();
+        let a = b.node(w(1));
+        let c = b.node(w(1));
+        b.edge(a, c, rat(0, 1));
+        assert_eq!(b.build().unwrap_err(), GraphError::NonPositiveLink(a, c));
+    }
+
+    #[test]
+    fn random_graph_is_connected_and_deterministic() {
+        let cfg = RandomGraphConfig { size: 30, ..Default::default() };
+        let g1 = random_graph(&cfg);
+        let g2 = random_graph(&cfg);
+        assert!(g1.is_connected());
+        assert_eq!(g1.len(), 30);
+        assert!(g1.edge_count() >= 29, "at least a spanning skeleton");
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        for n in g1.nodes() {
+            assert_eq!(g1.weight(n), g2.weight(n));
+        }
+    }
+
+    #[test]
+    fn random_graph_extra_edges_scale() {
+        let sparse = random_graph(&RandomGraphConfig { size: 40, extra_edge_pct: 0, ..Default::default() });
+        let dense = random_graph(&RandomGraphConfig { size: 40, extra_edge_pct: 300, ..Default::default() });
+        assert_eq!(sparse.edge_count(), 39);
+        assert!(dense.edge_count() > sparse.edge_count() + 20);
+    }
+}

@@ -1,0 +1,131 @@
+//! Graph interchange: a serde-backed JSON format for physical networks.
+//!
+//! ```json
+//! {
+//!   "nodes": [ { "id": 0, "w": "2" }, { "id": 1, "w": null } ],
+//!   "edges": [ { "a": 0, "b": 1, "c": "1/2" } ]
+//! }
+//! ```
+//!
+//! `"w": null` denotes a pure forwarder (`w = +∞`).
+
+use crate::graph::{Graph, GraphBuilder, GraphError, NodeIx};
+use bwfirst_platform::Weight;
+use bwfirst_rational::Rat;
+use serde::{Deserialize, Serialize};
+
+/// One node of a [`GraphSpec`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Dense node id.
+    pub id: u32,
+    /// Processing time per task; `None` = switch.
+    pub w: Option<Rat>,
+}
+
+/// One undirected edge of a [`GraphSpec`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdgeSpec {
+    /// First endpoint.
+    pub a: u32,
+    /// Second endpoint.
+    pub b: u32,
+    /// Communication time per task.
+    pub c: Rat,
+}
+
+/// Serializable description of a [`Graph`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphSpec {
+    /// All nodes, ids dense from 0.
+    pub nodes: Vec<NodeSpec>,
+    /// All undirected edges.
+    pub edges: Vec<EdgeSpec>,
+}
+
+impl GraphSpec {
+    /// Captures a [`Graph`].
+    #[must_use]
+    pub fn from_graph(g: &Graph) -> GraphSpec {
+        let nodes = g.nodes().map(|n| NodeSpec { id: n.0, w: g.weight(n).time() }).collect();
+        let mut edges = Vec::with_capacity(g.edge_count());
+        for a in g.nodes() {
+            for &(b, c) in g.neighbors(a) {
+                if a < b {
+                    edges.push(EdgeSpec { a: a.0, b: b.0, c });
+                }
+            }
+        }
+        GraphSpec { nodes, edges }
+    }
+
+    /// Rebuilds the [`Graph`] (validating ids, connectivity, weights).
+    pub fn to_graph(&self) -> Result<Graph, GraphError> {
+        let mut b = GraphBuilder::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.id as usize != i {
+                return Err(GraphError::UnknownNode(NodeIx(n.id)));
+            }
+            match n.w {
+                Some(t) => b.node(Weight::Time(t)),
+                None => b.node(Weight::Infinite),
+            };
+        }
+        for e in &self.edges {
+            b.edge(NodeIx(e.a), NodeIx(e.b), e.c);
+        }
+        b.build()
+    }
+}
+
+/// Serializes a graph to pretty JSON.
+#[must_use]
+pub fn to_json(g: &Graph) -> String {
+    serde_json::to_string_pretty(&GraphSpec::from_graph(g)).expect("graph spec serializes")
+}
+
+/// Parses a graph from JSON.
+pub fn from_json(s: &str) -> Result<Graph, GraphError> {
+    let spec: GraphSpec =
+        serde_json::from_str(s).map_err(|e| GraphError::ParseJson(e.to_string()))?;
+    spec.to_graph()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{random_graph, RandomGraphConfig};
+    use bwfirst_rational::rat;
+
+    #[test]
+    fn json_roundtrip() {
+        let g = random_graph(&RandomGraphConfig { size: 12, ..Default::default() });
+        let back = from_json(&to_json(&g)).unwrap();
+        assert_eq!(g.len(), back.len());
+        assert_eq!(g.edge_count(), back.edge_count());
+        for n in g.nodes() {
+            assert_eq!(g.weight(n), back.weight(n));
+            for &(k, c) in g.neighbors(n) {
+                assert_eq!(back.link(n, k), Some(c));
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_switch() {
+        let mut b = GraphBuilder::new();
+        let a = b.node(bwfirst_platform::Weight::Infinite);
+        let z = b.node(bwfirst_platform::Weight::Time(rat(3, 2)));
+        b.edge(a, z, rat(1, 4));
+        let g = b.build().unwrap();
+        let back = from_json(&to_json(&g)).unwrap();
+        assert!(back.weight(a).is_infinite());
+        assert_eq!(back.link(a, z), Some(rat(1, 4)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json(r#"{ "nodes": [{"id": 5, "w": "1"}], "edges": [] }"#).is_err());
+    }
+}

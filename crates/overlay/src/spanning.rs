@@ -1,0 +1,263 @@
+//! Spanning-tree constructions over a physical graph.
+
+use crate::graph::{Graph, NodeIx};
+use bwfirst_rational::Rat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A rooted spanning tree: `parent[i]` is the parent of node `i` (`None`
+/// for the root). Every edge must exist in the source graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanningTree {
+    /// The overlay's root (the master).
+    pub root: NodeIx,
+    /// Parent of each node (`None` only for the root).
+    pub parent: Vec<Option<NodeIx>>,
+}
+
+impl SpanningTree {
+    /// Validates the tree against its graph: spanning, acyclic, edges real.
+    #[must_use]
+    pub fn is_valid(&self, g: &Graph) -> bool {
+        if self.parent.len() != g.len() || self.parent[self.root.index()].is_some() {
+            return false;
+        }
+        for n in g.nodes() {
+            if n == self.root {
+                continue;
+            }
+            // Edge exists and the chain reaches the root without cycles.
+            let Some(p) = self.parent[n.index()] else { return false };
+            if g.link(n, p).is_none() {
+                return false;
+            }
+            let mut cur = n;
+            let mut steps = 0;
+            while let Some(p) = self.parent[cur.index()] {
+                cur = p;
+                steps += 1;
+                if steps > g.len() {
+                    return false; // cycle
+                }
+            }
+            if cur != self.root {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Children lists derived from the parent array.
+    #[must_use]
+    pub fn children(&self) -> Vec<Vec<NodeIx>> {
+        let mut kids = vec![Vec::new(); self.parent.len()];
+        for (i, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                kids[p.index()].push(NodeIx(i as u32));
+            }
+        }
+        kids
+    }
+
+    /// Depth of every node.
+    #[must_use]
+    pub fn depths(&self) -> Vec<usize> {
+        let mut depth = vec![usize::MAX; self.parent.len()];
+        depth[self.root.index()] = 0;
+        // Repeated relaxation (trees are shallow; n passes suffice).
+        for _ in 0..self.parent.len() {
+            let mut changed = false;
+            for (i, p) in self.parent.iter().enumerate() {
+                if let Some(p) = p {
+                    if depth[p.index()] != usize::MAX && depth[i] != depth[p.index()] + 1 {
+                        depth[i] = depth[p.index()] + 1;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        depth
+    }
+}
+
+/// Prim's algorithm keyed by link time: greedily grow the tree over the
+/// cheapest (fastest) remaining link — the bandwidth-centric instinct
+/// applied to construction.
+#[must_use]
+pub fn min_link_tree(g: &Graph, root: NodeIx) -> SpanningTree {
+    let n = g.len();
+    let mut in_tree = vec![false; n];
+    let mut parent = vec![None; n];
+    in_tree[root.index()] = true;
+    for _ in 1..n {
+        let mut best: Option<(Rat, NodeIx, NodeIx)> = None; // (c, from, to)
+        for u in g.nodes().filter(|&u| in_tree[u.index()]) {
+            for &(v, c) in g.neighbors(u) {
+                if !in_tree[v.index()] && best.as_ref().is_none_or(|&(bc, _, _)| c < bc) {
+                    best = Some((c, u, v));
+                }
+            }
+        }
+        let (_, u, v) = best.expect("graph is connected");
+        in_tree[v.index()] = true;
+        parent[v.index()] = Some(u);
+    }
+    SpanningTree { root, parent }
+}
+
+/// Dijkstra's shortest-path tree keyed by cumulative link time from the
+/// root: minimizes each node's total path delay (good for start-up, not
+/// necessarily for throughput).
+#[must_use]
+pub fn shortest_path_tree(g: &Graph, root: NodeIx) -> SpanningTree {
+    let n = g.len();
+    let mut dist: Vec<Option<Rat>> = vec![None; n];
+    let mut parent = vec![None; n];
+    let mut done = vec![false; n];
+    dist[root.index()] = Some(Rat::ZERO);
+    for _ in 0..n {
+        let Some(u) = g
+            .nodes()
+            .filter(|&u| !done[u.index()] && dist[u.index()].is_some())
+            .min_by_key(|&u| dist[u.index()].expect("checked"))
+        else {
+            break;
+        };
+        done[u.index()] = true;
+        let du = dist[u.index()].expect("set");
+        for &(v, c) in g.neighbors(u) {
+            let nd = du + c;
+            if dist[v.index()].is_none_or(|old| nd < old) {
+                dist[v.index()] = Some(nd);
+                parent[v.index()] = Some(u);
+            }
+        }
+    }
+    SpanningTree { root, parent }
+}
+
+/// Wilson's algorithm: a uniformly random spanning tree via loop-erased
+/// random walks. Uniformity gives the search an unbiased restart pool.
+#[must_use]
+pub fn random_spanning_tree(g: &Graph, root: NodeIx, seed: u64) -> SpanningTree {
+    let n = g.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut parent: Vec<Option<NodeIx>> = vec![None; n];
+    let mut in_tree = vec![false; n];
+    in_tree[root.index()] = true;
+    for start in g.nodes() {
+        if in_tree[start.index()] {
+            continue;
+        }
+        // Random walk from `start` until hitting the tree, recording the
+        // successor of each visited node (loop erasure by overwrite).
+        let mut next: Vec<Option<NodeIx>> = vec![None; n];
+        let mut cur = start;
+        while !in_tree[cur.index()] {
+            let nbrs = g.neighbors(cur);
+            let (step, _) = nbrs[rng.gen_range(0..nbrs.len())];
+            next[cur.index()] = Some(step);
+            cur = step;
+        }
+        // Commit the loop-erased path.
+        let mut cur = start;
+        while !in_tree[cur.index()] {
+            let step = next[cur.index()].expect("walk recorded");
+            parent[cur.index()] = Some(step);
+            in_tree[cur.index()] = true;
+            cur = step;
+        }
+    }
+    SpanningTree { root, parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{random_graph, GraphBuilder, RandomGraphConfig};
+    use bwfirst_platform::Weight;
+    use bwfirst_rational::rat;
+
+    fn diamond() -> (Graph, [NodeIx; 4]) {
+        // a—b (1), a—c (2), b—d (1/2), c—d (3), b—c (1/4)
+        let mut gb = GraphBuilder::new();
+        let w = Weight::Time(rat(2, 1));
+        let a = gb.node(w);
+        let b = gb.node(w);
+        let c = gb.node(w);
+        let d = gb.node(w);
+        gb.edge(a, b, rat(1, 1));
+        gb.edge(a, c, rat(2, 1));
+        gb.edge(b, d, rat(1, 2));
+        gb.edge(c, d, rat(3, 1));
+        gb.edge(b, c, rat(1, 4));
+        (gb.build().unwrap(), [a, b, c, d])
+    }
+
+    #[test]
+    fn min_link_tree_picks_cheap_edges() {
+        let (g, [a, b, c, d]) = diamond();
+        let t = min_link_tree(&g, a);
+        assert!(t.is_valid(&g));
+        // Cheapest growth from a: a-b (1), then b-c (1/4), b-d (1/2).
+        assert_eq!(t.parent[b.index()], Some(a));
+        assert_eq!(t.parent[c.index()], Some(b));
+        assert_eq!(t.parent[d.index()], Some(b));
+    }
+
+    #[test]
+    fn shortest_path_tree_minimizes_delay() {
+        let (g, [a, b, c, d]) = diamond();
+        let t = shortest_path_tree(&g, a);
+        assert!(t.is_valid(&g));
+        // d: via b costs 1 + 1/2 = 3/2 < via c (2 + 3); c: via b costs
+        // 1 + 1/4 = 5/4 < direct 2.
+        assert_eq!(t.parent[d.index()], Some(b));
+        assert_eq!(t.parent[c.index()], Some(b));
+        let depths = t.depths();
+        assert_eq!(depths[a.index()], 0);
+        assert_eq!(depths[d.index()], 2);
+    }
+
+    #[test]
+    fn wilson_trees_are_valid_and_seed_dependent() {
+        let g = random_graph(&RandomGraphConfig { size: 25, ..Default::default() });
+        let root = NodeIx(0);
+        let t1 = random_spanning_tree(&g, root, 1);
+        let t2 = random_spanning_tree(&g, root, 2);
+        assert!(t1.is_valid(&g));
+        assert!(t2.is_valid(&g));
+        assert_ne!(t1.parent, t2.parent, "different seeds give different trees (a.s.)");
+        assert_eq!(random_spanning_tree(&g, root, 1).parent, t1.parent);
+    }
+
+    #[test]
+    fn all_constructions_valid_on_random_graphs() {
+        for seed in 0..5 {
+            let g = random_graph(&RandomGraphConfig { size: 20, seed, ..Default::default() });
+            for root in [NodeIx(0), NodeIx(5)] {
+                assert!(min_link_tree(&g, root).is_valid(&g));
+                assert!(shortest_path_tree(&g, root).is_valid(&g));
+                assert!(random_spanning_tree(&g, root, seed).is_valid(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn validity_rejects_broken_trees() {
+        let (g, [a, b, c, d]) = diamond();
+        // Edge a-d does not exist.
+        let t = SpanningTree { root: a, parent: vec![None, Some(a), Some(a), Some(a)] };
+        assert!(!t.is_valid(&g));
+        // Cycle b <-> c.
+        let t = SpanningTree { root: a, parent: vec![None, Some(c), Some(b), Some(b)] };
+        assert!(!t.is_valid(&g));
+        // Root with a parent.
+        let t = SpanningTree { root: a, parent: vec![Some(b), Some(a), Some(b), Some(b)] };
+        assert!(!t.is_valid(&g));
+        let _ = d;
+    }
+}

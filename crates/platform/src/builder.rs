@@ -1,0 +1,161 @@
+use crate::error::PlatformError;
+use crate::node::{NodeData, NodeId, Weight};
+use crate::platform::Platform;
+use bwfirst_rational::Rat;
+
+/// Incremental construction of a [`Platform`].
+///
+/// The root is created first with [`PlatformBuilder::root`]; every other node
+/// is attached to an existing parent with [`PlatformBuilder::child`],
+/// supplying its processing time `w` and the communication time `c` of the
+/// edge from the parent. Ids are handed out densely in insertion order, with
+/// the root always `P0` — matching the paper's numbering convention.
+///
+/// Validation (positive weights and link times, exactly one root) happens in
+/// [`PlatformBuilder::build`], so specs loaded from files get the same checks
+/// as programmatic construction.
+#[derive(Debug, Default, Clone)]
+pub struct PlatformBuilder {
+    nodes: Vec<NodeData>,
+    root_defined: bool,
+    errors: Vec<PlatformError>,
+}
+
+impl PlatformBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defines the root (master) node `P0` with processing time `w`.
+    ///
+    /// Recording a second root is deferred to [`build`](Self::build) as a
+    /// [`PlatformError::DuplicateRoot`].
+    pub fn root(&mut self, w: impl Into<Weight>) -> NodeId {
+        if self.root_defined {
+            self.errors.push(PlatformError::DuplicateRoot);
+        }
+        self.root_defined = true;
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData { weight: w.into(), parent: None, link_time: None, children: Vec::new() });
+        id
+    }
+
+    /// Attaches a child with processing time `w` under `parent`, connected by
+    /// an edge of communication time `c`.
+    pub fn child(&mut self, parent: NodeId, w: impl Into<Weight>, c: Rat) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        if let Some(p) = self.nodes.get_mut(parent.index()) {
+            p.children.push(id);
+        } else {
+            self.errors.push(PlatformError::UnknownParent(parent));
+        }
+        self.nodes.push(NodeData { weight: w.into(), parent: Some(parent), link_time: Some(c), children: Vec::new() });
+        id
+    }
+
+    /// Attaches a whole chain of `(w, c)` pairs below `parent`; returns the
+    /// id of the deepest node. Convenience for daisy-chain platforms.
+    pub fn chain(&mut self, parent: NodeId, links: &[(Weight, Rat)]) -> NodeId {
+        let mut cur = parent;
+        for &(w, c) in links {
+            cur = self.child(cur, w, c);
+        }
+        cur
+    }
+
+    /// Validates and freezes the platform.
+    pub fn build(self) -> Result<Platform, PlatformError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        if !self.root_defined || self.nodes.is_empty() {
+            return Err(PlatformError::MissingRoot);
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            if let Weight::Time(w) = n.weight {
+                if !w.is_positive() {
+                    return Err(PlatformError::NonPositiveWeight(id));
+                }
+            }
+            if let Some(c) = n.link_time {
+                if !c.is_positive() {
+                    return Err(PlatformError::NonPositiveLink(id));
+                }
+            }
+        }
+        Ok(Platform::from_nodes(self.nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfirst_rational::rat;
+
+    #[test]
+    fn builds_small_tree() {
+        let mut b = PlatformBuilder::new();
+        let root = b.root(rat(3, 1));
+        let c1 = b.child(root, rat(1, 1), rat(1, 2));
+        let _c2 = b.child(root, rat(2, 1), rat(1, 1));
+        let _g = b.child(c1, Weight::Infinite, rat(1, 4));
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.root(), root);
+        assert_eq!(p.children(root), &[NodeId(1), NodeId(2)]);
+        assert_eq!(p.parent(c1), Some(root));
+        assert_eq!(p.link_time(c1), Some(rat(1, 2)));
+        assert_eq!(p.parent(root), None);
+        assert_eq!(p.link_time(root), None);
+    }
+
+    #[test]
+    fn rejects_missing_root() {
+        assert_eq!(PlatformBuilder::new().build().unwrap_err(), PlatformError::MissingRoot);
+    }
+
+    #[test]
+    fn rejects_duplicate_root() {
+        let mut b = PlatformBuilder::new();
+        b.root(rat(1, 1));
+        b.root(rat(1, 1));
+        assert_eq!(b.build().unwrap_err(), PlatformError::DuplicateRoot);
+    }
+
+    #[test]
+    fn rejects_nonpositive_weight() {
+        let mut b = PlatformBuilder::new();
+        let r = b.root(rat(1, 1));
+        b.child(r, rat(0, 1), rat(1, 1));
+        assert_eq!(b.build().unwrap_err(), PlatformError::NonPositiveWeight(NodeId(1)));
+    }
+
+    #[test]
+    fn rejects_nonpositive_link() {
+        let mut b = PlatformBuilder::new();
+        let r = b.root(rat(1, 1));
+        b.child(r, rat(1, 1), rat(-1, 2));
+        assert_eq!(b.build().unwrap_err(), PlatformError::NonPositiveLink(NodeId(1)));
+    }
+
+    #[test]
+    fn rejects_unknown_parent() {
+        let mut b = PlatformBuilder::new();
+        b.root(rat(1, 1));
+        b.child(NodeId(42), rat(1, 1), rat(1, 1));
+        assert_eq!(b.build().unwrap_err(), PlatformError::UnknownParent(NodeId(42)));
+    }
+
+    #[test]
+    fn chain_builds_daisy_chain() {
+        let mut b = PlatformBuilder::new();
+        let r = b.root(rat(2, 1));
+        let tip = b.chain(r, &[(Weight::Time(rat(1, 1)), rat(1, 1)), (Weight::Time(rat(3, 1)), rat(2, 1))]);
+        let p = b.build().unwrap();
+        assert_eq!(p.depth(tip), 2);
+        assert_eq!(p.parent(tip), Some(NodeId(1)));
+    }
+}

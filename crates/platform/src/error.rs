@@ -1,0 +1,39 @@
+use crate::node::NodeId;
+use std::fmt;
+
+/// Validation and construction errors for platforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// `build()` was called before `root()`.
+    MissingRoot,
+    /// `root()` was called twice.
+    DuplicateRoot,
+    /// A parent id does not exist in the builder.
+    UnknownParent(NodeId),
+    /// A node was given processing time `w ≤ 0` (the paper requires `w > 0`
+    /// or `w = +∞`).
+    NonPositiveWeight(NodeId),
+    /// An edge was given communication time `c ≤ 0`.
+    NonPositiveLink(NodeId),
+    /// A platform specification referenced ids inconsistently (I/O layer).
+    MalformedSpec(String),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::MissingRoot => f.write_str("platform has no root node"),
+            PlatformError::DuplicateRoot => f.write_str("platform root defined twice"),
+            PlatformError::UnknownParent(id) => write!(f, "unknown parent node {id}"),
+            PlatformError::NonPositiveWeight(id) => {
+                write!(f, "node {id} has non-positive processing time (use Weight::Infinite for w = +inf)")
+            }
+            PlatformError::NonPositiveLink(id) => {
+                write!(f, "edge into {id} has non-positive communication time")
+            }
+            PlatformError::MalformedSpec(msg) => write!(f, "malformed platform spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}

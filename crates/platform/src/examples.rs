@@ -1,0 +1,164 @@
+//! The paper's worked platforms.
+//!
+//! # The Section 8 example tree
+//!
+//! The original Figure 4 tree is an image borrowed from Beaumont et al. and
+//! its numeric labels are not recoverable from the paper's text. What the
+//! text *does* pin down is:
+//!
+//! * the optimal throughput is **10 tasks every 9 time units**;
+//! * the *rootless* tree (the workers, excluding the master's own CPU)
+//!   accounts for **exactly 1 task per time unit** (stated as "40 tasks
+//!   every 40 time units");
+//! * nodes **P5, P9, P10 and P11 are never visited** by `BW-First` and take
+//!   no part in the final schedule;
+//! * the local schedule descriptions are very compact.
+//!
+//! [`example_tree`] reconstructs a 12-node platform with precisely these
+//! properties (verified by tests here and reproduced end-to-end by
+//! experiments E2–E5):
+//!
+//! ```text
+//!                 P0 (w=9)
+//!          c=1 /   c=1 |   \ c=1
+//!        P1(w=6)  P2(w=6)  P3(w=6)
+//!    c=6 /  \c=7    |c=6   c=2/   \c=3
+//!  P4(w=6) P5(w=1) P6(w=6) P7(w=12) P11(w=1)
+//!                        c=4/ c=5| \c=6
+//!                     P8(w=12) P9(w=1) P10(w=1)
+//! ```
+//!
+//! The root keeps `1/9` task per time unit for itself and feeds each of the
+//! three subtrees `1/3` task per time unit, saturating its sending port.
+//! `P1` and `P2` saturate their own ports feeding `P4`/`P6`; `P3` runs out of
+//! tasks after `P7`, which runs out after `P8` — so `P5`, `P9`, `P10`, `P11`
+//! are pruned exactly as in the paper.
+//!
+//! # The Section 9 counter-example
+//!
+//! A master with two children that each process 1 task per time unit; input
+//! files take 0.5 time units to send and results 0.5 time units to return.
+//! With send and return accounted on separate ports the platform computes
+//! **2 tasks per time unit**; merging them into a single `c = 1`
+//! communication (the simplification of Beaumont et al. and Kreaseck et al.)
+//! halves it to **1** — proving the simplification erroneous.
+
+use crate::builder::PlatformBuilder;
+use crate::node::{NodeId, Weight};
+use crate::platform::Platform;
+use bwfirst_rational::{rat, Rat};
+
+/// The reconstructed Section 8 example tree (see module docs).
+#[must_use]
+pub fn example_tree() -> Platform {
+    let w = |n: i128| Weight::Time(rat(n, 1));
+    let c = |n: i128| rat(n, 1);
+    let mut b = PlatformBuilder::new();
+    let p0 = b.root(w(9));
+    let p1 = b.child(p0, w(6), c(1));
+    let p2 = b.child(p0, w(6), c(1));
+    let p3 = b.child(p0, w(6), c(1));
+    let _p4 = b.child(p1, w(6), c(6));
+    let _p5 = b.child(p1, w(1), c(7));
+    let _p6 = b.child(p2, w(6), c(6));
+    let p7 = b.child(p3, w(12), c(2));
+    let _p8 = b.child(p7, w(12), c(4));
+    let _p9 = b.child(p7, w(1), c(5));
+    let _p10 = b.child(p7, w(1), c(6));
+    let _p11 = b.child(p3, w(1), c(3));
+    b.build().expect("example tree is valid")
+}
+
+/// Optimal steady-state throughput of [`example_tree`]: 10 tasks / 9 units.
+#[must_use]
+pub fn example_throughput() -> Rat {
+    rat(10, 9)
+}
+
+/// The nodes `BW-First` never visits on [`example_tree`], as in Figure 4(b).
+#[must_use]
+pub fn example_unvisited() -> [NodeId; 4] {
+    [NodeId(5), NodeId(9), NodeId(10), NodeId(11)]
+}
+
+/// A platform whose tasks also return a result to the parent, for the
+/// Section 9 result-return analysis.
+///
+/// `return_time[i]` is the time needed to send one task's *result* from node
+/// `i` back to its parent (unused for the root). The underlying
+/// [`Platform`]'s `link_time` carries only the forward (input-file) cost.
+#[derive(Debug, Clone)]
+pub struct ResultReturnPlatform {
+    /// Forward topology and costs.
+    pub platform: Platform,
+    /// Per-node result-return times (indexed by [`NodeId::index`]).
+    pub return_time: Vec<Rat>,
+}
+
+impl ResultReturnPlatform {
+    /// The same platform with send and return merged into a single forward
+    /// communication cost `c + return` — the (erroneous) simplification the
+    /// paper refutes.
+    #[must_use]
+    pub fn merged(&self) -> Platform {
+        let mut merged = self.platform.clone();
+        for id in self.platform.node_ids().skip(1) {
+            let c = self.platform.link_time(id).expect("non-root has a link");
+            merged.set_link_time(id, c + self.return_time[id.index()]);
+        }
+        merged
+    }
+}
+
+/// The Section 9 three-node counter-example: master plus two unit-speed
+/// children, send = return = `1/2`.
+#[must_use]
+pub fn section9_counterexample() -> ResultReturnPlatform {
+    let mut b = PlatformBuilder::new();
+    let root = b.root(Weight::Infinite);
+    b.child(root, Weight::Time(Rat::ONE), rat(1, 2));
+    b.child(root, Weight::Time(Rat::ONE), rat(1, 2));
+    let platform = b.build().expect("counterexample is valid");
+    ResultReturnPlatform { platform, return_time: vec![Rat::ZERO, rat(1, 2), rat(1, 2)] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_tree_shape() {
+        let p = example_tree();
+        assert_eq!(p.len(), 12);
+        assert_eq!(p.height(), 3);
+        assert_eq!(p.children(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(p.children(NodeId(3)), &[NodeId(7), NodeId(11)]);
+        assert_eq!(p.children(NodeId(7)), &[NodeId(8), NodeId(9), NodeId(10)]);
+        // Bandwidth-centric order at P3 puts the c=2 child first.
+        assert_eq!(p.children_bandwidth_centric(NodeId(3)), vec![NodeId(7), NodeId(11)]);
+    }
+
+    #[test]
+    fn example_tree_root_port_budget() {
+        // Feeding 1/3 task/unit to each of the three c=1 children saturates
+        // the root's single sending port exactly.
+        let p = example_tree();
+        let busy: Rat = p
+            .children(p.root())
+            .iter()
+            .map(|&k| p.link_time(k).unwrap() * rat(1, 3))
+            .sum();
+        assert_eq!(busy, Rat::ONE);
+    }
+
+    #[test]
+    fn counterexample_merged_doubles_link_time() {
+        let rr = section9_counterexample();
+        assert_eq!(rr.platform.link_time(NodeId(1)), Some(rat(1, 2)));
+        let merged = rr.merged();
+        assert_eq!(merged.link_time(NodeId(1)), Some(Rat::ONE));
+        assert_eq!(merged.link_time(NodeId(2)), Some(Rat::ONE));
+        // Root compute rate is zero: it only distributes.
+        assert!(rr.platform.compute_rate(NodeId(0)).is_zero());
+    }
+}

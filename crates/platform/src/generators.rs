@@ -1,0 +1,316 @@
+//! Platform generators for experiments and property tests.
+//!
+//! Deterministic shapes (forks, daisy-chains, stars, spiders, k-ary trees)
+//! mirror the topology families of the literature the paper builds on
+//! (Beaumont et al.'s forks, Dutot's daisy-chains and spider graphs), while
+//! seeded random generators drive the scaling experiments (E6, E7, E9, E12).
+//! Weights are sampled as small rationals so lcm-based periods stay
+//! representative of the paper's examples.
+
+use crate::builder::PlatformBuilder;
+use crate::node::{NodeId, Weight};
+use crate::platform::Platform;
+use bwfirst_rational::{rat, Rat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fork graph (Figure 2): root `P0` with `k` children, child `i` reached
+/// over an edge of time `cs[i]` and computing with time `ws[i]`.
+///
+/// Panics if `ws` and `cs` have different lengths.
+#[must_use]
+pub fn fork(root_w: Weight, children: &[(Rat, Weight)]) -> Platform {
+    let mut b = PlatformBuilder::new();
+    let root = b.root(root_w);
+    for &(c, w) in children {
+        b.child(root, w, c);
+    }
+    b.build().expect("fork generator produces valid platforms")
+}
+
+/// A daisy-chain: `P0 → P1 → … → Pn` with per-hop `(w, c)` pairs below the
+/// root.
+#[must_use]
+pub fn daisy_chain(root_w: Weight, hops: &[(Weight, Rat)]) -> Platform {
+    let mut b = PlatformBuilder::new();
+    let root = b.root(root_w);
+    b.chain(root, hops);
+    b.build().expect("daisy chain generator produces valid platforms")
+}
+
+/// A star: root plus `k` identical workers (`w`, link `c`).
+#[must_use]
+pub fn star(root_w: Weight, k: usize, w: Weight, c: Rat) -> Platform {
+    let mut b = PlatformBuilder::new();
+    let root = b.root(root_w);
+    for _ in 0..k {
+        b.child(root, w, c);
+    }
+    b.build().expect("star generator produces valid platforms")
+}
+
+/// A spider: root with `legs.len()` daisy-chain legs hanging off it.
+#[must_use]
+pub fn spider(root_w: Weight, legs: &[Vec<(Weight, Rat)>]) -> Platform {
+    let mut b = PlatformBuilder::new();
+    let root = b.root(root_w);
+    for leg in legs {
+        b.chain(root, leg);
+    }
+    b.build().expect("spider generator produces valid platforms")
+}
+
+/// A complete `arity`-ary tree of the given `depth` (depth 0 = root only)
+/// with uniform node weight `w` and link time `c`.
+#[must_use]
+pub fn kary_tree(depth: usize, arity: usize, w: Weight, c: Rat) -> Platform {
+    let mut b = PlatformBuilder::new();
+    let root = b.root(w);
+    let mut frontier = vec![root];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * arity);
+        for &n in &frontier {
+            for _ in 0..arity {
+                next.push(b.child(n, w, c));
+            }
+        }
+        frontier = next;
+    }
+    b.build().expect("kary generator produces valid platforms")
+}
+
+/// A binomial tree `B_k` (2^k nodes): `B_0` is a single node; `B_k` is two
+/// `B_{k-1}` trees with one root attached under the other. The classic
+/// aggregation topology — deep *and* bushy, a stress shape for start-up
+/// bounds.
+#[must_use]
+pub fn binomial_tree(order: u32, w: Weight, c: Rat) -> Platform {
+    let mut b = PlatformBuilder::new();
+    let root = b.root(w);
+    // Children of the root of B_k are roots of B_{k-1}, ..., B_0.
+    fn attach(b: &mut PlatformBuilder, parent: NodeId, order: u32, w: Weight, c: Rat) {
+        for sub in (0..order).rev() {
+            let child = b.child(parent, w, c);
+            attach(b, child, sub, w, c);
+        }
+    }
+    attach(&mut b, root, order, w, c);
+    b.build().expect("binomial generator produces valid platforms")
+}
+
+/// Configuration for seeded random platforms.
+#[derive(Debug, Clone)]
+pub struct RandomTreeConfig {
+    /// Total number of nodes (≥ 1).
+    pub size: usize,
+    /// Maximum children per node (≥ 1); attachment is uniform among nodes
+    /// that still have a free slot, yielding bushy-to-lanky mixtures.
+    pub max_children: usize,
+    /// Inclusive range for processing-time numerators.
+    pub weight_num: (i128, i128),
+    /// Inclusive range for processing-time denominators.
+    pub weight_den: (i128, i128),
+    /// Inclusive range for link-time numerators.
+    pub link_num: (i128, i128),
+    /// Inclusive range for link-time denominators.
+    pub link_den: (i128, i128),
+    /// Probability (in percent) that a non-root node is a switch (`w = ∞`).
+    pub switch_pct: u8,
+    /// RNG seed — equal seeds give equal platforms.
+    pub seed: u64,
+}
+
+impl Default for RandomTreeConfig {
+    fn default() -> Self {
+        RandomTreeConfig {
+            size: 31,
+            max_children: 4,
+            weight_num: (1, 12),
+            weight_den: (1, 3),
+            link_num: (1, 6),
+            link_den: (1, 3),
+            switch_pct: 5,
+            seed: 0xB4_12_05,
+        }
+    }
+}
+
+fn sample_rat(rng: &mut StdRng, num: (i128, i128), den: (i128, i128)) -> Rat {
+    let n = rng.gen_range(num.0..=num.1);
+    let d = rng.gen_range(den.0..=den.1);
+    rat(n, d)
+}
+
+/// A seeded random tree per [`RandomTreeConfig`].
+#[must_use]
+pub fn random_tree(cfg: &RandomTreeConfig) -> Platform {
+    assert!(cfg.size >= 1, "random tree needs at least one node");
+    assert!(cfg.max_children >= 1, "max_children must be at least 1");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = PlatformBuilder::new();
+    let root = b.root(Weight::Time(sample_rat(&mut rng, cfg.weight_num, cfg.weight_den)));
+    // Nodes that can still take children, with remaining capacity.
+    let mut open: Vec<(NodeId, usize)> = vec![(root, cfg.max_children)];
+    for _ in 1..cfg.size {
+        let slot = rng.gen_range(0..open.len());
+        let (parent, cap) = open[slot];
+        let w = if rng.gen_range(0..100u8) < cfg.switch_pct {
+            Weight::Infinite
+        } else {
+            Weight::Time(sample_rat(&mut rng, cfg.weight_num, cfg.weight_den))
+        };
+        let c = sample_rat(&mut rng, cfg.link_num, cfg.link_den);
+        let id = b.child(parent, w, c);
+        if cap == 1 {
+            open.swap_remove(slot);
+        } else {
+            open[slot].1 = cap - 1;
+        }
+        open.push((id, cfg.max_children));
+    }
+    b.build().expect("random generator produces valid platforms")
+}
+
+/// A random tree whose root links are slowed by `slow_factor`, creating a
+/// bandwidth bottleneck high in the hierarchy.
+///
+/// With a severe bottleneck only a handful of nodes can be fed with tasks:
+/// this is exactly the regime where the paper argues `BW-First` beats the
+/// bottom-up reduction (Section 5), because unreachable subtrees are never
+/// visited. Used by experiment E6.
+#[must_use]
+pub fn bottlenecked_tree(cfg: &RandomTreeConfig, slow_factor: Rat) -> Platform {
+    assert!(slow_factor.is_positive(), "slow factor must be positive");
+    let base = random_tree(cfg);
+    let mut b = PlatformBuilder::new();
+    let mut map = vec![NodeId(0); base.len()];
+    map[0] = b.root(base.weight(base.root()));
+    // Arena ids are assigned in insertion order and parents precede children,
+    // so a single index-order pass re-creates the tree.
+    for id in base.node_ids().skip(1) {
+        let parent = map[base.parent(id).expect("non-root").index()];
+        let mut c = base.link_time(id).expect("non-root");
+        if base.parent(id) == Some(base.root()) {
+            c *= slow_factor;
+        }
+        map[id.index()] = b.child(parent, base.weight(id), c);
+    }
+    b.build().expect("bottleneck generator produces valid platforms")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(n: i128) -> Weight {
+        Weight::Time(rat(n, 1))
+    }
+
+    #[test]
+    fn fork_shape() {
+        let p = fork(w(3), &[(rat(1, 1), w(2)), (rat(2, 1), w(1))]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.children(p.root()).len(), 2);
+        assert!(p.is_leaf(NodeId(1)));
+    }
+
+    #[test]
+    fn daisy_chain_shape() {
+        let p = daisy_chain(w(1), &[(w(2), rat(1, 1)), (w(3), rat(1, 2))]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.height(), 2);
+        assert_eq!(p.children(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(p.children(NodeId(1)), &[NodeId(2)]);
+    }
+
+    #[test]
+    fn star_shape() {
+        let p = star(w(1), 5, w(2), rat(1, 3));
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.children(p.root()).len(), 5);
+        assert_eq!(p.height(), 1);
+    }
+
+    #[test]
+    fn spider_shape() {
+        let legs = vec![vec![(w(1), rat(1, 1)); 3], vec![(w(2), rat(2, 1)); 2]];
+        let p = spider(w(1), &legs);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.children(p.root()).len(), 2);
+        assert_eq!(p.height(), 3);
+    }
+
+    #[test]
+    fn kary_shape() {
+        let p = kary_tree(3, 2, w(1), rat(1, 1));
+        assert_eq!(p.len(), 15);
+        assert_eq!(p.height(), 3);
+        let leaves = p.node_ids().filter(|&n| p.is_leaf(n)).count();
+        assert_eq!(leaves, 8);
+    }
+
+    #[test]
+    fn kary_depth_zero_is_single_node() {
+        let p = kary_tree(0, 3, w(1), rat(1, 1));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn binomial_shape() {
+        for k in 0..6u32 {
+            let p = binomial_tree(k, w(1), rat(1, 1));
+            assert_eq!(p.len(), 1 << k, "B_{k} has 2^{k} nodes");
+            assert_eq!(p.height(), k as usize, "B_{k} has height k");
+            assert_eq!(p.children(p.root()).len(), k as usize, "root of B_{k} has k children");
+        }
+        // B_3: the root's subtrees are B_2, B_1, B_0 in some order.
+        let p = binomial_tree(3, w(1), rat(1, 1));
+        let mut sizes: Vec<usize> = p.children(p.root()).iter().map(|&k| p.subtree_size(k)).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn random_tree_is_deterministic_per_seed() {
+        let cfg = RandomTreeConfig { size: 40, ..Default::default() };
+        let a = random_tree(&cfg);
+        let b = random_tree(&cfg);
+        assert_eq!(a.len(), b.len());
+        for id in a.node_ids() {
+            assert_eq!(a.parent(id), b.parent(id));
+            assert_eq!(a.weight(id), b.weight(id));
+            assert_eq!(a.link_time(id), b.link_time(id));
+        }
+        let c = random_tree(&RandomTreeConfig { seed: 99, ..cfg });
+        // Different seed ⇒ (almost surely) different weights somewhere.
+        let differs = a.node_ids().any(|id| a.weight(id) != c.weight(id) || a.link_time(id) != c.link_time(id));
+        assert!(differs);
+    }
+
+    #[test]
+    fn random_tree_respects_size_and_arity() {
+        let cfg = RandomTreeConfig { size: 100, max_children: 3, ..Default::default() };
+        let p = random_tree(&cfg);
+        assert_eq!(p.len(), 100);
+        for id in p.node_ids() {
+            assert!(p.children(id).len() <= 3);
+        }
+    }
+
+    #[test]
+    fn bottleneck_slows_only_root_links() {
+        let cfg = RandomTreeConfig { size: 30, ..Default::default() };
+        let base = random_tree(&cfg);
+        let slow = bottlenecked_tree(&cfg, rat(10, 1));
+        assert_eq!(base.len(), slow.len());
+        for id in base.node_ids().skip(1) {
+            let c0 = base.link_time(id).unwrap();
+            let c1 = slow.link_time(id).unwrap();
+            if base.parent(id) == Some(base.root()) {
+                assert_eq!(c1, c0 * rat(10, 1));
+            } else {
+                assert_eq!(c1, c0);
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Platform interchange: a serde-backed JSON format and Graphviz DOT export.
+//!
+//! The JSON format is a flat node list — stable under hand edits and easy to
+//! produce from network measurement tools (the paper suggests the Network
+//! Weather Service as the source of link estimates):
+//!
+//! ```json
+//! { "nodes": [
+//!   { "id": 0, "w": "9" },
+//!   { "id": 1, "parent": 0, "w": "6", "c": "1" },
+//!   { "id": 2, "parent": 0, "w": null, "c": "1/2" }
+//! ] }
+//! ```
+//!
+//! `"w": null` denotes a switch (`w = +∞`).
+
+use crate::builder::PlatformBuilder;
+use crate::error::PlatformError;
+use crate::node::{NodeId, Weight};
+use crate::platform::Platform;
+use bwfirst_rational::Rat;
+use serde::{Deserialize, Serialize};
+
+/// One node in a [`PlatformSpec`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Dense node id; the root must be 0.
+    pub id: u32,
+    /// Parent id (`None` for the root).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub parent: Option<u32>,
+    /// Processing time per task; `None` means a switch (`w = +∞`).
+    pub w: Option<Rat>,
+    /// Communication time of the edge from the parent (`None` for the root).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub c: Option<Rat>,
+}
+
+/// Serializable description of a [`Platform`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// All nodes; parents must precede children.
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl PlatformSpec {
+    /// Captures a [`Platform`] into a spec.
+    #[must_use]
+    pub fn from_platform(p: &Platform) -> PlatformSpec {
+        let nodes = p
+            .node_ids()
+            .map(|id| NodeSpec {
+                id: id.0,
+                parent: p.parent(id).map(|n| n.0),
+                w: p.weight(id).time(),
+                c: p.link_time(id),
+            })
+            .collect();
+        PlatformSpec { nodes }
+    }
+
+    /// Rebuilds the [`Platform`]; validates ids, ordering and weights.
+    pub fn to_platform(&self) -> Result<Platform, PlatformError> {
+        let mut b = PlatformBuilder::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.id as usize != i {
+                return Err(PlatformError::MalformedSpec(format!(
+                    "node at position {i} has id {} (ids must be dense and ordered)",
+                    n.id
+                )));
+            }
+            let w = match n.w {
+                Some(t) => Weight::Time(t),
+                None => Weight::Infinite,
+            };
+            match (n.parent, n.c) {
+                (None, None) if i == 0 => {
+                    b.root(w);
+                }
+                (None, _) | (_, None) => {
+                    return Err(PlatformError::MalformedSpec(format!(
+                        "node {} must have both parent and c (or neither, for the root only)",
+                        n.id
+                    )));
+                }
+                (Some(p), Some(c)) => {
+                    if p as usize >= i {
+                        return Err(PlatformError::MalformedSpec(format!(
+                            "node {} references parent {p} that does not precede it",
+                            n.id
+                        )));
+                    }
+                    b.child(NodeId(p), w, c);
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// Serializes a platform to pretty JSON.
+#[must_use]
+pub fn to_json(p: &Platform) -> String {
+    serde_json::to_string_pretty(&PlatformSpec::from_platform(p)).expect("platform spec serializes")
+}
+
+/// Parses a platform from JSON produced by [`to_json`] (or hand-written).
+pub fn from_json(s: &str) -> Result<Platform, PlatformError> {
+    let spec: PlatformSpec =
+        serde_json::from_str(s).map_err(|e| PlatformError::MalformedSpec(e.to_string()))?;
+    spec.to_platform()
+}
+
+/// Graphviz DOT rendering: nodes labelled `P_i (w)`, edges labelled `c`.
+#[must_use]
+pub fn to_dot(p: &Platform) -> String {
+    use std::fmt::Write;
+    let mut s = String::from("digraph platform {\n  rankdir=TB;\n  node [shape=circle];\n");
+    for id in p.node_ids() {
+        writeln!(s, "  n{} [label=\"{}\\nw={}\"];", id.0, id, p.weight(id)).unwrap();
+    }
+    for id in p.node_ids() {
+        if let (Some(parent), Some(c)) = (p.parent(id), p.link_time(id)) {
+            writeln!(s, "  n{} -> n{} [label=\"{}\"];", parent.0, id.0, c).unwrap();
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::example_tree;
+    use bwfirst_rational::rat;
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let p = example_tree();
+        let json = to_json(&p);
+        let back = from_json(&json).unwrap();
+        assert_eq!(p.len(), back.len());
+        for id in p.node_ids() {
+            assert_eq!(p.parent(id), back.parent(id));
+            assert_eq!(p.weight(id), back.weight(id));
+            assert_eq!(p.link_time(id), back.link_time(id));
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_with_switch() {
+        let mut b = PlatformBuilder::new();
+        let r = b.root(Weight::Infinite);
+        b.child(r, Weight::Time(rat(3, 2)), rat(1, 2));
+        let p = b.build().unwrap();
+        let back = from_json(&to_json(&p)).unwrap();
+        assert!(back.weight(NodeId(0)).is_infinite());
+        assert_eq!(back.weight(NodeId(1)).time(), Some(rat(3, 2)));
+    }
+
+    #[test]
+    fn rejects_bad_ids() {
+        let json = r#"{ "nodes": [ { "id": 1, "w": "1" } ] }"#;
+        assert!(matches!(from_json(json), Err(PlatformError::MalformedSpec(_))));
+    }
+
+    #[test]
+    fn rejects_forward_parent_reference() {
+        let json = r#"{ "nodes": [
+            { "id": 0, "w": "1" },
+            { "id": 1, "parent": 2, "w": "1", "c": "1" },
+            { "id": 2, "parent": 0, "w": "1", "c": "1" }
+        ] }"#;
+        assert!(matches!(from_json(json), Err(PlatformError::MalformedSpec(_))));
+    }
+
+    #[test]
+    fn rejects_half_specified_edge() {
+        let json = r#"{ "nodes": [
+            { "id": 0, "w": "1" },
+            { "id": 1, "parent": 0, "w": "1" }
+        ] }"#;
+        assert!(matches!(from_json(json), Err(PlatformError::MalformedSpec(_))));
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let p = example_tree();
+        let dot = to_dot(&p);
+        assert!(dot.contains("n0 [label=\"P0\\nw=9\"]"));
+        assert!(dot.contains("n0 -> n1 [label=\"1\"]"));
+        assert!(dot.contains("n7 -> n10 [label=\"6\"]"));
+        assert_eq!(dot.matches(" -> ").count(), p.len() - 1);
+    }
+}

@@ -1,0 +1,113 @@
+use bwfirst_rational::Rat;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node within a [`crate::Platform`] arena.
+///
+/// Ids are dense (`0..platform.len()`), assigned in insertion order, and the
+/// root is always id 0. Display follows the paper's `P_i` notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena index as `usize`.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Processing time `w_i` of a node: time units per task.
+///
+/// `Infinite` models nodes with no computing power that still forward tasks
+/// (switches); the paper explicitly allows `w_i = +∞` and disallows
+/// `w_i = 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Weight {
+    /// Finite, strictly positive processing time per task.
+    Time(Rat),
+    /// No computing power (`w = +∞`, rate 0): a pure forwarder.
+    Infinite,
+}
+
+impl Weight {
+    /// Computing rate `r = 1/w` in tasks per time unit (`0` for `Infinite`).
+    #[must_use]
+    pub fn rate(self) -> Rat {
+        match self {
+            Weight::Time(w) => w.recip(),
+            Weight::Infinite => Rat::ZERO,
+        }
+    }
+
+    /// The finite processing time, if any.
+    #[must_use]
+    pub fn time(self) -> Option<Rat> {
+        match self {
+            Weight::Time(w) => Some(w),
+            Weight::Infinite => None,
+        }
+    }
+
+    /// `true` for `Infinite`.
+    #[must_use]
+    pub fn is_infinite(self) -> bool {
+        matches!(self, Weight::Infinite)
+    }
+}
+
+impl From<Rat> for Weight {
+    fn from(w: Rat) -> Weight {
+        Weight::Time(w)
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Weight::Time(w) => write!(f, "{w}"),
+            Weight::Infinite => f.write_str("inf"),
+        }
+    }
+}
+
+/// Internal arena slot: one platform node with its incoming link.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeData {
+    pub weight: Weight,
+    pub parent: Option<NodeId>,
+    /// Communication time `c` of the edge from the parent (`None` for root).
+    pub link_time: Option<Rat>,
+    pub children: Vec<NodeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfirst_rational::rat;
+
+    #[test]
+    fn weight_rate() {
+        assert_eq!(Weight::Time(rat(4, 1)).rate(), rat(1, 4));
+        assert_eq!(Weight::Time(rat(2, 3)).rate(), rat(3, 2));
+        assert_eq!(Weight::Infinite.rate(), Rat::ZERO);
+        assert!(Weight::Infinite.is_infinite());
+        assert_eq!(Weight::Time(rat(4, 1)).time(), Some(rat(4, 1)));
+        assert_eq!(Weight::Infinite.time(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NodeId(3).to_string(), "P3");
+        assert_eq!(Weight::Infinite.to_string(), "inf");
+        assert_eq!(Weight::Time(rat(3, 2)).to_string(), "3/2");
+    }
+}

@@ -1,0 +1,269 @@
+//! The per-node actor: a thread that speaks the protocol with its parent and
+//! children using only local knowledge.
+
+use crate::messages::{ControlMsg, DownMsg, Report, UpMsg};
+use bwfirst_core::schedule::{LocalSchedule, LocalScheduleKind, NodeSchedule, SlotAction};
+use bwfirst_platform::{NodeId, Weight};
+use bwfirst_rational::{lcm_i128, Rat};
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::HashMap;
+
+/// One outgoing edge of an actor.
+pub(crate) struct ChildLink {
+    pub id: u32,
+    pub c: Rat,
+    pub tx: Sender<DownMsg>,
+    pub rx: Receiver<UpMsg>,
+}
+
+/// The actor's full state. Only local data: own weight, child links, and the
+/// routing table the *harness* uses to deliver control messages (not used by
+/// the protocol itself).
+pub(crate) struct Actor {
+    pub id: u32,
+    pub weight: Weight,
+    pub parent_rx: Receiver<DownMsg>,
+    pub parent_tx: Sender<UpMsg>,
+    pub children: Vec<ChildLink>,
+    /// descendant id → child slot, for harness control routing.
+    pub route: HashMap<u32, usize>,
+    pub report_tx: Sender<Report>,
+    // Last negotiated rates.
+    alpha: Rat,
+    eta_in: Rat,
+    flows: Vec<Rat>,
+    // Flow-phase state.
+    schedule: Option<LocalSchedule>,
+    cursor: usize,
+    computed: u64,
+    forwarded: u64,
+    bytes_processed: u64,
+    checksum: u64,
+}
+
+impl Actor {
+    pub fn new(
+        id: u32,
+        weight: Weight,
+        parent_rx: Receiver<DownMsg>,
+        parent_tx: Sender<UpMsg>,
+        children: Vec<ChildLink>,
+        route: HashMap<u32, usize>,
+        report_tx: Sender<Report>,
+    ) -> Actor {
+        let n = children.len();
+        Actor {
+            id,
+            weight,
+            parent_rx,
+            parent_tx,
+            children,
+            route,
+            report_tx,
+            alpha: Rat::ZERO,
+            eta_in: Rat::ZERO,
+            flows: vec![Rat::ZERO; n],
+            schedule: None,
+            cursor: 0,
+            computed: 0,
+            forwarded: 0,
+            bytes_processed: 0,
+            checksum: 0,
+        }
+    }
+
+    /// Main loop: serve protocol rounds and flow phases until shutdown.
+    pub fn run(mut self) {
+        while let Ok(msg) = self.parent_rx.recv() {
+            match msg {
+                DownMsg::Proposal(lambda) => self.negotiate(lambda),
+                DownMsg::Task(payload) => self.route_task(payload),
+                DownMsg::Eof => {
+                    self.finish_flow();
+                }
+                DownMsg::StartFlow { bunches, payload_len } => {
+                    self.generate_flow(bunches, payload_len);
+                }
+                DownMsg::Control { target, change } => self.apply_or_relay(target, change),
+                DownMsg::Shutdown => {
+                    for child in &self.children {
+                        let _ = child.tx.send(DownMsg::Shutdown);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One `BW-First` round, exactly Algorithm 1 from the node's viewpoint.
+    fn negotiate(&mut self, lambda: Rat) {
+        let mut messages = 0u64;
+        self.alpha = self.weight.rate().min(lambda);
+        let mut delta = lambda - self.alpha;
+        let mut tau = Rat::ONE;
+        self.flows = vec![Rat::ZERO; self.children.len()];
+        // Bandwidth-centric order over *local* link knowledge.
+        let mut order: Vec<usize> = (0..self.children.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.children[a].c.cmp(&self.children[b].c).then(self.children[a].id.cmp(&self.children[b].id))
+        });
+        for slot in order {
+            if !delta.is_positive() || !tau.is_positive() {
+                break;
+            }
+            let c = self.children[slot].c;
+            let beta = delta.min(tau / c);
+            self.children[slot]
+                .tx
+                .send(DownMsg::Proposal(beta))
+                .expect("child actor alive");
+            messages += 1;
+            let UpMsg::Ack(theta) = self.children[slot].rx.recv().expect("child acknowledges");
+            let consumed = beta - theta;
+            self.flows[slot] = consumed;
+            delta -= consumed;
+            tau -= consumed * c;
+        }
+        self.eta_in = lambda - delta;
+        // Rates changed: any previously built schedule is stale.
+        self.schedule = None;
+        self.cursor = 0;
+        self.report_tx
+            .send(Report::Negotiation { node: self.id, alpha: self.alpha, eta_in: self.eta_in, messages: messages + 1 })
+            .expect("driver alive");
+        self.parent_tx.send(UpMsg::Ack(delta)).expect("parent alive");
+    }
+
+    /// Builds the event-driven local schedule from the node's own rates —
+    /// the Section 6.2 quantities need nothing but `α` and the `η_i`.
+    fn build_schedule(&self) -> Option<LocalSchedule> {
+        if !self.alpha.is_positive() && self.flows.iter().all(|f| !f.is_positive()) {
+            return None;
+        }
+        let t_comp = self.alpha.denom();
+        let t_send = self
+            .flows
+            .iter()
+            .filter(|f| f.is_positive())
+            .map(|f| f.denom())
+            .fold(1i128, |a, b| lcm_i128(a, b).expect("period lcm overflow"));
+        let t_omega = lcm_i128(t_comp, t_send).expect("period lcm overflow");
+        let to_int = |r: Rat| -> i128 {
+            let v = r * Rat::from_int(t_omega);
+            debug_assert!(v.is_integer());
+            v.numer()
+        };
+        let psi_self = to_int(self.alpha);
+        let mut slots: Vec<usize> = (0..self.children.len()).filter(|&s| self.flows[s].is_positive()).collect();
+        slots.sort_by(|&a, &b| {
+            self.children[a].c.cmp(&self.children[b].c).then(self.children[a].id.cmp(&self.children[b].id))
+        });
+        let psi_children: Vec<(NodeId, i128)> = slots
+            .iter()
+            .map(|&s| (NodeId(self.children[s].id), to_int(self.flows[s])))
+            .collect();
+        let bunch = psi_self + psi_children.iter().map(|&(_, q)| q).sum::<i128>();
+        let sched = NodeSchedule {
+            node: NodeId(self.id),
+            t_recv: None, // the event-driven order needs no receive period
+            t_comp,
+            t_send,
+            t_omega,
+            t_full: t_omega,
+            phi_recv: None,
+            psi_self,
+            psi_children,
+            bunch,
+            chi_in: None,
+        };
+        Some(LocalSchedule::build(&sched, LocalScheduleKind::Interleaved))
+    }
+
+    fn child_slot(&self, id: u32) -> usize {
+        self.children.iter().position(|c| c.id == id).expect("child of this node")
+    }
+
+    fn route_task(&mut self, payload: Bytes) {
+        if self.schedule.is_none() {
+            self.schedule = self.build_schedule();
+        }
+        let Some(schedule) = &self.schedule else {
+            // An inactive node received a task: the negotiation said it gets
+            // none, so this indicates a routing bug upstream.
+            panic!("node P{} received a task but has no schedule", self.id);
+        };
+        let action = schedule.actions[self.cursor];
+        self.cursor = (self.cursor + 1) % schedule.actions.len();
+        match action {
+            SlotAction::Compute => self.process(payload),
+            SlotAction::Send(child) => {
+                let slot = self.child_slot(child.0);
+                self.children[slot].tx.send(DownMsg::Task(payload)).expect("child actor alive");
+                self.forwarded += 1;
+            }
+        }
+    }
+
+    /// "Computes" one task: folds the payload into a checksum, standing in
+    /// for real work while keeping the bytes actually read.
+    fn process(&mut self, payload: Bytes) {
+        let mut acc = self.checksum;
+        for chunk in payload.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            acc = acc.rotate_left(7) ^ u64::from_le_bytes(word);
+        }
+        self.checksum = acc;
+        self.bytes_processed += payload.len() as u64;
+        self.computed += 1;
+    }
+
+    /// Root only: generate and route the whole workload.
+    fn generate_flow(&mut self, bunches: u64, payload_len: usize) {
+        if self.schedule.is_none() {
+            self.schedule = self.build_schedule();
+        }
+        let bunch = self.schedule.as_ref().map_or(0, |s| s.actions.len() as u64);
+        let template = Bytes::from(vec![0xA5u8; payload_len]);
+        for _ in 0..bunches * bunch {
+            self.route_task(template.clone());
+        }
+        self.finish_flow();
+    }
+
+    /// Propagate EOF, report counters, reset for the next phase.
+    fn finish_flow(&mut self) {
+        for child in &self.children {
+            child.tx.send(DownMsg::Eof).expect("child actor alive");
+        }
+        self.report_tx
+            .send(Report::Flow {
+                node: self.id,
+                computed: self.computed,
+                forwarded: self.forwarded,
+                bytes_processed: self.bytes_processed,
+            })
+            .expect("driver alive");
+        self.computed = 0;
+        self.forwarded = 0;
+        self.bytes_processed = 0;
+        self.cursor = 0;
+    }
+
+    fn apply_or_relay(&mut self, target: u32, change: ControlMsg) {
+        if target == self.id {
+            match change {
+                ControlMsg::SetWeight(w) => self.weight = w,
+                ControlMsg::SetLink { child, c } => {
+                    let slot = self.child_slot(child);
+                    self.children[slot].c = c;
+                }
+            }
+            self.schedule = None;
+            return;
+        }
+        let slot = *self.route.get(&target).expect("control target in subtree");
+        self.children[slot].tx.send(DownMsg::Control { target, change }).expect("child actor alive");
+    }
+}

@@ -1,0 +1,361 @@
+//! The driver: spawns the actor tree and plays the virtual parent.
+
+use crate::actor::{Actor, ChildLink};
+use crate::messages::{ControlMsg, DownMsg, Report, UpMsg};
+use bwfirst_platform::{NodeId, Platform, Weight};
+use bwfirst_rational::Rat;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Result of one distributed negotiation round.
+#[derive(Debug, Clone)]
+pub struct NegotiationOutcome {
+    /// The virtual parent's proposal `t_max`.
+    pub t_max: Rat,
+    /// Steady-state throughput: `t_max − θ_root`.
+    pub throughput: Rat,
+    /// Per-node negotiated compute rates (0 for unvisited nodes).
+    pub alpha: Vec<Rat>,
+    /// Per-node negotiated inflow rates (0 for unvisited nodes).
+    pub eta_in: Vec<Rat>,
+    /// Which nodes took part in the round.
+    pub visited: Vec<bool>,
+    /// Total protocol messages exchanged (each carries one number), counting
+    /// the virtual parent's proposal and the root's final ack.
+    pub protocol_messages: u64,
+    /// Wall-clock duration of the round.
+    pub elapsed: Duration,
+}
+
+/// Result of one flow phase (real payloads routed through the tree).
+#[derive(Debug, Clone)]
+pub struct FlowOutcome {
+    /// Tasks computed per node.
+    pub computed: Vec<u64>,
+    /// Tasks forwarded downstream per node.
+    pub forwarded: Vec<u64>,
+    /// Payload bytes folded into checksums per node.
+    pub bytes_processed: Vec<u64>,
+    /// Wall-clock duration of the phase.
+    pub elapsed: Duration,
+}
+
+impl FlowOutcome {
+    /// Total tasks computed platform-wide.
+    #[must_use]
+    pub fn total_computed(&self) -> u64 {
+        self.computed.iter().sum()
+    }
+}
+
+/// A live actor tree. Dropping the session shuts the actors down.
+pub struct ProtocolSession {
+    platform: Platform,
+    root_tx: Sender<DownMsg>,
+    root_rx: Receiver<UpMsg>,
+    report_rx: Receiver<Report>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ProtocolSession {
+    /// Spawns one actor thread per platform node, wired with channels that
+    /// mirror the tree's edges.
+    #[must_use]
+    pub fn spawn(platform: &Platform) -> ProtocolSession {
+        Self::spawn_with_links(platform, || {
+            let (dt, dr) = unbounded();
+            let (ut, ur) = unbounded();
+            (dt, dr, ut, ur)
+        })
+    }
+
+    /// Spawns the actor tree with every link crossing a real localhost TCP
+    /// socket pair (framed with the [`crate::wire`] codec). The protocol is
+    /// byte-for-byte the one `spawn` runs over channels — this is the
+    /// "practical and scalable implementation" of Section 5 on an actual
+    /// network stack.
+    ///
+    /// # Panics
+    /// Panics if localhost sockets cannot be created.
+    #[must_use]
+    pub fn spawn_tcp(platform: &Platform) -> ProtocolSession {
+        Self::spawn_with_links(platform, || {
+            crate::wire::bridge::tcp_link().expect("localhost TCP link")
+        })
+    }
+
+    /// Shared wiring: one actor per node; `make_link` supplies the transport
+    /// of each parent→child edge (including the driver→root edge).
+    fn spawn_with_links<F>(platform: &Platform, make_link: F) -> ProtocolSession
+    where
+        F: Fn() -> (Sender<DownMsg>, Receiver<DownMsg>, Sender<UpMsg>, Receiver<UpMsg>),
+    {
+        let n = platform.len();
+        let (report_tx, report_rx) = unbounded();
+        // Per-node link endpoints for the edge *into* that node.
+        let links: Vec<(Sender<DownMsg>, Receiver<DownMsg>, Sender<UpMsg>, Receiver<UpMsg>)> =
+            (0..n).map(|_| make_link()).collect();
+        let mut down: Vec<Option<(Sender<DownMsg>, Receiver<DownMsg>)>> = Vec::with_capacity(n);
+        let up: Vec<Option<(Sender<UpMsg>, Receiver<UpMsg>)>> = links
+            .iter()
+            .map(|(_, _, ut, ur)| Some((ut.clone(), ur.clone())))
+            .collect();
+        for (dt, dr, _, _) in links {
+            down.push(Some((dt, dr)));
+        }
+        let root_tx = down[0].as_ref().expect("root down channel").0.clone();
+        let root_rx = up[0].as_ref().expect("root up channel").1.clone();
+
+        let mut handles = Vec::with_capacity(n);
+        for id in platform.node_ids() {
+            let i = id.index();
+            let (_, parent_rx) = {
+                let pair = down[i].take().expect("down endpoint unused");
+                (pair.0, pair.1)
+            };
+            let parent_tx = up[i].as_ref().expect("up endpoint").0.clone();
+            let children: Vec<ChildLink> = platform
+                .children(id)
+                .iter()
+                .map(|&k| ChildLink {
+                    id: k.0,
+                    c: platform.link_time(k).expect("child link"),
+                    tx: down[k.index()].as_ref().expect("child down endpoint").0.clone(),
+                    rx: up[k.index()].as_ref().expect("child up endpoint").1.clone(),
+                })
+                .collect();
+            // Harness routing table: descendant → child slot.
+            let mut route = HashMap::new();
+            for (slot, &k) in platform.children(id).iter().enumerate() {
+                for d in platform.preorder_bandwidth_centric(k) {
+                    route.insert(d.0, slot);
+                }
+            }
+            let actor = Actor::new(id.0, platform.weight(id), parent_rx, parent_tx, children, route, report_tx.clone());
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("bwfirst-{id}"))
+                    .spawn(move || actor.run())
+                    .expect("spawn actor thread"),
+            );
+        }
+        ProtocolSession { platform: platform.clone(), root_tx, root_rx, report_rx, handles }
+    }
+
+    /// The canonical virtual-parent proposal for the current platform state.
+    fn t_max(&self) -> Rat {
+        let root = self.platform.root();
+        let best = self
+            .platform
+            .children(root)
+            .iter()
+            .map(|&k| self.platform.bandwidth(k).expect("child link"))
+            .max()
+            .unwrap_or(Rat::ZERO);
+        self.platform.compute_rate(root) + best
+    }
+
+    /// Runs one `BW-First` round over the live actors.
+    #[must_use]
+    pub fn negotiate(&self) -> NegotiationOutcome {
+        let t_max = self.t_max();
+        let started = Instant::now();
+        self.root_tx.send(DownMsg::Proposal(t_max)).expect("root actor alive");
+        let UpMsg::Ack(theta) = self.root_rx.recv().expect("root acknowledges");
+        let elapsed = started.elapsed();
+        let n = self.platform.len();
+        let mut alpha = vec![Rat::ZERO; n];
+        let mut eta_in = vec![Rat::ZERO; n];
+        let mut visited = vec![false; n];
+        // +2: the virtual parent's proposal and the root's ack to it.
+        let mut protocol_messages = 1u64;
+        // All reports were enqueued before the root's ack (happens-before
+        // along the DFS), so a non-blocking drain sees them all.
+        for report in self.report_rx.try_iter() {
+            if let Report::Negotiation { node, alpha: a, eta_in: e, messages } = report {
+                let i = node as usize;
+                alpha[i] = a;
+                eta_in[i] = e;
+                visited[i] = true;
+                protocol_messages += messages;
+            }
+        }
+        NegotiationOutcome { t_max, throughput: t_max - theta, alpha, eta_in, visited, protocol_messages, elapsed }
+    }
+
+    /// Streams `bunches` root bunches of `payload_len`-byte tasks through
+    /// the tree under the negotiated event-driven schedules. Call after at
+    /// least one [`negotiate`](Self::negotiate).
+    #[must_use]
+    pub fn run_flow(&self, bunches: u64, payload_len: usize) -> FlowOutcome {
+        let n = self.platform.len();
+        let started = Instant::now();
+        self.root_tx.send(DownMsg::StartFlow { bunches, payload_len }).expect("root actor alive");
+        let mut computed = vec![0u64; n];
+        let mut forwarded = vec![0u64; n];
+        let mut bytes_processed = vec![0u64; n];
+        let mut seen = 0usize;
+        while seen < n {
+            match self.report_rx.recv().expect("actors alive") {
+                Report::Flow { node, computed: c, forwarded: f, bytes_processed: b } => {
+                    let i = node as usize;
+                    computed[i] = c;
+                    forwarded[i] = f;
+                    bytes_processed[i] = b;
+                    seen += 1;
+                }
+                Report::Negotiation { .. } => {}
+            }
+        }
+        FlowOutcome { computed, forwarded, bytes_processed, elapsed: started.elapsed() }
+    }
+
+    /// Re-weights a node's processing time on the live actor (and in the
+    /// driver's mirror). Takes effect for subsequent negotiations.
+    pub fn set_weight(&mut self, node: NodeId, w: Weight) {
+        self.platform.set_weight(node, w);
+        self.root_tx
+            .send(DownMsg::Control { target: node.0, change: ControlMsg::SetWeight(w) })
+            .expect("root actor alive");
+    }
+
+    /// Re-weights the link into `child` on the live parent actor (and in the
+    /// driver's mirror).
+    pub fn set_link(&mut self, child: NodeId, c: Rat) {
+        let parent = self.platform.parent(child).expect("child has a parent");
+        self.platform.set_link_time(child, c);
+        self.root_tx
+            .send(DownMsg::Control { target: parent.0, change: ControlMsg::SetLink { child: child.0, c } })
+            .expect("root actor alive");
+    }
+
+    /// The driver's current view of the platform (mirrors live re-weights).
+    #[must_use]
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+}
+
+impl Drop for ProtocolSession {
+    fn drop(&mut self) {
+        let _ = self.root_tx.send(DownMsg::Shutdown);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfirst_core::bw_first;
+    use bwfirst_platform::examples::{example_throughput, example_tree, example_unvisited};
+    use bwfirst_platform::generators::{random_tree, RandomTreeConfig};
+    use bwfirst_rational::rat;
+
+    #[test]
+    fn distributed_negotiation_matches_centralized() {
+        let p = example_tree();
+        let session = ProtocolSession::spawn(&p);
+        let out = session.negotiate();
+        let reference = bw_first(&p);
+        assert_eq!(out.throughput, example_throughput());
+        assert_eq!(out.alpha, reference.alpha);
+        assert_eq!(out.eta_in, reference.eta_in);
+        assert_eq!(out.visited, reference.visited);
+        // 7 transactions + the virtual parent's: 8 proposals + 8 acks.
+        assert_eq!(out.protocol_messages, 16);
+    }
+
+    #[test]
+    fn unvisited_actors_stay_out_of_the_round() {
+        let p = example_tree();
+        let session = ProtocolSession::spawn(&p);
+        let out = session.negotiate();
+        for id in example_unvisited() {
+            assert!(!out.visited[id.index()]);
+            assert!(out.alpha[id.index()].is_zero());
+        }
+    }
+
+    #[test]
+    fn negotiation_is_repeatable() {
+        let p = example_tree();
+        let session = ProtocolSession::spawn(&p);
+        let first = session.negotiate();
+        for _ in 0..5 {
+            let again = session.negotiate();
+            assert_eq!(again.throughput, first.throughput);
+            assert_eq!(again.protocol_messages, first.protocol_messages);
+        }
+    }
+
+    #[test]
+    fn matches_centralized_on_random_trees() {
+        for seed in 0..8 {
+            let p = random_tree(&RandomTreeConfig { size: 48, seed, ..Default::default() });
+            let session = ProtocolSession::spawn(&p);
+            let out = session.negotiate();
+            assert_eq!(out.throughput, bw_first(&p).throughput(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reweighting_changes_the_next_round() {
+        let p = example_tree();
+        let mut session = ProtocolSession::spawn(&p);
+        assert_eq!(session.negotiate().throughput, rat(10, 9));
+        // Slow the root→P3 link so P3's subtree starves: the root port can
+        // still feed P1 and P2 fully (2/3 busy) and spends the remaining 1/3
+        // sending at bandwidth 1/10 → 1/9 + 1/3 + 1/3 + 1/30.
+        session.set_link(NodeId(3), rat(10, 1));
+        let slowed = session.negotiate();
+        assert_eq!(slowed.throughput, rat(1, 9) + rat(2, 3) + rat(1, 30));
+        // Centralized solver on the mirrored platform agrees.
+        assert_eq!(slowed.throughput, bw_first(session.platform()).throughput());
+        // Speeding a worker's CPU raises throughput again.
+        session.set_weight(NodeId(1), Weight::Time(rat(3, 1)));
+        let faster = session.negotiate();
+        assert_eq!(faster.throughput, bw_first(session.platform()).throughput());
+        assert!(faster.throughput > slowed.throughput);
+    }
+
+    #[test]
+    fn flow_routes_exact_proportions() {
+        let p = example_tree();
+        let session = ProtocolSession::spawn(&p);
+        let _ = session.negotiate();
+        // 12 root bunches of Ψ=10 tasks: η ratios are exact at this horizon.
+        let flow = session.run_flow(12, 64);
+        assert_eq!(flow.total_computed(), 120);
+        assert_eq!(flow.computed[0], 12); // ψ_self = 1 of 10
+        for i in [1usize, 2, 3] {
+            assert_eq!(flow.computed[i] + flow.forwarded[i], 36, "P{i} handles 3 per bunch");
+        }
+        assert_eq!(flow.computed[4], 18);
+        assert_eq!(flow.computed[7], 9);
+        assert_eq!(flow.computed[8], 9);
+        for i in [5usize, 9, 10, 11] {
+            assert_eq!(flow.computed[i], 0);
+            assert_eq!(flow.forwarded[i], 0);
+        }
+        // Every computed task folded its 64-byte payload.
+        for (i, &b) in flow.bytes_processed.iter().enumerate() {
+            assert_eq!(b, flow.computed[i] * 64, "bytes at P{i}");
+        }
+    }
+
+    #[test]
+    fn flow_can_run_repeatedly() {
+        let p = example_tree();
+        let session = ProtocolSession::spawn(&p);
+        let _ = session.negotiate();
+        let a = session.run_flow(3, 16);
+        let b = session.run_flow(3, 16);
+        assert_eq!(a.total_computed(), 30);
+        assert_eq!(b.total_computed(), 30);
+        assert_eq!(a.computed, b.computed);
+    }
+}

@@ -1,0 +1,102 @@
+//! Greatest common divisor / least common multiple helpers.
+//!
+//! Binary GCD on unsigned 128-bit integers; thin signed wrappers. These are
+//! the workhorses of fraction normalization and of the Lemma 1 period
+//! computations (lcm of rate denominators).
+
+/// Binary (Stein) GCD for `u128`. `gcd(0, 0) == 0` by convention.
+#[must_use]
+pub fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+/// GCD for `i128`, always non-negative. Panics on `i128::MIN` inputs whose
+/// absolute value is unrepresentable only if the *result* would be
+/// unrepresentable (`gcd(i128::MIN, 0)`), which cannot arise from normalized
+/// [`crate::Rat`] values.
+#[must_use]
+pub fn gcd_i128(a: i128, b: i128) -> i128 {
+    let g = gcd_u128(a.unsigned_abs(), b.unsigned_abs());
+    i128::try_from(g).expect("gcd exceeds i128::MAX")
+}
+
+/// Least common multiple for `u128`; returns `None` on overflow.
+/// `lcm(0, x) == Some(0)`.
+#[must_use]
+pub fn lcm_u128(a: u128, b: u128) -> Option<u128> {
+    if a == 0 || b == 0 {
+        return Some(0);
+    }
+    let g = gcd_u128(a, b);
+    (a / g).checked_mul(b)
+}
+
+/// Least common multiple for `i128` (non-negative result); `None` on overflow.
+#[must_use]
+pub fn lcm_i128(a: i128, b: i128) -> Option<i128> {
+    let l = lcm_u128(a.unsigned_abs(), b.unsigned_abs())?;
+    i128::try_from(l).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd_u128(0, 0), 0);
+        assert_eq!(gcd_u128(0, 7), 7);
+        assert_eq!(gcd_u128(7, 0), 7);
+        assert_eq!(gcd_u128(12, 18), 6);
+        assert_eq!(gcd_u128(17, 13), 1);
+        assert_eq!(gcd_u128(1 << 40, 1 << 20), 1 << 20);
+    }
+
+    #[test]
+    fn gcd_signed() {
+        assert_eq!(gcd_i128(-12, 18), 6);
+        assert_eq!(gcd_i128(12, -18), 6);
+        assert_eq!(gcd_i128(-12, -18), 6);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm_u128(4, 6), Some(12));
+        assert_eq!(lcm_u128(0, 6), Some(0));
+        assert_eq!(lcm_u128(9, 6), Some(18));
+        assert_eq!(lcm_u128(u128::MAX, 2), None);
+        assert_eq!(lcm_i128(9, 6), Some(18));
+        assert_eq!(lcm_i128(-9, 6), Some(18));
+    }
+
+    #[test]
+    fn gcd_divides_both_and_lcm_is_multiple() {
+        let pairs = [(6u128, 35), (100, 75), (81, 27), (1, 999), (360, 48)];
+        for (a, b) in pairs {
+            let g = gcd_u128(a, b);
+            assert_eq!(a % g, 0);
+            assert_eq!(b % g, 0);
+            let l = lcm_u128(a, b).unwrap();
+            assert_eq!(l % a, 0);
+            assert_eq!(l % b, 0);
+            assert_eq!(g * l, a * b);
+        }
+    }
+}

@@ -1,0 +1,708 @@
+use crate::error::RatError;
+use crate::gcd::{gcd_i128, lcm_u128};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number: a normalized `i128` fraction.
+///
+/// Invariants: the denominator is strictly positive and `gcd(|num|, den) == 1`
+/// (with `0` represented as `0/1`). The sign lives on the numerator.
+///
+/// Arithmetic operators panic on overflow or division by zero with a
+/// descriptive message; `checked_*` variants return [`RatError`] instead.
+/// The scheduling algorithms in this workspace operate on small fractions, so
+/// the panicking operators are the ergonomic default, while long-running
+/// sweeps (e.g. deep-tree experiments) use the checked forms.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128, // > 0
+}
+
+impl Rat {
+    /// The rational zero, `0/1`.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// The rational one, `1/1`.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+    /// The rational two, `2/1`.
+    pub const TWO: Rat = Rat { num: 2, den: 1 };
+
+    /// Creates `num/den`, normalized. Panics if `den == 0`.
+    #[must_use]
+    pub fn new(num: i128, den: i128) -> Rat {
+        Rat::checked_new(num, den).expect("Rat::new: zero denominator")
+    }
+
+    /// Creates `num/den`, normalized; `Err` if `den == 0`.
+    pub fn checked_new(num: i128, den: i128) -> Result<Rat, RatError> {
+        if den == 0 {
+            return Err(RatError::DivisionByZero);
+        }
+        let (mut num, mut den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let g = gcd_i128(num, den);
+        if g > 1 {
+            num /= g;
+            den /= g;
+        }
+        Ok(Rat { num, den })
+    }
+
+    /// Creates an integer rational `n/1`.
+    #[must_use]
+    pub const fn from_int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// The numerator (sign-carrying).
+    #[must_use]
+    pub const fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always strictly positive).
+    #[must_use]
+    pub const fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// `true` iff the value is exactly zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` iff the value is strictly positive.
+    #[must_use]
+    pub const fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// `true` iff the value is strictly negative.
+    #[must_use]
+    pub const fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// `true` iff the value is an integer.
+    #[must_use]
+    pub const fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub const fn abs(self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den }
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    #[must_use]
+    pub fn recip(self) -> Rat {
+        self.checked_recip().expect("Rat::recip of zero")
+    }
+
+    /// Multiplicative inverse; `Err` on zero.
+    pub fn checked_recip(self) -> Result<Rat, RatError> {
+        if self.num == 0 {
+            return Err(RatError::DivisionByZero);
+        }
+        let (num, den) = if self.num < 0 { (-self.den, -self.num) } else { (self.den, self.num) };
+        Ok(Rat { num, den })
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Rat) -> Result<Rat, RatError> {
+        // a/b + c/d = (a*(d/g) + c*(b/g)) / (b/g*d) with g = gcd(b, d).
+        let g = gcd_i128(self.den, rhs.den);
+        let db = self.den / g;
+        let dd = rhs.den / g;
+        let ov = || RatError::Overflow { op: "add" };
+        let lhs_term = self.num.checked_mul(dd).ok_or_else(ov)?;
+        let rhs_term = rhs.num.checked_mul(db).ok_or_else(ov)?;
+        let num = lhs_term.checked_add(rhs_term).ok_or_else(ov)?;
+        let den = db.checked_mul(rhs.den).ok_or_else(ov)?;
+        Rat::checked_new(num, den)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Rat) -> Result<Rat, RatError> {
+        let neg = Rat { num: rhs.num.checked_neg().ok_or(RatError::Overflow { op: "sub" })?, den: rhs.den };
+        self.checked_add(neg)
+    }
+
+    /// Checked multiplication (cross-reduces before multiplying to delay
+    /// overflow as long as mathematically possible).
+    pub fn checked_mul(self, rhs: Rat) -> Result<Rat, RatError> {
+        let g1 = gcd_i128(self.num, rhs.den);
+        let g2 = gcd_i128(rhs.num, self.den);
+        let (an, ad) = (self.num / g1, self.den / g2);
+        let (bn, bd) = (rhs.num / g2, rhs.den / g1);
+        let ov = || RatError::Overflow { op: "mul" };
+        let num = an.checked_mul(bn).ok_or_else(ov)?;
+        let den = ad.checked_mul(bd).ok_or_else(ov)?;
+        Ok(Rat { num, den }) // already reduced by construction
+    }
+
+    /// Checked division.
+    pub fn checked_div(self, rhs: Rat) -> Result<Rat, RatError> {
+        self.checked_mul(rhs.checked_recip()?)
+    }
+
+    /// Integer part toward negative infinity.
+    #[must_use]
+    pub const fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Integer part toward positive infinity.
+    #[must_use]
+    pub const fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Fractional part in `[0, 1)`: `self - floor(self)`.
+    #[must_use]
+    pub fn fract(self) -> Rat {
+        Rat { num: self.num.rem_euclid(self.den), den: self.den }
+    }
+
+    /// Nearest `f64` approximation (for reporting only — never used in the
+    /// scheduling math).
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Smaller of two values.
+    #[must_use]
+    pub fn min(self, other: Rat) -> Rat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Larger of two values.
+    #[must_use]
+    pub fn max(self, other: Rat) -> Rat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Least common multiple of two strictly positive rationals:
+    /// `lcm(a/b, c/d) = lcm(a, c) / gcd(b, d)`.
+    ///
+    /// This is the smallest positive rational that is an integer multiple of
+    /// both inputs — the quantity Lemma 1 of the paper uses to build minimal
+    /// periods. `Err` for non-positive inputs or overflow.
+    pub fn lcm(self, other: Rat) -> Result<Rat, RatError> {
+        if !self.is_positive() || !other.is_positive() {
+            return Err(RatError::NonPositive { op: "lcm" });
+        }
+        let num = lcm_u128(self.num as u128, other.num as u128)
+            .and_then(|n| i128::try_from(n).ok())
+            .ok_or(RatError::Overflow { op: "lcm" })?;
+        let den = gcd_i128(self.den, other.den);
+        Ok(Rat { num, den }) // gcd(lcm(a,c), gcd(b,d)) divides gcd(a,b)=gcd(c,d)=1
+    }
+
+    /// Greatest common divisor of two strictly positive rationals:
+    /// `gcd(a/b, c/d) = gcd(a, c) / lcm(b, d)`.
+    pub fn gcd(self, other: Rat) -> Result<Rat, RatError> {
+        if !self.is_positive() || !other.is_positive() {
+            return Err(RatError::NonPositive { op: "gcd" });
+        }
+        let num = gcd_i128(self.num, other.num);
+        let den = lcm_u128(self.den as u128, other.den as u128)
+            .and_then(|n| i128::try_from(n).ok())
+            .ok_or(RatError::Overflow { op: "gcd" })?;
+        Ok(Rat { num, den })
+    }
+
+    /// Best rational approximation with denominator at most `max_den`
+    /// (continued fractions with semiconvergents — the classic
+    /// Stern–Brocot walk). The result is the closest representable value;
+    /// exact inputs with small denominators return themselves.
+    ///
+    /// Useful for rounding measured link/compute rates to friendly
+    /// fractions before scheduling (bounded denominators keep the lcm-based
+    /// periods small).
+    ///
+    /// ```
+    /// use bwfirst_rational::{rat, Rat};
+    /// // π ≈ 355/113 with denominators up to 200:
+    /// let pi = Rat::new(3_141_592_653, 1_000_000_000);
+    /// assert_eq!(pi.approximate(200), rat(355, 113));
+    /// ```
+    #[must_use]
+    pub fn approximate(self, max_den: i128) -> Rat {
+        assert!(max_den >= 1, "max_den must be at least 1");
+        if self.den <= max_den {
+            return self;
+        }
+        if self.num < 0 {
+            return -(-self).approximate(max_den);
+        }
+        // Walk the continued fraction of num/den, tracking convergents
+        // p/q. Stop before q exceeds max_den; then try the best
+        // semiconvergent.
+        let (mut a, mut b) = (self.num, self.den); // invariant: value = [..; a/b]
+        let (mut p0, mut q0, mut p1, mut q1) = (1i128, 0i128, a / b, 1i128);
+        let mut rem = a % b;
+        while rem != 0 {
+            (a, b) = (b, rem);
+            let digit = a / b;
+            rem = a % b;
+            let p2 = digit * p1 + p0;
+            let q2 = digit * q1 + q0;
+            if q2 > max_den {
+                // Best semiconvergent: largest k with k·q1 + q0 ≤ max_den.
+                let k = (max_den - q0) / q1;
+                let semi = Rat::new(k * p1 + p0, k * q1 + q0);
+                let conv = Rat { num: p1, den: q1 };
+                // Take whichever is closer; k must be at least half the
+                // digit for the semiconvergent to be a best approximation.
+                return if (self - semi).abs() < (self - conv).abs() { semi } else { conv };
+            }
+            (p0, q0, p1, q1) = (p1, q1, p2, q2);
+        }
+        Rat { num: p1, den: q1 }
+    }
+
+    /// Integer power. Negative exponents invert (panics on zero base);
+    /// `pow(0) == 1` including for zero.
+    ///
+    /// ```
+    /// use bwfirst_rational::rat;
+    /// assert_eq!(rat(2, 3).pow(3), rat(8, 27));
+    /// assert_eq!(rat(2, 3).pow(-2), rat(9, 4));
+    /// assert_eq!(rat(5, 7).pow(0), rat(1, 1));
+    /// ```
+    #[must_use]
+    pub fn pow(self, exp: i32) -> Rat {
+        self.checked_pow(exp).expect("Rat::pow overflow or zero base with negative exponent")
+    }
+
+    /// Checked integer power (exponentiation by squaring).
+    pub fn checked_pow(self, exp: i32) -> Result<Rat, RatError> {
+        if exp == 0 {
+            return Ok(Rat::ONE);
+        }
+        let base = if exp < 0 { self.checked_recip()? } else { self };
+        let mut result = Rat::ONE;
+        let mut acc = base;
+        let mut e = exp.unsigned_abs();
+        loop {
+            if e & 1 == 1 {
+                result = result.checked_mul(acc)?;
+            }
+            e >>= 1;
+            if e == 0 {
+                return Ok(result);
+            }
+            acc = acc.checked_mul(acc)?;
+        }
+    }
+
+    /// `true` iff `self` is an integer multiple of `other` (`other > 0`).
+    #[must_use]
+    pub fn is_multiple_of(self, other: Rat) -> bool {
+        if !other.is_positive() {
+            return false;
+        }
+        match self.checked_div(other) {
+            Ok(q) => q.is_integer(),
+            Err(_) => false,
+        }
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::ZERO
+    }
+}
+
+impl From<i128> for Rat {
+    fn from(n: i128) -> Rat {
+        Rat::from_int(n)
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(n: i64) -> Rat {
+        Rat::from_int(n as i128)
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(n: i32) -> Rat {
+        Rat::from_int(n as i128)
+    }
+}
+
+impl From<u32> for Rat {
+    fn from(n: u32) -> Rat {
+        Rat::from_int(n as i128)
+    }
+}
+
+impl From<usize> for Rat {
+    fn from(n: usize) -> Rat {
+        Rat::from_int(n as i128)
+    }
+}
+
+macro_rules! panicking_op {
+    ($trait_:ident, $method:ident, $checked:ident, $assign_trait:ident, $assign_method:ident, $symbol:literal) => {
+        impl $trait_ for Rat {
+            type Output = Rat;
+            #[inline]
+            fn $method(self, rhs: Rat) -> Rat {
+                self.$checked(rhs).unwrap_or_else(|e|
+
+                    panic!("Rat {} Rat failed: {e} ({self} {} {rhs})", $symbol, $symbol))
+            }
+        }
+        impl $assign_trait for Rat {
+            #[inline]
+            fn $assign_method(&mut self, rhs: Rat) {
+                *self = $trait_::$method(*self, rhs);
+            }
+        }
+    };
+}
+
+panicking_op!(Add, add, checked_add, AddAssign, add_assign, "+");
+panicking_op!(Sub, sub, checked_sub, SubAssign, sub_assign, "-");
+panicking_op!(Mul, mul, checked_mul, MulAssign, mul_assign, "*");
+panicking_op!(Div, div, checked_div, DivAssign, div_assign, "/");
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl Sum for Rat {
+    fn sum<I: Iterator<Item = Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl<'a> Sum<&'a Rat> for Rat {
+    fn sum<I: Iterator<Item = &'a Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::ZERO, |acc, x| acc + *x)
+    }
+}
+
+/// Full 128x128 -> 256-bit unsigned multiplication, as (hi, lo).
+fn widening_mul_u128(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (a_hi, a_lo) = (a >> 64, a & MASK);
+    let (b_hi, b_lo) = (b >> 64, b & MASK);
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+    let mid = (ll >> 64) + (lh & MASK) + (hl & MASK);
+    let lo = (mid << 64) | (ll & MASK);
+    let hi = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+    (hi, lo)
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // Compare a/b and c/d via a*d <=> c*b with exact 256-bit products
+        // (cross products of normalized i128 fractions can exceed i128).
+        match (self.num.signum(), other.num.signum()) {
+            (s1, s2) if s1 != s2 => return s1.cmp(&s2),
+            (0, 0) => return Ordering::Equal,
+            _ => {}
+        }
+        let lhs = widening_mul_u128(self.num.unsigned_abs(), other.den as u128);
+        let rhs = widening_mul_u128(other.num.unsigned_abs(), self.den as u128);
+        let mag = lhs.cmp(&rhs); // (hi, lo) tuples compare lexicographically
+        if self.num > 0 {
+            mag
+        } else {
+            mag.reverse()
+        }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rat({self})")
+    }
+}
+
+impl FromStr for Rat {
+    type Err = RatError;
+
+    fn from_str(s: &str) -> Result<Rat, RatError> {
+        let s = s.trim();
+        let err = || RatError::Parse { input: s.chars().take(64).collect() };
+        match s.split_once('/') {
+            None => {
+                let n: i128 = s.parse().map_err(|_| err())?;
+                Ok(Rat::from_int(n))
+            }
+            Some((num, den)) => {
+                let n: i128 = num.trim().parse().map_err(|_| err())?;
+                let d: i128 = den.trim().parse().map_err(|_| err())?;
+                Rat::checked_new(n, d).map_err(|_| err())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, 4), Rat::new(1, -2));
+        assert_eq!(Rat::new(0, 5).denom(), 1);
+        assert_eq!(Rat::new(6, -3), Rat::from_int(-2));
+        assert_eq!(Rat::new(-6, -3), Rat::from_int(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Rat::new(1, 3);
+        let b = Rat::new(1, 6);
+        assert_eq!(a + b, Rat::new(1, 2));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 18));
+        assert_eq!(a / b, Rat::from_int(2));
+        assert_eq!(-a, Rat::new(-1, 3));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = Rat::new(1, 2);
+        x += Rat::new(1, 3);
+        assert_eq!(x, Rat::new(5, 6));
+        x -= Rat::new(1, 6);
+        assert_eq!(x, Rat::new(2, 3));
+        x *= Rat::from_int(3);
+        assert_eq!(x, Rat::from_int(2));
+        x /= Rat::from_int(4);
+        assert_eq!(x, Rat::new(1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::new(-1, 3));
+        assert!(Rat::new(-1, 3) < Rat::ZERO);
+        assert!(Rat::ZERO < Rat::new(1, 1000));
+        assert_eq!(Rat::new(2, 4).cmp(&Rat::new(1, 2)), Ordering::Equal);
+        // Values whose cross products exceed i128.
+        let big = Rat::new(i128::MAX, 3);
+        let bigger = Rat::new(i128::MAX, 2);
+        assert!(big < bigger);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Rat::new(10, 9);
+        let b = Rat::ONE;
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(Rat::new(10, 9).recip(), Rat::new(9, 10));
+        assert_eq!(Rat::new(-2, 3).recip(), Rat::new(-3, 2));
+        assert!(Rat::ZERO.checked_recip().is_err());
+    }
+
+    #[test]
+    fn floor_ceil_fract() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::from_int(5).floor(), 5);
+        assert_eq!(Rat::from_int(5).ceil(), 5);
+        assert_eq!(Rat::new(7, 2).fract(), Rat::new(1, 2));
+        assert_eq!(Rat::new(-7, 2).fract(), Rat::new(1, 2));
+    }
+
+    #[test]
+    fn rational_lcm_gcd() {
+        // lcm(1/6, 1/4) = 1/2: smallest rational that both divide integrally.
+        let l = Rat::new(1, 6).lcm(Rat::new(1, 4)).unwrap();
+        assert_eq!(l, Rat::new(1, 2));
+        assert!(l.is_multiple_of(Rat::new(1, 6)));
+        assert!(l.is_multiple_of(Rat::new(1, 4)));
+        let g = Rat::new(1, 6).gcd(Rat::new(1, 4)).unwrap();
+        assert_eq!(g, Rat::new(1, 12));
+        assert!(Rat::new(1, 6).is_multiple_of(g));
+        assert!(Rat::new(1, 4).is_multiple_of(g));
+        assert!(Rat::ZERO.lcm(Rat::ONE).is_err());
+        assert!(Rat::new(-1, 2).gcd(Rat::ONE).is_err());
+    }
+
+    #[test]
+    fn lcm_of_periods_example() {
+        // The paper's schedule periods: lcm of integer periods.
+        let t = [Rat::from_int(9), Rat::from_int(6), Rat::from_int(12)]
+            .into_iter()
+            .try_fold(Rat::ONE, |acc, x| acc.lcm(x))
+            .unwrap();
+        assert_eq!(t, Rat::from_int(36));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let xs = vec![Rat::new(1, 9), Rat::new(5, 6), Rat::new(1, 6)];
+        let s: Rat = xs.iter().sum();
+        assert_eq!(s, Rat::new(10, 9));
+        let s2: Rat = xs.into_iter().sum();
+        assert_eq!(s2, Rat::new(10, 9));
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["0", "1", "-3", "10/9", "-7/2", " 4 / 6 "] {
+            let r: Rat = s.parse().unwrap();
+            let back: Rat = r.to_string().parse().unwrap();
+            assert_eq!(r, back);
+        }
+        assert_eq!("4/6".parse::<Rat>().unwrap(), Rat::new(2, 3));
+        assert!("".parse::<Rat>().is_err());
+        assert!("a/b".parse::<Rat>().is_err());
+        assert!("1/0".parse::<Rat>().is_err());
+        assert!("1/2/3".parse::<Rat>().is_err());
+    }
+
+    #[test]
+    fn display_integers_without_denominator() {
+        assert_eq!(Rat::new(4, 2).to_string(), "2");
+        assert_eq!(Rat::new(10, 9).to_string(), "10/9");
+        assert_eq!(format!("{:?}", Rat::new(10, 9)), "Rat(10/9)");
+    }
+
+    #[test]
+    fn approximate_classics() {
+        let pi = Rat::new(3_141_592_653, 1_000_000_000);
+        assert_eq!(pi.approximate(10), Rat::new(22, 7));
+        assert_eq!(pi.approximate(150), Rat::new(355, 113));
+        assert_eq!(pi.approximate(200), Rat::new(355, 113));
+        let e = Rat::new(2_718_281_828, 1_000_000_000);
+        assert_eq!(e.approximate(100), Rat::new(193, 71));
+    }
+
+    #[test]
+    fn approximate_identity_when_already_small() {
+        assert_eq!(Rat::new(10, 9).approximate(9), Rat::new(10, 9));
+        assert_eq!(Rat::new(1, 2).approximate(1000), Rat::new(1, 2));
+        assert_eq!(Rat::from_int(7).approximate(1), Rat::from_int(7));
+    }
+
+    #[test]
+    fn approximate_negative_is_symmetric() {
+        let x = Rat::new(-3_141_592_653, 1_000_000_000);
+        assert_eq!(x.approximate(200), Rat::new(-355, 113));
+    }
+
+    #[test]
+    fn approximate_is_best_in_class_small_cases() {
+        // Exhaustive check: nothing with den ≤ D is closer.
+        for (num, den) in [(617i128, 997), (89, 97), (355, 452), (1000003, 9999991)] {
+            let x = Rat::new(num, den);
+            for max_den in [1i128, 2, 3, 5, 8, 13, 21] {
+                let a = x.approximate(max_den);
+                assert!(a.denom() <= max_den);
+                let err = (x - a).abs();
+                for d in 1..=max_den {
+                    let lo = Rat::new((x * Rat::from_int(d)).floor(), d);
+                    let hi = Rat::new((x * Rat::from_int(d)).ceil(), d);
+                    assert!(err <= (x - lo).abs(), "{x} ~ {a}: {lo} closer at den {d}");
+                    assert!(err <= (x - hi).abs(), "{x} ~ {a}: {hi} closer at den {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_basics() {
+        assert_eq!(Rat::new(3, 2).pow(2), Rat::new(9, 4));
+        assert_eq!(Rat::new(-1, 2).pow(3), Rat::new(-1, 8));
+        assert_eq!(Rat::new(-1, 2).pow(2), Rat::new(1, 4));
+        assert_eq!(Rat::ZERO.pow(5), Rat::ZERO);
+        assert_eq!(Rat::ZERO.pow(0), Rat::ONE);
+        assert!(Rat::ZERO.checked_pow(-1).is_err());
+        assert!(Rat::from_int(10).checked_pow(40).is_err()); // 10^40 > i128
+        assert_eq!(Rat::new(2, 1).pow(10), Rat::from_int(1024));
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let huge = Rat::from_int(i128::MAX);
+        assert!(matches!(huge.checked_add(Rat::ONE), Err(RatError::Overflow { .. })));
+        assert!(matches!(huge.checked_mul(Rat::TWO), Err(RatError::Overflow { .. })));
+    }
+
+    #[test]
+    fn mul_cross_reduction_avoids_spurious_overflow() {
+        // (MAX/3) * (3/MAX) = 1 even though naive cross products overflow.
+        let a = Rat::new(i128::MAX, 3);
+        let b = Rat::new(3, i128::MAX);
+        assert_eq!(a * b, Rat::ONE);
+    }
+
+    #[test]
+    fn to_f64_reporting() {
+        assert!((Rat::new(10, 9).to_f64() - 1.111_111_111).abs() < 1e-6);
+    }
+
+    #[test]
+    fn widening_mul_matches_small_cases() {
+        assert_eq!(widening_mul_u128(0, 12345), (0, 0));
+        assert_eq!(widening_mul_u128(3, 4), (0, 12));
+        let (hi, lo) = widening_mul_u128(u128::MAX, u128::MAX);
+        // (2^128-1)^2 = 2^256 - 2^129 + 1
+        assert_eq!(hi, u128::MAX - 1);
+        assert_eq!(lo, 1);
+        let (hi, lo) = widening_mul_u128(u128::MAX, 2);
+        assert_eq!(hi, 1);
+        assert_eq!(lo, u128::MAX - 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Serde support: a [`Rat`] serializes as the human-readable string `"p/q"`
+//! (or `"p"` for integers), the same syntax accepted by `FromStr`. Platform
+//! files and experiment records therefore stay hand-editable.
+
+use crate::rat::Rat;
+use serde::de::{Error as DeError, Visitor};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+
+impl Serialize for Rat {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_str(self)
+    }
+}
+
+struct RatVisitor;
+
+impl Visitor<'_> for RatVisitor {
+    type Value = Rat;
+
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a rational as a string `p/q`, `p`, or an integer")
+    }
+
+    fn visit_str<E: DeError>(self, v: &str) -> Result<Rat, E> {
+        v.parse().map_err(E::custom)
+    }
+
+    fn visit_i64<E: DeError>(self, v: i64) -> Result<Rat, E> {
+        Ok(Rat::from_int(v as i128))
+    }
+
+    fn visit_u64<E: DeError>(self, v: u64) -> Result<Rat, E> {
+        Ok(Rat::from_int(v as i128))
+    }
+}
+
+impl<'de> Deserialize<'de> for Rat {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Rat, D::Error> {
+        deserializer.deserialize_any(RatVisitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Rat;
+
+    #[test]
+    fn json_roundtrip() {
+        let r = Rat::new(10, 9);
+        let s = serde_json::to_string(&r).unwrap();
+        assert_eq!(s, "\"10/9\"");
+        let back: Rat = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn json_accepts_bare_integers() {
+        let r: Rat = serde_json::from_str("7").unwrap();
+        assert_eq!(r, Rat::from_int(7));
+        let r: Rat = serde_json::from_str("\"-3\"").unwrap();
+        assert_eq!(r, Rat::from_int(-3));
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(serde_json::from_str::<Rat>("\"1/0\"").is_err());
+        assert!(serde_json::from_str::<Rat>("\"x\"").is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the exact rational type: field axioms, ordering
+//! consistency, normalization, and lcm/gcd laws — the invariants the
+//! scheduling layers rely on.
+
+use bwfirst_rational::{gcd_i128, Rat};
+use proptest::prelude::*;
+
+/// Small components keep intermediate products far from i128 overflow so the
+/// panicking operators are safe to use inside properties.
+fn small_rat() -> impl Strategy<Value = Rat> {
+    (-10_000i128..=10_000, 1i128..=10_000).prop_map(|(n, d)| Rat::new(n, d))
+}
+
+fn positive_rat() -> impl Strategy<Value = Rat> {
+    (1i128..=10_000, 1i128..=10_000).prop_map(|(n, d)| Rat::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn normalized_invariant(r in small_rat()) {
+        prop_assert!(r.denom() > 0);
+        prop_assert_eq!(gcd_i128(r.numer(), r.denom()), 1i128.max(gcd_i128(r.numer(), r.denom()).min(1)));
+        // gcd(|num|, den) == 1, except num == 0 where den == 1.
+        if r.numer() == 0 {
+            prop_assert_eq!(r.denom(), 1);
+        } else {
+            prop_assert_eq!(gcd_i128(r.numer(), r.denom()), 1);
+        }
+    }
+
+    #[test]
+    fn add_commutes(a in small_rat(), b in small_rat()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associates(a in small_rat(), b in small_rat(), c in small_rat()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_commutes(a in small_rat(), b in small_rat()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in small_rat(), b in small_rat(), c in small_rat()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn sub_is_add_neg(a in small_rat(), b in small_rat()) {
+        prop_assert_eq!(a - b, a + (-b));
+    }
+
+    #[test]
+    fn div_inverts_mul(a in small_rat(), b in positive_rat()) {
+        prop_assert_eq!((a * b) / b, a);
+        prop_assert_eq!((a / b) * b, a);
+    }
+
+    #[test]
+    fn recip_involution(a in positive_rat()) {
+        prop_assert_eq!(a.recip().recip(), a);
+        prop_assert_eq!(a * a.recip(), Rat::ONE);
+    }
+
+    #[test]
+    fn ordering_translation_invariant(a in small_rat(), b in small_rat(), c in small_rat()) {
+        prop_assert_eq!(a < b, a + c < b + c);
+    }
+
+    #[test]
+    fn ordering_matches_f64_far_apart(a in small_rat(), b in small_rat()) {
+        // f64 comparison agrees whenever values are not nearly equal.
+        if (a.to_f64() - b.to_f64()).abs() > 1e-6 {
+            prop_assert_eq!(a < b, a.to_f64() < b.to_f64());
+        }
+    }
+
+    #[test]
+    fn floor_ceil_bracket(a in small_rat()) {
+        let f = Rat::from_int(a.floor());
+        let c = Rat::from_int(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!(a - f < Rat::ONE);
+        prop_assert!(c - a < Rat::ONE);
+        prop_assert_eq!(a.fract(), a - f);
+    }
+
+    #[test]
+    fn lcm_is_smallest_common_multiple(a in positive_rat(), b in positive_rat()) {
+        let l = a.lcm(b).unwrap();
+        prop_assert!(l.is_multiple_of(a));
+        prop_assert!(l.is_multiple_of(b));
+        // Minimality: l/2 is not a common multiple unless degenerate.
+        let half = l / Rat::TWO;
+        prop_assert!(!(half.is_multiple_of(a) && half.is_multiple_of(b)));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in positive_rat(), b in positive_rat()) {
+        let g = a.gcd(b).unwrap();
+        prop_assert!(a.is_multiple_of(g));
+        prop_assert!(b.is_multiple_of(g));
+        // gcd * lcm == a * b
+        prop_assert_eq!(g * a.lcm(b).unwrap(), a * b);
+    }
+
+    #[test]
+    fn parse_display_roundtrip(a in small_rat()) {
+        let s = a.to_string();
+        let back: Rat = s.parse().unwrap();
+        prop_assert_eq!(a, back);
+    }
+
+    #[test]
+    fn serde_roundtrip(a in small_rat()) {
+        let s = serde_json::to_string(&a).unwrap();
+        let back: Rat = serde_json::from_str(&s).unwrap();
+        prop_assert_eq!(a, back);
+    }
+
+    #[test]
+    fn approximate_within_grid_distance(a in small_rat(), max_den in 1i128..50) {
+        let approx = a.approximate(max_den);
+        prop_assert!(approx.denom() <= max_den);
+        // Never worse than snapping to the 1/max_den grid.
+        prop_assert!((a - approx).abs() <= Rat::new(1, max_den));
+        // Idempotent.
+        prop_assert_eq!(approx.approximate(max_den), approx);
+    }
+
+    #[test]
+    fn approximate_beats_floor_and_ceil(a in small_rat(), max_den in 1i128..30) {
+        let approx = a.approximate(max_den);
+        let err = (a - approx).abs();
+        let scaled = a * Rat::from_int(max_den);
+        let floor = Rat::new(scaled.floor(), max_den);
+        let ceil = Rat::new(scaled.ceil(), max_den);
+        prop_assert!(err <= (a - floor).abs());
+        prop_assert!(err <= (a - ceil).abs());
+    }
+
+    #[test]
+    fn checked_ops_agree_with_panicking(a in small_rat(), b in small_rat()) {
+        prop_assert_eq!(a.checked_add(b).unwrap(), a + b);
+        prop_assert_eq!(a.checked_sub(b).unwrap(), a - b);
+        prop_assert_eq!(a.checked_mul(b).unwrap(), a * b);
+        if !b.is_zero() {
+            prop_assert_eq!(a.checked_div(b).unwrap(), a / b);
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! A demand-driven autonomous protocol in the style of Kreaseck et al. —
+//! the baseline the paper compares against (Sections 2 and 7).
+//!
+//! No node knows any rates. Instead each node tries to keep a local stock of
+//! `buffer_target` tasks: whenever `buffered + in-flight + outstanding`
+//! drops below the target it *requests* the deficit from its parent
+//! (requests are control messages of negligible size, modeled as
+//! instantaneous). A parent with a free sending port and a buffered task
+//! serves the *fastest-link* child among those with pending requests — the
+//! bandwidth-centric tie-break. CPUs consume greedily from the local
+//! buffer, with child service taking priority when both want the same task.
+//!
+//! Both of Kreaseck et al.'s communication models are implemented
+//! ([`DemandConfig::interruptible`]):
+//!
+//! * **non-interruptible** (the paper's own model): once a long send to a
+//!   slow child starts, a faster child's request waits — the head-of-line
+//!   blocking behind the long start-up phases Section 2 describes;
+//! * **interruptible**: a request from a higher-priority (faster-link)
+//!   child pauses the ongoing transfer, which resumes later with its
+//!   remaining time preserved.
+//!
+//! As the paper observes of this class of protocols, decisions are locally
+//! greedy and can be non-optimal: start-up phases stretch and buffers grow
+//! compared with the event-driven schedule (experiment E7).
+
+use crate::engine::{BufferTracker, EventQueue, SimConfig, SimReport};
+use crate::gantt::{Gantt, SegmentKind};
+use bwfirst_platform::{NodeId, Platform};
+use bwfirst_rational::Rat;
+
+/// Tuning of the autonomous protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct DemandConfig {
+    /// Stock each non-root node tries to keep on hand.
+    pub buffer_target: u64,
+    /// Kreaseck et al.'s interruptible-communication model: faster-link
+    /// requests pause ongoing slower transfers.
+    pub interruptible: bool,
+}
+
+impl Default for DemandConfig {
+    fn default() -> Self {
+        DemandConfig { buffer_target: 2, interruptible: false }
+    }
+}
+
+impl DemandConfig {
+    /// The interruptible variant with the default stock target.
+    #[must_use]
+    pub fn interruptible() -> Self {
+        DemandConfig { interruptible: true, ..Default::default() }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// CPU at `node` finished one task.
+    CpuEnd(NodeId),
+    /// The transfer with this token completed (frees the sender's port and
+    /// delivers the task). Stale tokens (interrupted transfers) are ignored.
+    TransferEnd {
+        node: NodeId,
+        token: u64,
+    },
+}
+
+/// An in-progress transfer on a node's sending port.
+struct CurrentSend {
+    child: NodeId,
+    slot: usize,
+    token: u64,
+    seg_start: Rat,
+    end: Rat,
+}
+
+/// A transfer paused by an interruption, with its remaining time.
+struct PausedSend {
+    child: NodeId,
+    slot: usize,
+    remaining: Rat,
+}
+
+struct NodeState {
+    buffer: u64,
+    inflight: u64,
+    outstanding: u64,
+    /// Pending requests from each child (indexed like `children`).
+    pending: Vec<u64>,
+    cpu_busy: bool,
+    current_send: Option<CurrentSend>,
+    paused: Vec<PausedSend>,
+    received: u64,
+    computed: u64,
+}
+
+struct DdSim<'a> {
+    platform: &'a Platform,
+    cfg: &'a SimConfig,
+    demand: DemandConfig,
+    queue: EventQueue<Ev>,
+    nodes: Vec<NodeState>,
+    /// Children of each node in bandwidth-centric order, with their index in
+    /// the platform's child list (for `pending` lookups).
+    serve_order: Vec<Vec<(NodeId, usize)>>,
+    buffers: BufferTracker,
+    gantt: Option<Gantt>,
+    completions: Vec<(Rat, NodeId)>,
+    injected: u64,
+    last_injection: Option<Rat>,
+    next_token: u64,
+}
+
+/// What the port could do next.
+enum Candidate {
+    Resume(usize),
+    Fresh { child: NodeId, slot: usize },
+}
+
+impl DdSim<'_> {
+    fn is_root(&self, node: NodeId) -> bool {
+        node == self.platform.root()
+    }
+
+    /// Root stock is the outside world: unlimited until cut off.
+    fn root_has_supply(&self, t: Rat) -> bool {
+        if t >= self.cfg.injection_end() {
+            return false;
+        }
+        self.cfg.total_tasks.is_none_or(|total| self.injected < total)
+    }
+
+    /// Takes one task from the node's stock; for the root this injects a
+    /// fresh task from the source.
+    fn take_task(&mut self, node: NodeId, t: Rat) {
+        if self.is_root(node) {
+            self.injected += 1;
+            self.last_injection = Some(t);
+            self.nodes[node.index()].received += 1;
+        } else {
+            self.nodes[node.index()].buffer -= 1;
+            self.buffers.add(node, t, -1);
+        }
+    }
+
+    fn stock(&self, node: NodeId, t: Rat) -> u64 {
+        if self.is_root(node) {
+            u64::from(self.root_has_supply(t))
+        } else {
+            self.nodes[node.index()].buffer
+        }
+    }
+
+    fn link(&self, child: NodeId) -> Rat {
+        self.platform.link_time(child).expect("child link")
+    }
+
+    /// Re-issues requests so that stock + in-flight + outstanding covers the
+    /// node's *demand*: its own compute stock (if it can compute) plus the
+    /// requests its children have outstanding with it. Demand therefore
+    /// propagates from the actual consumers up to the root — a pure switch
+    /// never hoards tasks nobody downstream asked for. Control messages are
+    /// instantaneous.
+    fn replenish(&mut self, node: NodeId, t: Rat) {
+        if self.is_root(node) {
+            return;
+        }
+        let i = node.index();
+        let own = if self.platform.weight(node).time().is_some() {
+            self.demand.buffer_target
+        } else {
+            0
+        };
+        let downstream: u64 = self.nodes[i].pending.iter().sum();
+        let desired = own + downstream;
+        let have = self.nodes[i].buffer + self.nodes[i].inflight + self.nodes[i].outstanding;
+        if have >= desired {
+            return;
+        }
+        let deficit = desired - have;
+        self.nodes[i].outstanding += deficit;
+        let parent = self.platform.parent(node).expect("non-root");
+        let slot = self.platform.children(parent).iter().position(|&k| k == node).expect("child slot");
+        self.nodes[parent.index()].pending[slot] += deficit;
+        // Demand travels upward before the parent decides what to do.
+        self.replenish(parent, t);
+        self.dispatch(parent, t);
+    }
+
+    /// The best next use of the sending port: the fastest link among paused
+    /// transfers and (stock permitting) fresh requests.
+    fn best_candidate(&self, node: NodeId, t: Rat) -> Option<(Rat, Candidate)> {
+        let i = node.index();
+        let mut best: Option<(Rat, Candidate)> = None;
+        for (pi, p) in self.nodes[i].paused.iter().enumerate() {
+            let c = self.link(p.child);
+            if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
+                best = Some((c, Candidate::Resume(pi)));
+            }
+        }
+        if self.stock(node, t) > 0 {
+            if let Some(&(child, slot)) = self.serve_order[i]
+                .iter()
+                .find(|&&(_, slot)| self.nodes[i].pending[slot] > 0)
+            {
+                let c = self.link(child);
+                if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
+                    best = Some((c, Candidate::Fresh { child, slot }));
+                }
+            }
+        }
+        best
+    }
+
+    fn start_send(&mut self, node: NodeId, t: Rat, cand: Candidate) {
+        let i = node.index();
+        let token = self.next_token;
+        self.next_token += 1;
+        let (child, slot, duration) = match cand {
+            Candidate::Resume(pi) => {
+                let p = self.nodes[i].paused.swap_remove(pi);
+                (p.child, p.slot, p.remaining)
+            }
+            Candidate::Fresh { child, slot } => {
+                self.take_task(node, t);
+                let i = node.index();
+                self.nodes[i].pending[slot] -= 1;
+                let ci = child.index();
+                self.nodes[ci].outstanding -= 1;
+                self.nodes[ci].inflight += 1;
+                (child, slot, self.link(child))
+            }
+        };
+        self.nodes[i].current_send =
+            Some(CurrentSend { child, slot, token, seg_start: t, end: t + duration });
+        self.queue.push(t + duration, Ev::TransferEnd { node, token });
+    }
+
+    /// Pauses the ongoing transfer (interruptible model only).
+    fn interrupt(&mut self, node: NodeId, t: Rat) {
+        let i = node.index();
+        let cur = self.nodes[i].current_send.take().expect("send in progress");
+        if let Some(g) = &mut self.gantt {
+            if t > cur.seg_start {
+                g.push(node, SegmentKind::Send(cur.child), cur.seg_start, t);
+                g.push(cur.child, SegmentKind::Receive, cur.seg_start, t);
+            }
+        }
+        self.nodes[i]
+            .paused
+            .push(PausedSend { child: cur.child, slot: cur.slot, remaining: cur.end - t });
+        // The old TransferEnd event becomes stale: its token no longer
+        // matches any current send.
+    }
+
+    /// Serves pending child requests (port) and the local CPU.
+    fn dispatch(&mut self, node: NodeId, t: Rat) {
+        let i = node.index();
+        // Interruptible model: a strictly faster candidate preempts.
+        if self.demand.interruptible {
+            if let Some(cur) = &self.nodes[i].current_send {
+                let cur_c = self.link(cur.child);
+                if let Some((cand_c, _)) = self.best_candidate(node, t) {
+                    if cand_c < cur_c {
+                        self.interrupt(node, t);
+                    }
+                }
+            }
+        }
+        if self.nodes[i].current_send.is_none() {
+            if let Some((_, cand)) = self.best_candidate(node, t) {
+                self.start_send(node, t, cand);
+                self.replenish(node, t);
+            }
+        }
+        // Then the CPU.
+        let i = node.index();
+        if !self.nodes[i].cpu_busy && self.stock(node, t) > 0 {
+            if let Some(w) = self.platform.weight(node).time() {
+                self.take_task(node, t);
+                self.nodes[node.index()].cpu_busy = true;
+                if let Some(g) = &mut self.gantt {
+                    g.push(node, SegmentKind::Compute, t, t + w);
+                }
+                self.queue.push(t + w, Ev::CpuEnd(node));
+                self.replenish(node, t);
+            }
+        }
+    }
+
+    fn on_transfer_end(&mut self, node: NodeId, token: u64, t: Rat) {
+        let i = node.index();
+        let valid = self.nodes[i].current_send.as_ref().is_some_and(|c| c.token == token);
+        if !valid {
+            return; // interrupted transfer's stale completion
+        }
+        let cur = self.nodes[i].current_send.take().expect("send in progress");
+        if let Some(g) = &mut self.gantt {
+            g.push(node, SegmentKind::Send(cur.child), cur.seg_start, t);
+            g.push(cur.child, SegmentKind::Receive, cur.seg_start, t);
+        }
+        let child = cur.child;
+        let ci = child.index();
+        self.nodes[ci].received += 1;
+        self.nodes[ci].inflight -= 1;
+        self.nodes[ci].buffer += 1;
+        self.buffers.add(child, t, 1);
+        self.replenish(child, t);
+        self.dispatch(child, t);
+        self.dispatch(node, t);
+    }
+
+    fn run(mut self) -> SimReport {
+        // Every non-root node issues its initial demand at t = 0, which
+        // cascades requests up to the root.
+        for id in self.platform.node_ids().skip(1).collect::<Vec<_>>() {
+            self.replenish(id, Rat::ZERO);
+        }
+        self.dispatch(self.platform.root(), Rat::ZERO);
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.cfg.horizon {
+                break;
+            }
+            match ev {
+                Ev::CpuEnd(node) => {
+                    let i = node.index();
+                    self.nodes[i].cpu_busy = false;
+                    self.nodes[i].computed += 1;
+                    self.completions.push((t, node));
+                    self.dispatch(node, t);
+                }
+                Ev::TransferEnd { node, token } => self.on_transfer_end(node, token, t),
+            }
+        }
+        let exhausted = self.cfg.total_tasks.is_some_and(|total| self.injected >= total);
+        let injection_stopped_at = if exhausted {
+            self.last_injection
+        } else {
+            self.cfg.stop_injection_at.filter(|&s| s <= self.cfg.horizon)
+        };
+        self.completions.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        SimReport {
+            horizon: self.cfg.horizon,
+            injection_stopped_at,
+            completions: self.completions,
+            latencies: None,
+            computed: self.nodes.iter().map(|n| n.computed).collect(),
+            received: self.nodes.iter().map(|n| n.received).collect(),
+            buffers: self.buffers.finalize(self.cfg.horizon),
+            gantt: self.gantt,
+        }
+    }
+}
+
+/// Simulates the demand-driven autonomous protocol.
+#[must_use]
+pub fn simulate(platform: &Platform, demand: DemandConfig, cfg: &SimConfig) -> SimReport {
+    let n = platform.len();
+    let serve_order = platform
+        .node_ids()
+        .map(|id| {
+            platform
+                .children_bandwidth_centric(id)
+                .into_iter()
+                .map(|k| {
+                    let slot = platform.children(id).iter().position(|&x| x == k).expect("slot");
+                    (k, slot)
+                })
+                .collect()
+        })
+        .collect();
+    let nodes = platform
+        .node_ids()
+        .map(|id| NodeState {
+            buffer: 0,
+            inflight: 0,
+            outstanding: 0,
+            pending: vec![0; platform.children(id).len()],
+            cpu_busy: false,
+            current_send: None,
+            paused: Vec::new(),
+            received: 0,
+            computed: 0,
+        })
+        .collect();
+    DdSim {
+        platform,
+        cfg,
+        demand,
+        queue: EventQueue::new(),
+        nodes,
+        serve_order,
+        buffers: BufferTracker::new(n),
+        gantt: cfg.record_gantt.then(Gantt::default),
+        completions: Vec::new(),
+        injected: 0,
+        last_injection: None,
+        next_token: 0,
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfirst_platform::examples::example_tree;
+    use bwfirst_platform::generators::{fork, star};
+    use bwfirst_platform::Weight;
+    use bwfirst_rational::rat;
+
+    #[test]
+    fn star_reaches_bandwidth_bound() {
+        // Root + 4 unit workers behind c=1: optimal = r0 + 1.
+        let p = star(Weight::Time(rat(2, 1)), 4, Weight::Time(rat(1, 1)), rat(1, 1));
+        let rep = simulate(&p, DemandConfig::default(), &SimConfig::to_horizon(rat(200, 1)));
+        let rate = rep.throughput_in(rat(100, 1), rat(200, 1));
+        assert!(rate >= rat(13, 10), "demand-driven star too slow: {rate}");
+        assert!(rate <= rat(3, 2) + rat(1, 10));
+    }
+
+    #[test]
+    fn single_port_respected() {
+        for demand in [DemandConfig::default(), DemandConfig::interruptible()] {
+            let p = example_tree();
+            let rep = simulate(&p, demand, &SimConfig::to_horizon(rat(80, 1)));
+            assert!(rep.gantt.as_ref().unwrap().find_overlap().is_none());
+        }
+    }
+
+    #[test]
+    fn conservation_of_tasks_after_drain() {
+        for demand in [DemandConfig::default(), DemandConfig::interruptible()] {
+            let p = example_tree();
+            let cfg = SimConfig {
+                horizon: rat(400, 1),
+                stop_injection_at: Some(rat(150, 1)),
+                total_tasks: None,
+                record_gantt: false,
+            };
+            let rep = simulate(&p, demand, &cfg);
+            assert_eq!(rep.total_computed(), rep.received[0]);
+            for id in p.node_ids() {
+                let forwarded: u64 = p.children(id).iter().map(|&k| rep.received[k.index()]).sum();
+                assert_eq!(rep.received[id.index()], rep.computed[id.index()] + forwarded, "at {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn demand_driven_feeds_pruned_nodes_too() {
+        // The autonomous protocol has no global knowledge: even nodes the
+        // optimal schedule prunes (P5, P9, P10, P11) receive and compute
+        // tasks — one source of its inefficiency.
+        let p = example_tree();
+        let rep = simulate(&p, DemandConfig::default(), &SimConfig::to_horizon(rat(200, 1)));
+        let wasted: u64 = [5usize, 9, 10, 11].iter().map(|&i| rep.received[i]).sum();
+        assert!(wasted > 0, "expected the greedy protocol to feed pruned subtrees");
+    }
+
+    #[test]
+    fn buffers_scale_with_target() {
+        let p = example_tree();
+        let small = simulate(
+            &p,
+            DemandConfig { buffer_target: 2, interruptible: false },
+            &SimConfig::to_horizon(rat(150, 1)),
+        );
+        let large = simulate(
+            &p,
+            DemandConfig { buffer_target: 8, interruptible: false },
+            &SimConfig::to_horizon(rat(150, 1)),
+        );
+        let peak = |r: &SimReport| r.buffers.iter().map(|b| b.max).max().unwrap();
+        assert!(peak(&large) > peak(&small));
+    }
+
+    #[test]
+    fn interruption_preempts_slow_sends() {
+        // A fork with one very slow link and one fast link. Under the
+        // interruptible model the fast child's requests cut into the slow
+        // transfer, so the fast child completes strictly more tasks early.
+        let w = |n: i128| Weight::Time(rat(n, 1));
+        let p = fork(w(100), &[(rat(20, 1), w(1)), (rat(1, 1), w(1))]);
+        let horizon = SimConfig::to_horizon(rat(60, 1));
+        let non = simulate(&p, DemandConfig::default(), &horizon);
+        let int = simulate(&p, DemandConfig::interruptible(), &horizon);
+        // Fast child is node 2.
+        assert!(
+            int.computed[2] >= non.computed[2],
+            "interruptible {} vs non {}",
+            int.computed[2],
+            non.computed[2]
+        );
+        // The flip side of preemption: the fast child saturates the port
+        // (1 task/unit at c = 1), so the slow child's transfer never gets
+        // 20 contiguous-equivalent units and *starves* — while the
+        // non-interruptible model does serve it. Both behaviours are real
+        // properties of the two Kreaseck models.
+        assert_eq!(int.received[1], 0, "slow child starves under interruption");
+        assert!(non.received[1] >= 1, "non-interruptible serves the slow child");
+    }
+
+    #[test]
+    fn interrupted_transfers_preserve_total_service_time() {
+        // With Gantt recording, the sum of send-segment lengths toward the
+        // slow child must be a multiple of its link time c (pauses split
+        // segments but never lose time).
+        let w = |n: i128| Weight::Time(rat(n, 1));
+        let p = fork(w(100), &[(rat(10, 1), w(1)), (rat(1, 1), w(1))]);
+        let cfg = SimConfig {
+            horizon: rat(200, 1),
+            stop_injection_at: Some(rat(100, 1)),
+            total_tasks: None,
+            record_gantt: true,
+        };
+        let rep = simulate(&p, DemandConfig::interruptible(), &cfg);
+        let g = rep.gantt.as_ref().unwrap();
+        let slow = NodeId(1);
+        let total: Rat = g
+            .segments
+            .iter()
+            .filter(|s| s.kind == SegmentKind::Send(slow))
+            .map(|s| s.end - s.start)
+            .sum();
+        let c = rat(10, 1);
+        assert_eq!(total, Rat::from(rep.received[1] as usize) * c);
+    }
+
+    #[test]
+    fn interruptible_not_slower_on_heterogeneous_fork() {
+        let w = |n: i128| Weight::Time(rat(n, 1));
+        let p = fork(w(50), &[(rat(8, 1), w(2)), (rat(1, 1), w(1)), (rat(2, 1), w(2))]);
+        let horizon = SimConfig::to_horizon(rat(400, 1));
+        let non = simulate(&p, DemandConfig::default(), &horizon);
+        let int = simulate(&p, DemandConfig::interruptible(), &horizon);
+        assert!(int.total_computed() + 2 >= non.total_computed());
+    }
+}

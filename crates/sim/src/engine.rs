@@ -1,0 +1,300 @@
+//! Shared simulator plumbing: configuration, event queue, buffer accounting
+//! and the measurement report.
+
+use crate::gantt::Gantt;
+use bwfirst_platform::NodeId;
+use bwfirst_rational::Rat;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration shared by all executors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulate events up to this time.
+    pub horizon: Rat,
+    /// Stop injecting tasks at the root at this time (wind-down studies).
+    pub stop_injection_at: Option<Rat>,
+    /// Inject at most this many tasks in total (makespan studies).
+    pub total_tasks: Option<u64>,
+    /// Record the full Gantt trace (costs memory on long runs).
+    pub record_gantt: bool,
+}
+
+impl SimConfig {
+    /// A config that just runs to `horizon` with a Gantt trace.
+    #[must_use]
+    pub fn to_horizon(horizon: Rat) -> SimConfig {
+        SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: true }
+    }
+
+    /// The effective injection cut-off: `stop_injection_at` clipped to the
+    /// horizon.
+    #[must_use]
+    pub fn injection_end(&self) -> Rat {
+        self.stop_injection_at.map_or(self.horizon, |s| s.min(self.horizon))
+    }
+}
+
+/// Priority event queue ordered by `(time, insertion sequence)` — ties fire
+/// in insertion order, keeping runs deterministic.
+pub(crate) struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Rat, u64, u64)>>,
+    payloads: Vec<Option<E>>,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), payloads: Vec::new(), seq: 0 }
+    }
+
+    pub fn push(&mut self, time: Rat, ev: E) {
+        let idx = self.payloads.len() as u64;
+        self.payloads.push(Some(ev));
+        self.heap.push(Reverse((time, self.seq, idx)));
+        self.seq += 1;
+    }
+
+    pub fn pop(&mut self) -> Option<(Rat, E)> {
+        let Reverse((time, _, idx)) = self.heap.pop()?;
+        let ev = self.payloads[idx as usize].take().expect("event present");
+        Some((time, ev))
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Time-weighted buffer occupancy accounting for one run.
+pub(crate) struct BufferTracker {
+    size: Vec<u64>,
+    max: Vec<u64>,
+    weighted: Vec<Rat>, // ∫ size dt
+    last_change: Vec<Rat>,
+}
+
+impl BufferTracker {
+    pub fn new(n: usize) -> Self {
+        BufferTracker {
+            size: vec![0; n],
+            max: vec![0; n],
+            weighted: vec![Rat::ZERO; n],
+            last_change: vec![Rat::ZERO; n],
+        }
+    }
+
+    pub fn set(&mut self, node: NodeId, t: Rat, new_size: u64) {
+        let i = node.index();
+        self.weighted[i] += Rat::from(self.size[i] as usize) * (t - self.last_change[i]);
+        self.last_change[i] = t;
+        self.size[i] = new_size;
+        self.max[i] = self.max[i].max(new_size);
+    }
+
+    pub fn add(&mut self, node: NodeId, t: Rat, delta: i64) {
+        let cur = self.size[node.index()] as i64 + delta;
+        debug_assert!(cur >= 0, "buffer underflow at {node}");
+        self.set(node, t, cur as u64);
+    }
+
+    pub fn finalize(mut self, end: Rat) -> Vec<BufferStats> {
+        let n = self.size.len();
+        (0..n)
+            .map(|i| {
+                self.weighted[i] += Rat::from(self.size[i] as usize) * (end - self.last_change[i]);
+                BufferStats {
+                    max: self.max[i],
+                    time_avg: if end.is_positive() { self.weighted[i] / end } else { Rat::ZERO },
+                }
+            })
+            .collect()
+    }
+}
+
+/// Buffer occupancy summary of one node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferStats {
+    /// Peak number of buffered tasks.
+    pub max: u64,
+    /// Time-averaged number of buffered tasks over the run.
+    pub time_avg: Rat,
+}
+
+/// Everything measured during a simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// The simulated horizon.
+    pub horizon: Rat,
+    /// When injection actually stopped (None = ran to horizon with supply).
+    pub injection_stopped_at: Option<Rat>,
+    /// `(completion time, node)` of every computed task, in time order.
+    pub completions: Vec<(Rat, NodeId)>,
+    /// Per-completion sojourn times (completion − injection at the root),
+    /// aligned with `completions`. `None` for executors that do not stamp
+    /// tasks.
+    pub latencies: Option<Vec<Rat>>,
+    /// Tasks computed per node.
+    pub computed: Vec<u64>,
+    /// Tasks received from the parent per node (root: tasks injected).
+    pub received: Vec<u64>,
+    /// Buffer occupancy per node.
+    pub buffers: Vec<BufferStats>,
+    /// Full activity trace, if requested.
+    pub gantt: Option<Gantt>,
+}
+
+impl SimReport {
+    /// Total tasks computed platform-wide.
+    #[must_use]
+    pub fn total_computed(&self) -> u64 {
+        self.computed.iter().sum()
+    }
+
+    /// Completions in the half-open window `[from, to)`.
+    #[must_use]
+    pub fn completions_in(&self, from: Rat, to: Rat) -> u64 {
+        let lo = self.completions.partition_point(|&(t, _)| t < from);
+        let hi = self.completions.partition_point(|&(t, _)| t < to);
+        (hi - lo) as u64
+    }
+
+    /// Average throughput over `[from, to)` in tasks per time unit.
+    #[must_use]
+    pub fn throughput_in(&self, from: Rat, to: Rat) -> Rat {
+        assert!(to > from);
+        Rat::from(self.completions_in(from, to) as usize) / (to - from)
+    }
+
+    /// Time of the last completion, if any task completed.
+    #[must_use]
+    pub fn last_completion(&self) -> Option<Rat> {
+        self.completions.last().map(|&(t, _)| t)
+    }
+
+    /// Mean task sojourn time (injection at the root → completion), when
+    /// tracked.
+    #[must_use]
+    pub fn mean_latency(&self) -> Option<Rat> {
+        let lats = self.latencies.as_ref()?;
+        if lats.is_empty() {
+            return None;
+        }
+        Some(lats.iter().copied().sum::<Rat>() / Rat::from(lats.len()))
+    }
+
+    /// Maximum task sojourn time, when tracked.
+    #[must_use]
+    pub fn max_latency(&self) -> Option<Rat> {
+        self.latencies.as_ref()?.iter().copied().max()
+    }
+
+    /// Wind-down length: time from the injection stop to the last
+    /// completion. `None` when injection never stopped inside the horizon.
+    #[must_use]
+    pub fn wind_down(&self) -> Option<Rat> {
+        let stop = self.injection_stopped_at?;
+        Some((self.last_completion()? - stop).max(Rat::ZERO))
+    }
+
+    /// Earliest steady-state entry: the first time `t` (a completion time or
+    /// 0) such that *every* full window `[t + kW, t + (k+1)W]` before
+    /// `until` contains at least `⌊rate·W⌋` completions. Returns `None` when
+    /// no candidate qualifies or no full window fits.
+    #[must_use]
+    pub fn steady_state_entry(&self, rate: Rat, window: Rat, until: Rat) -> Option<Rat> {
+        assert!(window.is_positive());
+        let expected = (rate * window).floor() as u64;
+        let qualifies = |t: Rat| -> bool {
+            if t + window > until {
+                return false;
+            }
+            let mut lo = t;
+            while lo + window <= until {
+                if self.completions_in(lo, lo + window) < expected {
+                    return false;
+                }
+                lo += window;
+            }
+            true
+        };
+        if qualifies(Rat::ZERO) {
+            return Some(Rat::ZERO);
+        }
+        self.completions.iter().map(|&(t, _)| t).find(|&t| qualifies(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfirst_rational::rat;
+
+    fn report(times: &[(i128, u32)]) -> SimReport {
+        SimReport {
+            horizon: rat(100, 1),
+            injection_stopped_at: None,
+            completions: times.iter().map(|&(t, n)| (rat(t, 1), NodeId(n))).collect(),
+            latencies: None,
+            computed: vec![],
+            received: vec![],
+            buffers: vec![],
+            gantt: None,
+        }
+    }
+
+    #[test]
+    fn queue_orders_by_time_then_insertion() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.push(rat(2, 1), "b");
+        q.push(rat(1, 1), "a1");
+        q.push(rat(1, 1), "a2");
+        assert_eq!(q.pop(), Some((rat(1, 1), "a1")));
+        assert_eq!(q.pop(), Some((rat(1, 1), "a2")));
+        assert_eq!(q.pop(), Some((rat(2, 1), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn completions_in_and_throughput() {
+        let r = report(&[(1, 0), (2, 0), (3, 1), (10, 1)]);
+        assert_eq!(r.completions_in(rat(1, 1), rat(3, 1)), 2);
+        assert_eq!(r.completions_in(rat(0, 1), rat(100, 1)), 4);
+        assert_eq!(r.throughput_in(rat(0, 1), rat(4, 1)), rat(3, 4));
+        assert_eq!(r.total_computed(), 0); // `computed` vec empty here
+    }
+
+    #[test]
+    fn steady_state_entry_finds_rampup() {
+        // One completion per unit from t=5 on; rate 1, window 2.
+        let times: Vec<(i128, u32)> = (5..50).map(|t| (t, 0)).collect();
+        let r = report(&times);
+        let entry = r.steady_state_entry(rat(1, 1), rat(2, 1), rat(49, 1)).unwrap();
+        assert_eq!(entry, rat(5, 1));
+    }
+
+    #[test]
+    fn steady_state_entry_none_when_rate_never_met() {
+        let r = report(&[(1, 0), (50, 0)]);
+        assert_eq!(r.steady_state_entry(rat(1, 1), rat(5, 1), rat(100, 1)), None);
+    }
+
+    #[test]
+    fn buffer_tracker_time_average() {
+        let mut b = BufferTracker::new(1);
+        b.add(NodeId(0), rat(0, 1), 2); // size 2 during [0, 4)
+        b.add(NodeId(0), rat(4, 1), -1); // size 1 during [4, 10)
+        let stats = b.finalize(rat(10, 1));
+        assert_eq!(stats[0].max, 2);
+        assert_eq!(stats[0].time_avg, rat(14, 10));
+    }
+
+    #[test]
+    fn wind_down_measures_drain() {
+        let mut r = report(&[(1, 0), (2, 0), (12, 0)]);
+        r.injection_stopped_at = Some(rat(10, 1));
+        assert_eq!(r.wind_down(), Some(rat(2, 1)));
+    }
+}

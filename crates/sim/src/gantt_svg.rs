@@ -1,0 +1,225 @@
+//! SVG rendering of Gantt traces — a publication-quality Figure 5.
+//!
+//! Pure string generation, no graphics dependencies: each node gets three
+//! lanes (receive / compute / send), segments become `<rect>` elements, and
+//! a time axis with ticks runs along the bottom. Open the output in any
+//! browser.
+
+use crate::gantt::{Gantt, SegmentKind};
+use bwfirst_platform::NodeId;
+use bwfirst_rational::Rat;
+use std::fmt::Write;
+
+/// Layout and styling knobs for [`render_svg`].
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Drawing width in pixels (time axis spans this minus the label gutter).
+    pub width: u32,
+    /// Height of one activity lane in pixels.
+    pub lane_height: u32,
+    /// Gap between nodes in pixels.
+    pub node_gap: u32,
+    /// Approximate number of time-axis ticks.
+    pub ticks: u32,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions { width: 1000, lane_height: 14, node_gap: 10, ticks: 12 }
+    }
+}
+
+const GUTTER: u32 = 64;
+const AXIS: u32 = 28;
+
+fn lane_color(kind: SegmentKind) -> &'static str {
+    match kind {
+        SegmentKind::Receive => "#4C72B0",
+        SegmentKind::Compute => "#55A868",
+        SegmentKind::Send(_) => "#DD8452",
+    }
+}
+
+fn lane_index(kind: SegmentKind) -> u32 {
+    match kind {
+        SegmentKind::Receive => 0,
+        SegmentKind::Compute => 1,
+        SegmentKind::Send(_) => 2,
+    }
+}
+
+/// Renders the trace of `nodes` over `[0, until)` as a standalone SVG
+/// document.
+#[must_use]
+pub fn render_svg(gantt: &Gantt, nodes: &[NodeId], until: Rat, opts: &SvgOptions) -> String {
+    assert!(until.is_positive(), "horizon must be positive");
+    assert!(opts.width > GUTTER + 10, "width too small");
+    let plot_w = (opts.width - GUTTER) as f64;
+    let node_h = 3 * opts.lane_height + opts.node_gap;
+    let height = nodes.len() as u32 * node_h + AXIS;
+    let x_of = |t: Rat| -> f64 { GUTTER as f64 + (t / until).to_f64().clamp(0.0, 1.0) * plot_w };
+
+    let mut s = String::new();
+    writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{height}" viewBox="0 0 {w} {height}" font-family="sans-serif" font-size="10">"#,
+        w = opts.width
+    )
+    .unwrap();
+    writeln!(s, r##"<rect width="{}" height="{height}" fill="#ffffff"/>"##, opts.width).unwrap();
+
+    // Node labels, lane letters and lane baselines.
+    for (ni, &node) in nodes.iter().enumerate() {
+        let top = ni as u32 * node_h;
+        writeln!(
+            s,
+            r#"<text x="4" y="{}" font-weight="bold">{node}</text>"#,
+            top + 3 * opts.lane_height / 2
+        )
+        .unwrap();
+        for (lane, label) in [(0u32, "R"), (1, "C"), (2, "S")] {
+            let y = top + lane * opts.lane_height;
+            writeln!(
+                s,
+                r##"<text x="{x}" y="{ty}" fill="#888">{label}</text>"##,
+                x = GUTTER - 14,
+                ty = y + opts.lane_height - 3
+            )
+            .unwrap();
+            writeln!(
+                s,
+                r##"<line x1="{x1}" y1="{ly}" x2="{x2}" y2="{ly}" stroke="#eeeeee"/>"##,
+                x1 = GUTTER,
+                x2 = opts.width,
+                ly = y + opts.lane_height
+            )
+            .unwrap();
+        }
+    }
+
+    // Segments.
+    for seg in &gantt.segments {
+        let Some(ni) = nodes.iter().position(|&n| n == seg.node) else { continue };
+        if seg.start >= until || seg.end <= Rat::ZERO {
+            continue;
+        }
+        let x0 = x_of(seg.start.max(Rat::ZERO));
+        let x1 = x_of(seg.end.min(until));
+        let y = ni as u32 * node_h + lane_index(seg.kind) * opts.lane_height;
+        let title = match seg.kind {
+            SegmentKind::Receive => format!("{} receives [{}, {})", seg.node, seg.start, seg.end),
+            SegmentKind::Compute => format!("{} computes [{}, {})", seg.node, seg.start, seg.end),
+            SegmentKind::Send(child) => {
+                format!("{} sends to {child} [{}, {})", seg.node, seg.start, seg.end)
+            }
+        };
+        writeln!(
+            s,
+            r##"<rect x="{x0:.2}" y="{y}" width="{w:.2}" height="{h}" fill="{fill}" stroke="#ffffff" stroke-width="0.5"><title>{title}</title></rect>"##,
+            w = (x1 - x0).max(0.5),
+            h = opts.lane_height - 2,
+            fill = lane_color(seg.kind),
+        )
+        .unwrap();
+    }
+
+    // Time axis.
+    let axis_y = nodes.len() as u32 * node_h + 4;
+    writeln!(
+        s,
+        r##"<line x1="{GUTTER}" y1="{axis_y}" x2="{}" y2="{axis_y}" stroke="#333333"/>"##,
+        opts.width
+    )
+    .unwrap();
+    let until_f = until.to_f64();
+    let step = nice_step(until_f / opts.ticks.max(1) as f64);
+    let mut t = 0.0;
+    while t <= until_f + 1e-9 {
+        let x = GUTTER as f64 + (t / until_f) * plot_w;
+        writeln!(s, r##"<line x1="{x:.2}" y1="{axis_y}" x2="{x:.2}" y2="{}" stroke="#333333"/>"##, axis_y + 4).unwrap();
+        writeln!(s, r#"<text x="{x:.2}" y="{}" text-anchor="middle">{t}</text>"#, axis_y + 16).unwrap();
+        t += step;
+    }
+    writeln!(s, "</svg>").unwrap();
+    s
+}
+
+/// Rounds a raw tick step to a 1/2/5 × 10^k value.
+fn nice_step(raw: f64) -> f64 {
+    if raw <= 0.0 {
+        return 1.0;
+    }
+    let mag = 10f64.powf(raw.log10().floor());
+    let frac = raw / mag;
+    let nice = if frac <= 1.0 {
+        1.0
+    } else if frac <= 2.0 {
+        2.0
+    } else if frac <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    nice * mag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfirst_rational::rat;
+
+    fn sample() -> Gantt {
+        let mut g = Gantt::default();
+        g.push(NodeId(0), SegmentKind::Compute, rat(0, 1), rat(5, 1));
+        g.push(NodeId(0), SegmentKind::Send(NodeId(1)), rat(5, 1), rat(8, 1));
+        g.push(NodeId(1), SegmentKind::Receive, rat(5, 1), rat(8, 1));
+        g
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let svg = render_svg(&sample(), &[NodeId(0), NodeId(1)], rat(10, 1), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Three rects for the three segments plus the background.
+        assert_eq!(svg.matches("<rect").count(), 4);
+        assert!(svg.contains("P0 computes [0, 5)"));
+        assert!(svg.contains("P0 sends to P1 [5, 8)"));
+        assert!(svg.contains("P1 receives [5, 8)"));
+    }
+
+    #[test]
+    fn clips_to_horizon_and_node_list() {
+        let mut g = sample();
+        g.push(NodeId(0), SegmentKind::Compute, rat(50, 1), rat(60, 1)); // beyond
+        g.push(NodeId(9), SegmentKind::Compute, rat(1, 1), rat(2, 1)); // not listed
+        let svg = render_svg(&g, &[NodeId(0), NodeId(1)], rat(10, 1), &SvgOptions::default());
+        assert_eq!(svg.matches("<rect").count(), 4);
+        assert!(!svg.contains("P9"));
+    }
+
+    #[test]
+    fn lanes_have_distinct_colors() {
+        let svg = render_svg(&sample(), &[NodeId(0), NodeId(1)], rat(10, 1), &SvgOptions::default());
+        assert!(svg.contains("#55A868")); // compute
+        assert!(svg.contains("#DD8452")); // send
+        assert!(svg.contains("#4C72B0")); // receive
+    }
+
+    #[test]
+    fn nice_steps() {
+        assert_eq!(nice_step(0.9), 1.0);
+        assert_eq!(nice_step(1.4), 2.0);
+        assert_eq!(nice_step(3.2), 5.0);
+        assert_eq!(nice_step(7.0), 10.0);
+        assert_eq!(nice_step(34.0), 50.0);
+        assert_eq!(nice_step(0.0), 1.0);
+    }
+
+    #[test]
+    fn axis_ticks_present() {
+        let svg = render_svg(&sample(), &[NodeId(0)], rat(100, 1), &SvgOptions::default());
+        assert!(svg.contains(">0</text>"));
+        assert!(svg.contains(">100</text>") || svg.contains(">90</text>"));
+    }
+}

@@ -1,0 +1,343 @@
+//! Section 9: returning results to the master breaks the "merge send and
+//! return times" simplification.
+//!
+//! Beaumont et al. and Kreaseck et al. fold the time to return a task's
+//! result into the forward communication cost, arguing the split does not
+//! matter for steady-state traffic. The paper shows this neglects the
+//! **receiving-port resource**: on a master with two unit-speed children and
+//! `0.5 + 0.5` send/return costs, separate accounting sustains 2 tasks per
+//! time unit (sends saturate the master's *sending* port while returns
+//! saturate its *receiving* port — different resources, fully overlapped),
+//! whereas merged accounting serializes everything on the sending port and
+//! halves throughput.
+//!
+//! This executor simulates fork platforms (master + leaves) where each
+//! computed task yields a result that must travel back over the link using
+//! the child's sending port *and* the master's receiving port. A *completion*
+//! is counted when the result reaches the master. Setting all return times
+//! to zero recovers the forward-only model, which is how
+//! [`simulate_merged`] evaluates the (erroneous) merged-cost platform.
+
+use crate::engine::{BufferTracker, EventQueue, SimConfig, SimReport};
+use crate::gantt::{Gantt, SegmentKind};
+use bwfirst_platform::examples::ResultReturnPlatform;
+use bwfirst_platform::{NodeId, Platform};
+use bwfirst_rational::Rat;
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Forward transfer to the child completed.
+    Arrive(NodeId),
+    /// A child finished computing one task.
+    CpuEnd(NodeId),
+    /// The master's sending port freed up.
+    MasterSendEnd,
+    /// A return transfer from the child completed (frees the child's send
+    /// port and the master's receive port).
+    ReturnEnd(NodeId),
+}
+
+struct ChildState {
+    buffer: u64,
+    inflight: u64,
+    results_ready: u64,
+    cpu_busy: bool,
+    send_busy: bool,
+    received: u64,
+    computed: u64,
+}
+
+struct RrSim<'a> {
+    platform: &'a Platform,
+    return_time: &'a [Rat],
+    cfg: &'a SimConfig,
+    /// Per-child cap on buffered + in-flight tasks (keeps greedy feeding
+    /// from flooding slow children).
+    cap: u64,
+    queue: EventQueue<Ev>,
+    children: Vec<NodeId>,
+    states: Vec<ChildState>,
+    master_send_busy: bool,
+    master_recv_busy: bool,
+    buffers: BufferTracker,
+    gantt: Option<Gantt>,
+    completions: Vec<(Rat, NodeId)>,
+    injected: u64,
+    last_injection: Option<Rat>,
+    rr_index: usize,
+}
+
+impl RrSim<'_> {
+    fn slot(&self, child: NodeId) -> usize {
+        self.children.iter().position(|&k| k == child).expect("child slot")
+    }
+
+    fn supply(&self, t: Rat) -> bool {
+        t < self.cfg.injection_end() && self.cfg.total_tasks.is_none_or(|n| self.injected < n)
+    }
+
+    /// Greedy master sending: next eligible child round-robin.
+    fn try_master_send(&mut self, t: Rat) {
+        if self.master_send_busy || !self.supply(t) {
+            return;
+        }
+        let k = self.children.len();
+        for off in 0..k {
+            let idx = (self.rr_index + off) % k;
+            let st = &self.states[idx];
+            if st.buffer + st.inflight + u64::from(st.cpu_busy) < self.cap {
+                let child = self.children[idx];
+                self.rr_index = (idx + 1) % k;
+                self.injected += 1;
+                self.last_injection = Some(t);
+                self.master_send_busy = true;
+                self.states[idx].inflight += 1;
+                let c = self.platform.link_time(child).expect("child link");
+                if let Some(g) = &mut self.gantt {
+                    g.push(self.platform.root(), SegmentKind::Send(child), t, t + c);
+                    g.push(child, SegmentKind::Receive, t, t + c);
+                }
+                self.queue.push(t + c, Ev::MasterSendEnd);
+                self.queue.push(t + c, Ev::Arrive(child));
+                return;
+            }
+        }
+    }
+
+    fn try_cpu(&mut self, child: NodeId, t: Rat) {
+        let idx = self.slot(child);
+        let st = &mut self.states[idx];
+        if st.cpu_busy || st.buffer == 0 {
+            return;
+        }
+        let w = self.platform.weight(child).time().expect("workers compute");
+        st.buffer -= 1;
+        st.cpu_busy = true;
+        self.buffers.add(child, t, -1);
+        if let Some(g) = &mut self.gantt {
+            g.push(child, SegmentKind::Compute, t, t + w);
+        }
+        self.queue.push(t + w, Ev::CpuEnd(child));
+    }
+
+    /// Starts a return transfer if both ports are free; zero return time
+    /// completes instantly (the merged model).
+    fn try_return(&mut self, child: NodeId, t: Rat) {
+        let idx = self.slot(child);
+        let r = self.return_time[child.index()];
+        if self.states[idx].results_ready == 0 {
+            return;
+        }
+        if r.is_zero() {
+            self.states[idx].results_ready -= 1;
+            self.completions.push((t, child));
+            return;
+        }
+        if self.states[idx].send_busy || self.master_recv_busy {
+            return;
+        }
+        self.states[idx].results_ready -= 1;
+        self.states[idx].send_busy = true;
+        self.master_recv_busy = true;
+        if let Some(g) = &mut self.gantt {
+            g.push(child, SegmentKind::Send(self.platform.root()), t, t + r);
+            g.push(self.platform.root(), SegmentKind::Receive, t, t + r);
+        }
+        self.queue.push(t + r, Ev::ReturnEnd(child));
+    }
+
+    /// When the master's receive port frees, grant it to any child with a
+    /// ready result (smallest index first).
+    fn try_any_return(&mut self, t: Rat) {
+        for idx in 0..self.children.len() {
+            if self.states[idx].results_ready > 0 && !self.states[idx].send_busy {
+                self.try_return(self.children[idx], t);
+                if self.master_recv_busy {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> SimReport {
+        self.try_master_send(Rat::ZERO);
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.cfg.horizon {
+                break;
+            }
+            match ev {
+                Ev::MasterSendEnd => {
+                    self.master_send_busy = false;
+                    self.try_master_send(t);
+                }
+                Ev::Arrive(child) => {
+                    let idx = self.slot(child);
+                    self.states[idx].inflight -= 1;
+                    self.states[idx].buffer += 1;
+                    self.states[idx].received += 1;
+                    self.buffers.add(child, t, 1);
+                    self.try_cpu(child, t);
+                    self.try_master_send(t);
+                }
+                Ev::CpuEnd(child) => {
+                    let idx = self.slot(child);
+                    self.states[idx].cpu_busy = false;
+                    self.states[idx].computed += 1;
+                    self.states[idx].results_ready += 1;
+                    self.try_return(child, t);
+                    self.try_cpu(child, t);
+                    self.try_master_send(t);
+                }
+                Ev::ReturnEnd(child) => {
+                    let idx = self.slot(child);
+                    self.states[idx].send_busy = false;
+                    self.master_recv_busy = false;
+                    self.completions.push((t, child));
+                    self.try_return(child, t);
+                    self.try_any_return(t);
+                }
+            }
+        }
+        let n = self.platform.len();
+        let mut computed = vec![0u64; n];
+        let mut received = vec![0u64; n];
+        received[self.platform.root().index()] = self.injected;
+        for (idx, st) in self.states.iter().enumerate() {
+            computed[self.children[idx].index()] = st.computed;
+            received[self.children[idx].index()] = st.received;
+        }
+        let exhausted = self.cfg.total_tasks.is_some_and(|total| self.injected >= total);
+        let injection_stopped_at = if exhausted {
+            self.last_injection
+        } else {
+            self.cfg.stop_injection_at.filter(|&s| s <= self.cfg.horizon)
+        };
+        self.completions.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        SimReport {
+            horizon: self.cfg.horizon,
+            injection_stopped_at,
+            completions: self.completions,
+            latencies: None,
+            computed,
+            received,
+            buffers: self.buffers.finalize(self.cfg.horizon),
+            gantt: self.gantt,
+        }
+    }
+}
+
+/// Simulates a fork platform where results return to the master over the
+/// children's sending ports and the master's receiving port. Completions are
+/// counted when results reach the master.
+///
+/// Panics unless the platform is a fork (height 1) — the shape Section 9
+/// analyzes.
+#[must_use]
+pub fn simulate(rr: &ResultReturnPlatform, cfg: &SimConfig) -> SimReport {
+    simulate_raw(&rr.platform, &rr.return_time, cfg)
+}
+
+/// Simulates the *merged* variant: forward costs inflated by the return
+/// times, no separate return traffic — the simplification the paper refutes.
+#[must_use]
+pub fn simulate_merged(rr: &ResultReturnPlatform, cfg: &SimConfig) -> SimReport {
+    let merged = rr.merged();
+    let zeros = vec![Rat::ZERO; merged.len()];
+    simulate_raw(&merged, &zeros, cfg)
+}
+
+fn simulate_raw(platform: &Platform, return_time: &[Rat], cfg: &SimConfig) -> SimReport {
+    assert_eq!(platform.height(), 1, "result-return simulation expects a fork platform");
+    assert_eq!(return_time.len(), platform.len());
+    let children: Vec<NodeId> = platform.children(platform.root()).to_vec();
+    assert!(!children.is_empty(), "fork needs at least one worker");
+    let states = children
+        .iter()
+        .map(|_| ChildState {
+            buffer: 0,
+            inflight: 0,
+            results_ready: 0,
+            cpu_busy: false,
+            send_busy: false,
+            received: 0,
+            computed: 0,
+        })
+        .collect();
+    RrSim {
+        platform,
+        return_time,
+        cfg,
+        cap: 2,
+        queue: EventQueue::new(),
+        children,
+        states,
+        master_send_busy: false,
+        master_recv_busy: false,
+        buffers: BufferTracker::new(platform.len()),
+        gantt: cfg.record_gantt.then(Gantt::default),
+        completions: Vec::new(),
+        injected: 0,
+        last_injection: None,
+        rr_index: 0,
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfirst_platform::examples::section9_counterexample;
+    use bwfirst_rational::rat;
+
+    #[test]
+    fn separated_model_sustains_two_tasks_per_unit() {
+        let rr = section9_counterexample();
+        let rep = simulate(&rr, &SimConfig::to_horizon(rat(200, 1)));
+        let rate = rep.throughput_in(rat(100, 1), rat(200, 1));
+        assert!(rate >= rat(19, 10), "separated model too slow: {rate}");
+        assert!(rate <= rat(2, 1));
+    }
+
+    #[test]
+    fn merged_model_halves_throughput() {
+        let rr = section9_counterexample();
+        let rep = simulate_merged(&rr, &SimConfig::to_horizon(rat(200, 1)));
+        let rate = rep.throughput_in(rat(100, 1), rat(200, 1));
+        assert!(rate <= rat(1, 1), "merged model too fast: {rate}");
+        assert!(rate >= rat(9, 10), "merged model unexpectedly slow: {rate}");
+    }
+
+    #[test]
+    fn ports_never_double_booked() {
+        let rr = section9_counterexample();
+        let rep = simulate(&rr, &SimConfig::to_horizon(rat(50, 1)));
+        assert!(rep.gantt.as_ref().unwrap().find_overlap().is_none());
+    }
+
+    #[test]
+    fn results_eventually_all_return() {
+        let rr = section9_counterexample();
+        let cfg = SimConfig {
+            horizon: rat(300, 1),
+            stop_injection_at: None,
+            total_tasks: Some(40),
+            record_gantt: false,
+        };
+        let rep = simulate(&rr, &cfg);
+        assert_eq!(rep.completions.len(), 40);
+        assert_eq!(rep.total_computed(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "fork platform")]
+    fn rejects_deep_trees() {
+        use bwfirst_platform::{PlatformBuilder, Weight};
+        let mut b = PlatformBuilder::new();
+        let r = b.root(Weight::Infinite);
+        let mid = b.child(r, Weight::Time(rat(1, 1)), rat(1, 2));
+        b.child(mid, Weight::Time(rat(1, 1)), rat(1, 2));
+        let p = b.build().unwrap();
+        let rr = ResultReturnPlatform { platform: p, return_time: vec![Rat::ZERO; 3] };
+        let _ = simulate(&rr, &SimConfig::to_horizon(rat(10, 1)));
+    }
+}

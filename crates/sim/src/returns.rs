@@ -1,0 +1,376 @@
+//! Result returns on arbitrary trees — exploring the problem Section 9
+//! leaves open.
+//!
+//! The paper proves (via the 3-node counter-example, see
+//! [`crate::result_return`]) that folding return times into forward costs is
+//! wrong, and concludes that scheduling with result returns "is still open".
+//! This executor lets us *measure* the question on any tree: tasks flow down
+//! under the forward-only event-driven schedule, and every computed task's
+//! result relays hop-by-hop back to the master, where a completion is
+//! counted.
+//!
+//! Ports are now genuinely bidirectional resources:
+//!
+//! * a **downward** task transfer `parent → child` occupies the parent's
+//!   sending port *and* the child's receiving port for `c` time units;
+//! * an **upward** result transfer `child → parent` occupies the child's
+//!   sending port *and* the parent's receiving port for `ρ·c` time units
+//!   ([`ReturnConfig::return_ratio`] scales each edge's forward cost).
+//!
+//! A node's sending port therefore arbitrates between forwarding tasks to
+//! its children (schedule order, priority) and returning results to its
+//! parent (whenever the port would otherwise idle); its receiving port
+//! arbitrates between its parent's task deliveries and its children's result
+//! returns. None of this contention exists in the forward-only model — the
+//! measured throughput gap *is* the open problem, quantified (E19).
+
+use crate::engine::{BufferTracker, EventQueue, SimConfig, SimReport};
+use crate::gantt::{Gantt, SegmentKind};
+use bwfirst_core::schedule::{EventDrivenSchedule, SlotAction};
+use bwfirst_platform::{NodeId, Platform};
+use bwfirst_rational::Rat;
+use std::collections::VecDeque;
+
+/// Configuration of the return traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct ReturnConfig {
+    /// Result size relative to the input: each edge's return time is
+    /// `return_ratio × c`. Zero means results are negligible (the paper's
+    /// main model) and completions count at compute end.
+    pub return_ratio: Rat,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Release,
+    CpuEnd(NodeId),
+    /// Downward transfer finished: frees parent send + child recv, delivers.
+    DownEnd {
+        parent: NodeId,
+        child: NodeId,
+    },
+    /// Upward result transfer finished: frees child send + parent recv.
+    UpEnd {
+        child: NodeId,
+        parent: NodeId,
+    },
+}
+
+struct NodeState {
+    cursor: usize,
+    pending_cpu: u64,
+    send_queue: VecDeque<NodeId>,
+    results: u64,
+    cpu_busy: bool,
+    send_free: bool,
+    recv_free: bool,
+    received: u64,
+    computed: u64,
+}
+
+struct RetSim<'a> {
+    platform: &'a Platform,
+    schedule: &'a EventDrivenSchedule,
+    cfg: &'a SimConfig,
+    ratio: Rat,
+    queue: EventQueue<Ev>,
+    nodes: Vec<NodeState>,
+    buffers: BufferTracker,
+    gantt: Option<Gantt>,
+    completions: Vec<(Rat, NodeId)>,
+    injected: u64,
+    last_release: Option<Rat>,
+    release_step: Rat,
+}
+
+impl RetSim<'_> {
+    fn assign(&mut self, node: NodeId, t: Rat) {
+        let Some(local) = self.schedule.local(node) else {
+            panic!("task routed to inactive node {node}");
+        };
+        let i = node.index();
+        let len = local.actions.len();
+        let action = local.actions[self.nodes[i].cursor % len];
+        self.nodes[i].cursor = (self.nodes[i].cursor + 1) % len;
+        match action {
+            SlotAction::Compute => {
+                self.nodes[i].pending_cpu += 1;
+                self.try_cpu(node, t);
+            }
+            SlotAction::Send(child) => {
+                self.nodes[i].send_queue.push_back(child);
+                self.try_send(node, t);
+            }
+        }
+    }
+
+    fn try_cpu(&mut self, node: NodeId, t: Rat) {
+        let i = node.index();
+        if self.nodes[i].cpu_busy || self.nodes[i].pending_cpu == 0 {
+            return;
+        }
+        let w = self.platform.weight(node).time().expect("compute actions need CPUs");
+        self.nodes[i].pending_cpu -= 1;
+        self.nodes[i].cpu_busy = true;
+        self.buffers.add(node, t, -1);
+        if let Some(g) = &mut self.gantt {
+            g.push(node, SegmentKind::Compute, t, t + w);
+        }
+        self.queue.push(t + w, Ev::CpuEnd(node));
+    }
+
+    /// Attempts to use the node's sending port. **Results go first**: on a
+    /// forward-optimal schedule many sending ports are exactly saturated by
+    /// task forwards, so a task-priority port would starve returns forever
+    /// and results would pile up without bound. Returning first keeps the
+    /// pipeline draining; the measured throughput loss relative to the
+    /// forward-only prediction quantifies Section 9's open problem.
+    fn try_send(&mut self, node: NodeId, t: Rat) {
+        let i = node.index();
+        if !self.nodes[i].send_free {
+            return;
+        }
+        // Return a result if the parent can receive it.
+        if self.nodes[i].results > 0 {
+            if let Some(parent) = self.platform.parent(node) {
+                if self.nodes[parent.index()].recv_free {
+                    self.nodes[i].results -= 1;
+                    self.nodes[i].send_free = false;
+                    self.nodes[parent.index()].recv_free = false;
+                    let c = self.platform.link_time(node).expect("own link") * self.ratio;
+                    if let Some(g) = &mut self.gantt {
+                        g.push(node, SegmentKind::Send(parent), t, t + c);
+                        g.push(parent, SegmentKind::Receive, t, t + c);
+                    }
+                    self.queue.push(t + c, Ev::UpEnd { child: node, parent });
+                    return;
+                }
+            }
+        }
+        // Otherwise forward the head-of-line task.
+        if let Some(&child) = self.nodes[i].send_queue.front() {
+            if self.nodes[child.index()].recv_free {
+                self.nodes[i].send_queue.pop_front();
+                self.nodes[i].send_free = false;
+                self.nodes[child.index()].recv_free = false;
+                self.buffers.add(node, t, -1);
+                let c = self.platform.link_time(child).expect("child link");
+                if let Some(g) = &mut self.gantt {
+                    g.push(node, SegmentKind::Send(child), t, t + c);
+                    g.push(child, SegmentKind::Receive, t, t + c);
+                }
+                self.queue.push(t + c, Ev::DownEnd { parent: node, child });
+            }
+        }
+    }
+
+    /// A result materialized at `node`: complete at the root, relay else.
+    fn result_at(&mut self, node: NodeId, t: Rat) {
+        if node == self.platform.root() || self.ratio.is_zero() {
+            self.completions.push((t, node));
+        } else {
+            self.nodes[node.index()].results += 1;
+            self.try_send(node, t);
+        }
+    }
+
+    /// Ports around `node` changed: give everyone affected a chance.
+    fn wake(&mut self, node: NodeId, t: Rat) {
+        self.try_send(node, t);
+        // The node's freed recv port may unblock its parent's task forwards
+        // or its children's result returns.
+        if self.nodes[node.index()].recv_free {
+            if let Some(parent) = self.platform.parent(node) {
+                self.try_send(parent, t);
+            }
+            for &k in self.platform.children(node).to_vec().iter() {
+                self.try_send(k, t);
+            }
+        }
+    }
+
+    fn schedule_next_release(&mut self, t: Rat) {
+        if let Some(total) = self.cfg.total_tasks {
+            if self.injected >= total {
+                return;
+            }
+        }
+        if t >= self.cfg.injection_end() {
+            return;
+        }
+        self.queue.push(t, Ev::Release);
+    }
+
+    fn run(mut self) -> SimReport {
+        let root = self.platform.root();
+        self.schedule_next_release(Rat::ZERO);
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.cfg.horizon {
+                break;
+            }
+            match ev {
+                Ev::Release => {
+                    self.injected += 1;
+                    self.last_release = Some(t);
+                    self.nodes[root.index()].received += 1;
+                    self.buffers.add(root, t, 1);
+                    self.assign(root, t);
+                    let step = self.release_step;
+                    self.schedule_next_release(t + step);
+                }
+                Ev::CpuEnd(node) => {
+                    let i = node.index();
+                    self.nodes[i].cpu_busy = false;
+                    self.nodes[i].computed += 1;
+                    self.result_at(node, t);
+                    self.try_cpu(node, t);
+                }
+                Ev::DownEnd { parent, child } => {
+                    self.nodes[parent.index()].send_free = true;
+                    self.nodes[child.index()].recv_free = true;
+                    self.nodes[child.index()].received += 1;
+                    self.buffers.add(child, t, 1);
+                    self.assign(child, t);
+                    self.wake(parent, t);
+                    self.wake(child, t);
+                }
+                Ev::UpEnd { child, parent } => {
+                    self.nodes[child.index()].send_free = true;
+                    self.nodes[parent.index()].recv_free = true;
+                    self.result_at(parent, t);
+                    self.wake(child, t);
+                    self.wake(parent, t);
+                }
+            }
+        }
+        let exhausted = self.cfg.total_tasks.is_some_and(|n| self.injected >= n);
+        let injection_stopped_at = if exhausted {
+            self.last_release
+        } else {
+            self.cfg.stop_injection_at.filter(|&s| s <= self.cfg.horizon)
+        };
+        self.completions.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        SimReport {
+            horizon: self.cfg.horizon,
+            injection_stopped_at,
+            completions: self.completions,
+            latencies: None,
+            computed: self.nodes.iter().map(|n| n.computed).collect(),
+            received: self.nodes.iter().map(|n| n.received).collect(),
+            buffers: self.buffers.finalize(self.cfg.horizon),
+            gantt: self.gantt,
+        }
+    }
+}
+
+/// Runs the forward-only event-driven `schedule` on a platform whose tasks
+/// *also* return results of relative size `ret.return_ratio`. Completions
+/// count when results reach the root (at compute end for ratio zero).
+#[must_use]
+pub fn simulate_with_returns(
+    platform: &Platform,
+    schedule: &EventDrivenSchedule,
+    ret: ReturnConfig,
+    cfg: &SimConfig,
+) -> SimReport {
+    assert!(!ret.return_ratio.is_negative(), "return ratio must be non-negative");
+    let root_sched = schedule.tree.get(platform.root()).expect("root active");
+    let release_step = Rat::from_int(root_sched.t_omega) / Rat::from_int(root_sched.bunch);
+    let n = platform.len();
+    RetSim {
+        platform,
+        schedule,
+        cfg,
+        ratio: ret.return_ratio,
+        queue: EventQueue::new(),
+        nodes: (0..n)
+            .map(|_| NodeState {
+                cursor: 0,
+                pending_cpu: 0,
+                send_queue: VecDeque::new(),
+                results: 0,
+                cpu_busy: false,
+                send_free: true,
+                recv_free: true,
+                received: 0,
+                computed: 0,
+            })
+            .collect(),
+        buffers: BufferTracker::new(n),
+        gantt: cfg.record_gantt.then(Gantt::default),
+        completions: Vec::new(),
+        injected: 0,
+        last_release: None,
+        release_step,
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfirst_core::{bw_first, SteadyState};
+    use bwfirst_platform::examples::example_tree;
+    use bwfirst_rational::rat;
+
+    fn setup() -> (Platform, SteadyState, EventDrivenSchedule) {
+        let p = example_tree();
+        let ss = SteadyState::from_solution(&bw_first(&p));
+        let ev = EventDrivenSchedule::standard(&p, &ss);
+        (p, ss, ev)
+    }
+
+    fn rate_at(ratio: Rat) -> Rat {
+        let (p, _, ev) = setup();
+        let cfg = SimConfig {
+            horizon: rat(400, 1),
+            stop_injection_at: None,
+            total_tasks: None,
+            record_gantt: false,
+        };
+        let rep = simulate_with_returns(&p, &ev, ReturnConfig { return_ratio: ratio }, &cfg);
+        // Period-aligned window (4 x 36) well past start-up.
+        rep.throughput_in(rat(200, 1), rat(344, 1))
+    }
+
+    #[test]
+    fn zero_ratio_matches_forward_only() {
+        assert_eq!(rate_at(Rat::ZERO), rat(10, 9));
+    }
+
+    #[test]
+    fn throughput_degrades_monotonically_with_return_size() {
+        let rates: Vec<Rat> = [Rat::ZERO, rat(1, 8), rat(1, 4), rat(1, 2), rat(1, 1)]
+            .into_iter()
+            .map(rate_at)
+            .collect();
+        for w in rates.windows(2) {
+            assert!(w[1] <= w[0], "rates must not increase: {rates:?}");
+        }
+        // Nonzero returns genuinely bite on this tree.
+        assert!(rates[4] < rates[0], "full-size returns must cost throughput");
+    }
+
+    #[test]
+    fn ports_never_double_booked_with_returns() {
+        let (p, _, ev) = setup();
+        let cfg = SimConfig::to_horizon(rat(120, 1));
+        let rep = simulate_with_returns(&p, &ev, ReturnConfig { return_ratio: rat(1, 2) }, &cfg);
+        assert!(rep.gantt.as_ref().unwrap().find_overlap().is_none());
+    }
+
+    #[test]
+    fn all_results_return_after_drain() {
+        let (p, _, ev) = setup();
+        let cfg = SimConfig {
+            horizon: rat(600, 1),
+            stop_injection_at: None,
+            total_tasks: Some(60),
+            record_gantt: false,
+        };
+        let rep = simulate_with_returns(&p, &ev, ReturnConfig { return_ratio: rat(1, 2) }, &cfg);
+        // Every computed task's result eventually reached the root.
+        assert_eq!(rep.total_computed(), 60);
+        assert_eq!(rep.completions.len(), 60);
+    }
+}

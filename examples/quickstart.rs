@@ -1,0 +1,63 @@
+//! Quickstart: model a small heterogeneous tree, compute its optimal
+//! steady-state throughput with `BW-First`, and print the event-driven
+//! schedule each node will follow.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use bwfirst::core::schedule::EventDrivenSchedule;
+use bwfirst::core::{bw_first, SteadyState};
+use bwfirst::platform::{io, PlatformBuilder};
+use bwfirst::rat;
+
+fn main() {
+    // A master (3 time units/task) with two workers:
+    //  - a slow worker (5 u/task) behind a fast link (1 u/task),
+    //  - a fast worker (1 u/task) behind a slow link (2 u/task),
+    // and a grandchild hanging off the fast worker.
+    let mut b = PlatformBuilder::new();
+    let master = b.root(rat(3, 1));
+    b.child(master, rat(5, 1), rat(1, 1));
+    let fast = b.child(master, rat(1, 1), rat(2, 1));
+    b.child(fast, rat(4, 1), rat(3, 1));
+    let platform = b.build().expect("valid platform");
+
+    println!("platform:\n{platform:?}");
+
+    // 1. Optimal steady-state throughput via the BW-First transactions.
+    let solution = bw_first(&platform);
+    println!("optimal throughput: {} tasks per time unit", solution.throughput());
+    println!("visited {} of {} nodes\n", solution.visit_count(), platform.len());
+
+    // 2. Per-node rates (the Figure 4(c) view).
+    let ss = SteadyState::from_solution(&solution);
+    ss.verify(&platform).expect("rates feasible under the single-port model");
+    for id in platform.node_ids() {
+        println!(
+            "  {id}: receives {} /u, computes {} /u",
+            ss.eta_in[id.index()],
+            ss.alpha[id.index()]
+        );
+    }
+
+    // 3. The clockless event-driven schedule (the Figure 4(d) view).
+    let schedule = EventDrivenSchedule::standard(&platform, &ss);
+    println!();
+    for s in schedule.tree.iter() {
+        let order: Vec<String> = schedule
+            .local(s.node)
+            .unwrap()
+            .actions
+            .iter()
+            .map(|a| match a {
+                bwfirst::core::SlotAction::Compute => "C".to_string(),
+                bwfirst::core::SlotAction::Send(k) => format!("S->{k}"),
+            })
+            .collect();
+        println!("  {} handles bunches of {} tasks: [{}]", s.node, s.bunch, order.join(" "));
+    }
+
+    // 4. Shareable platform description.
+    println!("\nplatform as JSON:\n{}", io::to_json(&platform));
+}

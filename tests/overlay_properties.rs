@@ -1,0 +1,67 @@
+//! Property tests for the overlay crate: constructions always produce valid
+//! spanning trees, conversion preserves weights and links, and the search is
+//! monotone over its baselines — on arbitrary random connected graphs.
+
+use bwfirst::core::bw_first;
+use bwfirst::overlay::graph::{random_graph, RandomGraphConfig};
+use bwfirst::overlay::{
+    best_overlay, min_link_tree, random_spanning_tree, shortest_path_tree, tree_to_platform,
+    Graph, NodeIx, OverlaySearch,
+};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..20, any::<u64>(), 0u32..250).prop_map(|(size, seed, extra)| {
+        random_graph(&RandomGraphConfig { size, seed, extra_edge_pct: extra, ..Default::default() })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn constructions_always_span(g in arb_graph(), root_pick in any::<u32>(), seed in any::<u64>()) {
+        let root = NodeIx(root_pick % g.len() as u32);
+        for tree in [
+            min_link_tree(&g, root),
+            shortest_path_tree(&g, root),
+            random_spanning_tree(&g, root, seed),
+        ] {
+            prop_assert!(tree.is_valid(&g));
+            prop_assert_eq!(tree.root, root);
+            // Every node reaches the root (is_valid checks, but assert the
+            // depth array is finite too).
+            let depths = tree.depths();
+            prop_assert!(depths.iter().all(|&d| d < g.len()));
+        }
+    }
+
+    #[test]
+    fn conversion_preserves_structure(g in arb_graph(), seed in any::<u64>()) {
+        let root = NodeIx(0);
+        let tree = random_spanning_tree(&g, root, seed);
+        let (platform, map) = tree_to_platform(&g, &tree);
+        prop_assert_eq!(platform.len(), g.len());
+        prop_assert_eq!(map[root.index()], platform.root());
+        for n in g.nodes() {
+            prop_assert_eq!(g.weight(n), platform.weight(map[n.index()]));
+            if let Some(p) = tree.parent[n.index()] {
+                prop_assert_eq!(platform.parent(map[n.index()]), Some(map[p.index()]));
+                prop_assert_eq!(platform.link_time(map[n.index()]), g.link(n, p));
+            }
+        }
+        // The converted platform is solvable.
+        let _ = bw_first(&platform);
+    }
+
+    #[test]
+    fn search_dominates_baselines(g in arb_graph()) {
+        let cfg = OverlaySearch { restarts: 2, passes: 3, seed: 11 };
+        let res = best_overlay(&g, NodeIx(0), &cfg);
+        prop_assert!(res.tree.is_valid(&g));
+        prop_assert!(res.throughput >= res.min_link_baseline);
+        prop_assert!(res.throughput >= res.spt_baseline);
+        // The certified winner matches re-solving its platform.
+        prop_assert_eq!(res.throughput, bw_first(&res.platform).throughput());
+    }
+}

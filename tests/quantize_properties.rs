@@ -1,0 +1,75 @@
+//! Property tests for rate quantization on arbitrary random platforms: the
+//! guarantees `core::quantize` documents, checked exhaustively.
+
+use bwfirst::core::quantize::{loss_bound, quantize};
+use bwfirst::core::schedule::TreeSchedule;
+use bwfirst::core::{bw_first, validate_schedule, EventDrivenSchedule, SteadyState};
+use bwfirst::platform::generators::{random_tree, RandomTreeConfig};
+use bwfirst::platform::Platform;
+use proptest::prelude::*;
+
+fn arb_platform() -> impl Strategy<Value = Platform> {
+    (2usize..36, any::<u64>(), 1usize..5, 0u8..25).prop_map(|(size, seed, max_children, switch_pct)| {
+        random_tree(&RandomTreeConfig { size, seed, max_children, switch_pct, ..Default::default() })
+    })
+}
+
+fn grids() -> impl Strategy<Value = i128> {
+    prop_oneof![Just(2i128), Just(6), Just(30), Just(360), Just(2520), Just(27720)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    #[test]
+    fn quantization_guarantees(p in arb_platform(), grid in grids()) {
+        let exact = SteadyState::from_solution(&bw_first(&p));
+        let q = quantize(&p, &exact, grid);
+
+        // 1. Feasibility is preserved.
+        prop_assert!(q.verify(&p).is_ok());
+
+        // 2. Throughput only shrinks, by less than the a-priori bound.
+        prop_assert!(q.throughput <= exact.throughput);
+        prop_assert!(exact.throughput - q.throughput < loss_bound(&p, &exact, grid).max(bwfirst::rat(1, 1_000_000_000)));
+
+        // 3. Every denominator divides the grid.
+        for id in p.node_ids() {
+            prop_assert_eq!(grid % q.alpha[id.index()].denom(), 0);
+            prop_assert_eq!(grid % q.eta_in[id.index()].denom(), 0);
+        }
+
+        // 4. Per-node rates never grow.
+        for id in p.node_ids() {
+            prop_assert!(q.alpha[id.index()] <= exact.alpha[id.index()]);
+            prop_assert!(q.eta_in[id.index()] <= exact.eta_in[id.index()]);
+        }
+
+        // 5. The derived schedule validates and has periods dividing G.
+        if q.throughput.is_positive() {
+            let ev = EventDrivenSchedule::standard(&p, &q);
+            prop_assert!(validate_schedule(&p, &q, &ev).is_empty());
+            let ts = TreeSchedule::build(&p, &q);
+            for s in ts.iter() {
+                prop_assert_eq!(grid % s.t_omega, 0, "T^w at {}", s.node);
+            }
+        }
+    }
+
+    #[test]
+    fn nested_grids_are_monotone(p in arb_platform(), base in 2i128..40, mult in 2i128..12) {
+        let exact = SteadyState::from_solution(&bw_first(&p));
+        let coarse = quantize(&p, &exact, base);
+        let fine = quantize(&p, &exact, base * mult);
+        // Refining the grid (to a multiple) can only recover throughput.
+        prop_assert!(fine.throughput >= coarse.throughput);
+    }
+
+    #[test]
+    fn quantize_is_idempotent(p in arb_platform(), grid in grids()) {
+        let exact = SteadyState::from_solution(&bw_first(&p));
+        let once = quantize(&p, &exact, grid);
+        let twice = quantize(&p, &once, grid);
+        prop_assert_eq!(once, twice);
+    }
+}
