@@ -1,0 +1,60 @@
+//! Bench: what instrumentation costs. The executors are generic over the
+//! probe (static dispatch), so [`NoProbe`]'s empty inlined bodies must make
+//! an uninstrumented run indistinguishable from the pre-probe baseline —
+//! the acceptance bar is ≤ 5% overhead for `NoProbe` vs the plain
+//! `simulate()` entry point. Collecting probes are measured alongside to
+//! price what turning observation *on* costs.
+
+use bwfirst_core::schedule::EventDrivenSchedule;
+use bwfirst_core::{bw_first, SteadyState};
+use bwfirst_obs::MemoryRecorder;
+use bwfirst_platform::examples::example_tree;
+use bwfirst_rational::rat;
+use bwfirst_sim::{event_driven, NoProbe, ObsProbe, SimConfig, UtilizationProbe};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let p = example_tree();
+    let ss = SteadyState::from_solution(&bw_first(&p));
+    let ev = EventDrivenSchedule::standard(&p, &ss);
+    // 100 steady-state periods: long enough that per-event costs dominate.
+    let cfg = SimConfig {
+        horizon: rat(3600, 1),
+        stop_injection_at: None,
+        total_tasks: None,
+        record_gantt: false,
+    };
+    let mut g = c.benchmark_group("obs_overhead");
+    g.bench_function("baseline_simulate", |b| {
+        b.iter(|| event_driven::simulate(black_box(&p), black_box(&ev), &cfg));
+    });
+    g.bench_function("noop_probe", |b| {
+        b.iter(|| {
+            let mut probe = NoProbe;
+            event_driven::simulate_probed(black_box(&p), black_box(&ev), &cfg, &mut probe)
+        });
+    });
+    g.bench_function("utilization_probe", |b| {
+        b.iter(|| {
+            let mut probe = UtilizationProbe::new(p.len(), cfg.horizon);
+            let rep =
+                event_driven::simulate_probed(black_box(&p), black_box(&ev), &cfg, &mut probe);
+            (rep, probe.finish())
+        });
+    });
+    g.bench_function("obs_probe_memory_recorder", |b| {
+        b.iter(|| {
+            let mut rec = MemoryRecorder::new();
+            let rep = {
+                let mut probe = ObsProbe::new(&mut rec);
+                event_driven::simulate_probed(black_box(&p), black_box(&ev), &cfg, &mut probe)
+            };
+            (rep, rec.events.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

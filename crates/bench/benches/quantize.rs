@@ -14,15 +14,23 @@ fn bench_quantize(c: &mut Criterion) {
         let p = trees::supply_tree(size, 1);
         let ss = SteadyState::from_solution(&bw_first(&p));
         for grid in [360i128, 2520] {
-            g.bench_with_input(BenchmarkId::new(format!("grid_{grid}"), size), &(&p, &ss), |b, (p, ss)| {
-                b.iter(|| quantize(black_box(p), black_box(ss), grid));
-            });
+            g.bench_with_input(
+                BenchmarkId::new(format!("grid_{grid}"), size),
+                &(&p, &ss),
+                |b, (p, ss)| {
+                    b.iter(|| quantize(black_box(p), black_box(ss), grid));
+                },
+            );
         }
         // Schedule rebuild on the quantized rates (the payoff step).
         let q = quantize(&p, &ss, 2520);
-        g.bench_with_input(BenchmarkId::new("schedule_after_2520", size), &(&p, &q), |b, (p, q)| {
-            b.iter(|| TreeSchedule::build(black_box(p), black_box(q)));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("schedule_after_2520", size),
+            &(&p, &q),
+            |b, (p, q)| {
+                b.iter(|| TreeSchedule::build(black_box(p), black_box(q)));
+            },
+        );
     }
     g.finish();
 }

@@ -2,8 +2,8 @@
 //! `f64` fast path (the DESIGN.md ablation for topology-search workloads).
 
 use bwfirst_bench::trees;
-use bwfirst_core::float::bw_first_f64;
 use bwfirst_core::bw_first;
+use bwfirst_core::float::bw_first_f64;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

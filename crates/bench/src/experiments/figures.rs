@@ -29,7 +29,12 @@ pub fn e2_transactions() -> String {
             }
         }
     }
-    writeln!(out, "root acknowledges theta = {} to the virtual parent", sol.t_max - sol.throughput()).unwrap();
+    writeln!(
+        out,
+        "root acknowledges theta = {} to the virtual parent",
+        sol.t_max - sol.throughput()
+    )
+    .unwrap();
     writeln!(out, "\nthroughput = {} tasks per time unit (paper: 10/9)", sol.throughput()).unwrap();
     let unvisited: Vec<String> = sol.unvisited().iter().map(ToString::to_string).collect();
     writeln!(out, "unvisited nodes: {} (paper: P5, P9, P10, P11)", unvisited.join(", ")).unwrap();
@@ -47,13 +52,23 @@ pub fn e3_rates() -> String {
     let mut t = Table::new(["node", "eta_in (recv/unit)", "alpha (comp/unit)", "forwarded/unit"]);
     for id in p.node_ids() {
         let fwd: Rat = p.children(id).iter().map(|&k| ss.eta_in[k.index()]).sum();
-        t.row([id.to_string(), ss.eta_in[id.index()].to_string(), ss.alpha[id.index()].to_string(), fwd.to_string()]);
+        t.row([
+            id.to_string(),
+            ss.eta_in[id.index()].to_string(),
+            ss.alpha[id.index()].to_string(),
+            fwd.to_string(),
+        ]);
     }
     let mut out = String::new();
     writeln!(out, "E3  Figure 4(c): per-node steady-state rates\n").unwrap();
     out.push_str(&t.render());
     writeln!(out, "\nthroughput          = {}  (paper: 10/9)", ss.throughput).unwrap();
-    writeln!(out, "rootless throughput = {}  (paper: 1 task/unit, stated as 40 per 40)", ss.rootless_throughput(&p)).unwrap();
+    writeln!(
+        out,
+        "rootless throughput = {}  (paper: 1 task/unit, stated as 40 per 40)",
+        ss.rootless_throughput(&p)
+    )
+    .unwrap();
     out
 }
 
@@ -92,8 +107,13 @@ pub fn e4_local_schedules() -> String {
     let mut out = String::new();
     writeln!(out, "E4  Figure 4(d): compact local schedules (interleaved order)\n").unwrap();
     out.push_str(&t.render());
-    writeln!(out, "\nnaive synchronous period T = lcm of all denominators = {sync} time units").unwrap();
-    writeln!(out, "vs per-node consuming periods T^w of at most 12 — the compact description of Section 6").unwrap();
+    writeln!(out, "\nnaive synchronous period T = lcm of all denominators = {sync} time units")
+        .unwrap();
+    writeln!(
+        out,
+        "vs per-node consuming periods T^w of at most 12 — the compact description of Section 6"
+    )
+    .unwrap();
     out
 }
 
@@ -116,7 +136,11 @@ pub fn e5_simulation() -> String {
     let bound = startup::tree_startup_bound(&p, &ev.tree);
 
     let mut out = String::new();
-    writeln!(out, "E5  Figure 5 + Section 8 numbers (event-driven run, stop injection at t={stop})\n").unwrap();
+    writeln!(
+        out,
+        "E5  Figure 5 + Section 8 numbers (event-driven run, stop injection at t={stop})\n"
+    )
+    .unwrap();
 
     // Gantt of the first 60 units, active nodes only.
     let active: Vec<_> = p.node_ids().filter(|&n| ss.is_active(n)).collect();
@@ -130,13 +154,12 @@ pub fn e5_simulation() -> String {
         &bwfirst_sim::gantt_svg::SvgOptions::default(),
     );
     let svg_path = "paper_output/figure5.svg";
-    if std::fs::create_dir_all("paper_output").and_then(|()| std::fs::write(svg_path, &svg)).is_ok() {
+    if std::fs::create_dir_all("paper_output").and_then(|()| std::fs::write(svg_path, &svg)).is_ok()
+    {
         writeln!(out, "(SVG rendering of the full run written to {svg_path})\n").unwrap();
     }
 
-    let entry = rep
-        .steady_state_entry(ss.throughput, period, stop)
-        .expect("reached steady state");
+    let entry = rep.steady_state_entry(ss.throughput, period, stop).expect("reached steady state");
     let startup_window = period; // one rootless-tree period analog
     let early = rep.completions_in(Rat::ZERO, startup_window);
     let optimal_per_period = (ss.throughput * period).floor();
@@ -163,7 +186,10 @@ pub fn e5_simulation() -> String {
     t.row([
         "tasks in first period".to_string(),
         "32/40 = 80% of optimal".to_string(),
-        format!("{early}/{optimal_per_period} = {:.0}%", 100.0 * early as f64 / optimal_per_period as f64),
+        format!(
+            "{early}/{optimal_per_period} = {:.0}%",
+            100.0 * early as f64 / optimal_per_period as f64
+        ),
     ]);
     t.row([
         "wind-down after stop".to_string(),

@@ -12,8 +12,14 @@ mod scaling;
 pub use figures::{e2_transactions, e3_rates, e4_local_schedules, e5_simulation};
 pub use oracle::e14_lp_oracle;
 pub use overlays::e17_overlay_search;
-pub use protocols::{e11_distributed_protocol, e13_makespan, e16_clocked_vs_event, e18_dynamic_adaptation, e19_returns_on_trees, e7_protocol_comparison, e8_result_return};
-pub use scaling::{e10_infinite_trees, e12_startup_bounds, e15_quantization, e1_fork_equivalence, e6_visits, e9_schedule_compactness};
+pub use protocols::{
+    e11_distributed_protocol, e13_makespan, e16_clocked_vs_event, e18_dynamic_adaptation,
+    e19_returns_on_trees, e7_protocol_comparison, e8_result_return,
+};
+pub use scaling::{
+    e10_infinite_trees, e12_startup_bounds, e15_quantization, e1_fork_equivalence, e6_visits,
+    e9_schedule_compactness,
+};
 
 /// All experiment ids in order, with a one-line description.
 pub const ALL: [(&str, &str); 19] = [

@@ -25,7 +25,9 @@ pub fn e14_lp_oracle() -> String {
     ]);
     let cases: Vec<(String, bwfirst_platform::Platform)> =
         std::iter::once(("example".to_string(), bwfirst_platform::examples::example_tree()))
-            .chain([15usize, 31, 63].into_iter().map(|s| (format!("supply-{s}"), supply_tree(s, 33))))
+            .chain(
+                [15usize, 31, 63].into_iter().map(|s| (format!("supply-{s}"), supply_tree(s, 33))),
+            )
             .chain([17u64, 18].into_iter().map(|s| (format!("random-31 #{s}"), tree(31, s))))
             .collect();
     let mut all_equal = true;
@@ -54,7 +56,9 @@ pub fn e14_lp_oracle() -> String {
     writeln!(out, "E14  LP oracle: exact simplex vs BW-First vs bottom-up\n").unwrap();
     out.push_str(&t.render());
     writeln!(out, "\nall three methods agree exactly on every platform: {all_equal}").unwrap();
-    writeln!(out, "(the LP is the approach of the paper's reference [2] specialized to trees;").unwrap();
-    writeln!(out, " BW-First reaches the same optimum with a handful of single-number messages)").unwrap();
+    writeln!(out, "(the LP is the approach of the paper's reference [2] specialized to trees;")
+        .unwrap();
+    writeln!(out, " BW-First reaches the same optimum with a handful of single-number messages)")
+        .unwrap();
     out
 }

@@ -47,11 +47,16 @@ pub fn e17_overlay_search() -> String {
     let mut out = String::new();
     writeln!(out, "E17  overlay construction on physical networks, scored by BW-First\n").unwrap();
     out.push_str(&t.render());
-    writeln!(out, "\nthe min-link (Prim) construction — greedy bandwidth-centricity — is often").unwrap();
-    writeln!(out, "already optimal, which the certified search confirms; where it is not, the").unwrap();
+    writeln!(out, "\nthe min-link (Prim) construction — greedy bandwidth-centricity — is often")
+        .unwrap();
+    writeln!(out, "already optimal, which the certified search confirms; where it is not, the")
+        .unwrap();
     writeln!(out, "reattachment search recovers the gap.").unwrap();
-    writeln!(out, "\n\"a quick way to evaluate the throughput of a tree allows to consider a").unwrap();
-    writeln!(out, "wider set of trees\" (Section 5): the search scores thousands of candidate").unwrap();
-    writeln!(out, "spanning trees with the f64 fast path and certifies the winner exactly.").unwrap();
+    writeln!(out, "\n\"a quick way to evaluate the throughput of a tree allows to consider a")
+        .unwrap();
+    writeln!(out, "wider set of trees\" (Section 5): the search scores thousands of candidate")
+        .unwrap();
+    writeln!(out, "spanning trees with the f64 fast path and certifies the winner exactly.")
+        .unwrap();
     out
 }

@@ -20,7 +20,8 @@ fn peak_buffer(rep: &SimReport) -> u64 {
 #[must_use]
 pub fn e7_protocol_comparison() -> String {
     let mut out = String::new();
-    writeln!(out, "E7  event-driven (paper) vs demand-driven (Kreaseck-style) protocols\n").unwrap();
+    writeln!(out, "E7  event-driven (paper) vs demand-driven (Kreaseck-style) protocols\n")
+        .unwrap();
     let mut t = Table::new([
         "tree",
         "protocol",
@@ -41,7 +42,8 @@ pub fn e7_protocol_comparison() -> String {
         }
         let window = Rat::from_int(synchronous_period(&ss));
         let horizon = (window * rat(8, 1)).max(rat(240, 1));
-        let cfg = SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+        let cfg =
+            SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
 
         let ev = EventDrivenSchedule::standard(&p, &ss);
         let er = event_driven::simulate(&p, &ev, &cfg);
@@ -89,7 +91,8 @@ pub fn e7_protocol_comparison() -> String {
         ]);
     }
     out.push_str(&t.render());
-    writeln!(out, "\nthe demand-driven protocol wastes feeds on pruned subtrees, buffers more,").unwrap();
+    writeln!(out, "\nthe demand-driven protocol wastes feeds on pruned subtrees, buffers more,")
+        .unwrap();
     writeln!(out, "and can settle below the optimal rate — the Sections 2/7 criticism.").unwrap();
     out
 }
@@ -120,10 +123,13 @@ pub fn e8_result_return() -> String {
         "1 task/unit".to_string(),
     ]);
     let mut out = String::new();
-    writeln!(out, "E8  Section 9 result-return counter-example (master + 2 unit-speed workers)\n").unwrap();
+    writeln!(out, "E8  Section 9 result-return counter-example (master + 2 unit-speed workers)\n")
+        .unwrap();
     out.push_str(&t.render());
-    writeln!(out, "\nmerging send and return times halves the platform: the receiving port is a").unwrap();
-    writeln!(out, "resource of its own, so the bandwidth-centric simplification is erroneous.").unwrap();
+    writeln!(out, "\nmerging send and return times halves the platform: the receiving port is a")
+        .unwrap();
+    writeln!(out, "resource of its own, so the bandwidth-centric simplification is erroneous.")
+        .unwrap();
     out
 }
 
@@ -167,7 +173,8 @@ pub fn e11_distributed_protocol() -> String {
         ]);
     }
     out.push_str(&t.render());
-    writeln!(out, "\n(wire bytes: the whole negotiation encoded with the varint codec — a few").unwrap();
+    writeln!(out, "\n(wire bytes: the whole negotiation encoded with the varint codec — a few")
+        .unwrap();
     writeln!(out, " bytes per message, dwarfed by a single task payload)").unwrap();
 
     // The same protocol over real localhost TCP sockets.
@@ -191,7 +198,12 @@ pub fn e11_distributed_protocol() -> String {
     session.set_link(bwfirst_platform::NodeId(1), rat(1, 1));
     let recovered = session.negotiate();
     writeln!(out, "  initial throughput   {}", before.throughput).unwrap();
-    writeln!(out, "  after P0->P1 slows   {} ({} messages to renegotiate, {:?})", degraded.throughput, degraded.protocol_messages, degraded.elapsed).unwrap();
+    writeln!(
+        out,
+        "  after P0->P1 slows   {} ({} messages to renegotiate, {:?})",
+        degraded.throughput, degraded.protocol_messages, degraded.elapsed
+    )
+    .unwrap();
     writeln!(out, "  after link recovers  {}", recovered.throughput).unwrap();
     out
 }
@@ -215,7 +227,10 @@ pub fn e13_makespan() -> String {
     ]);
     let cases: Vec<(String, bwfirst_platform::Platform)> =
         std::iter::once(("example".to_string(), example_tree()))
-            .chain(std::iter::once(("supply-31 #33".to_string(), crate::trees::supply_tree(31, 33))))
+            .chain(std::iter::once((
+                "supply-31 #33".to_string(),
+                crate::trees::supply_tree(31, 33),
+            )))
             .collect();
     for (name, p) in cases {
         let ss = SteadyState::from_solution(&bw_first(&p));
@@ -223,7 +238,12 @@ pub fn e13_makespan() -> String {
         for n in [50u64, 200, 1000] {
             let lb = lower_bound(&ss, n);
             let emk = event_driven_makespan(&p, &ss, &ev, n);
-            let dmk = demand_driven_makespan(&p, &ss, bwfirst_sim::demand_driven::DemandConfig::default(), n);
+            let dmk = demand_driven_makespan(
+                &p,
+                &ss,
+                bwfirst_sim::demand_driven::DemandConfig::default(),
+                n,
+            );
             t.row([
                 name.clone(),
                 n.to_string(),
@@ -236,8 +256,10 @@ pub fn e13_makespan() -> String {
         }
     }
     out.push_str(&t.render());
-    writeln!(out, "\nquick start-up and wind-down push the event-driven makespan toward the").unwrap();
-    writeln!(out, "information-theoretic bound as N grows — the Section 2 heuristic argument.").unwrap();
+    writeln!(out, "\nquick start-up and wind-down push the event-driven makespan toward the")
+        .unwrap();
+    writeln!(out, "information-theoretic bound as N grows — the Section 2 heuristic argument.")
+        .unwrap();
     out
 }
 
@@ -283,22 +305,49 @@ pub fn e16_clocked_vs_event() -> String {
     let chi_total: u64 = ts.iter().filter_map(|s| s.chi_in).map(|c| c as u64).sum();
     let e = row(&event, 0);
     t.row([
-        "event-driven (paper)".to_string(), e[0].clone(), e[1].clone(), e[2].clone(), e[3].clone(), e[4].clone(),
+        "event-driven (paper)".to_string(),
+        e[0].clone(),
+        e[1].clone(),
+        e[2].clone(),
+        e[3].clone(),
+        e[4].clone(),
     ]);
     let tr = row(&traditional, 0);
     t.row([
-        "traditional prefill (Sec. 7 baseline)".to_string(), tr[0].clone(), tr[1].clone(), tr[2].clone(), tr[3].clone(), tr[4].clone(),
+        "traditional prefill (Sec. 7 baseline)".to_string(),
+        tr[0].clone(),
+        tr[1].clone(),
+        tr[2].clone(),
+        tr[3].clone(),
+        tr[4].clone(),
     ]);
     let w = row(&warm, chi_total);
-    t.row(["clocked + chi prefill".to_string(), w[0].clone(), w[1].clone(), w[2].clone(), w[3].clone(), w[4].clone()]);
+    t.row([
+        "clocked + chi prefill".to_string(),
+        w[0].clone(),
+        w[1].clone(),
+        w[2].clone(),
+        w[3].clone(),
+        w[4].clone(),
+    ]);
     let c = row(&cold, 0);
-    t.row(["clocked, cold".to_string(), c[0].clone(), c[1].clone(), c[2].clone(), c[3].clone(), c[4].clone()]);
+    t.row([
+        "clocked, cold".to_string(),
+        c[0].clone(),
+        c[1].clone(),
+        c[2].clone(),
+        c[3].clone(),
+        c[4].clone(),
+    ]);
 
     let mut out = String::new();
-    writeln!(out, "E16  Lemma 1 clocked schedule vs the event-driven schedule (example tree)\n").unwrap();
+    writeln!(out, "E16  Lemma 1 clocked schedule vs the event-driven schedule (example tree)\n")
+        .unwrap();
     out.push_str(&t.render());
-    writeln!(out, "\nthe clocked schedule needs Proposition 3's buffered stock to start at full").unwrap();
-    writeln!(out, "rate; the event-driven schedule gets there without prefill or clocks —").unwrap();
+    writeln!(out, "\nthe clocked schedule needs Proposition 3's buffered stock to start at full")
+        .unwrap();
+    writeln!(out, "rate; the event-driven schedule gets there without prefill or clocks —")
+        .unwrap();
     writeln!(out, "the paper's Sections 6.2 and 7 in one table.").unwrap();
     out
 }
@@ -323,7 +372,8 @@ pub fn e18_dynamic_adaptation() -> String {
     let (adaptive, swaps) =
         simulate_dynamic(&p, &changes, AdaptPolicy::Renegotiate { delay: rat(5, 1) }, &cfg);
 
-    let mut t = Table::new(["window", "platform state", "optimum", "stale schedule", "renegotiated"]);
+    let mut t =
+        Table::new(["window", "platform state", "optimum", "stale schedule", "renegotiated"]);
     let windows: [(i128, i128, &str, &str); 3] = [
         (76, 112, "healthy (c=1)", "10/9 = 1.1111"),
         (200, 308, "degraded (c=12)", "21/20 = 1.05"),
@@ -339,12 +389,20 @@ pub fn e18_dynamic_adaptation() -> String {
         ]);
     }
     let mut out = String::new();
-    writeln!(out, "E18  mid-run link dynamics: P0->P1 degrades 12x at t=120, heals at t=320\n").unwrap();
+    writeln!(out, "E18  mid-run link dynamics: P0->P1 degrades 12x at t=120, heals at t=320\n")
+        .unwrap();
     out.push_str(&t.render());
-    writeln!(out, "\nschedule swaps at t = {:?} (5 time units after each change —", swaps.iter().map(|s| s.to_f64()).collect::<Vec<_>>()).unwrap();
+    writeln!(
+        out,
+        "\nschedule swaps at t = {:?} (5 time units after each change —",
+        swaps.iter().map(|s| s.to_f64()).collect::<Vec<_>>()
+    )
+    .unwrap();
     writeln!(out, "E11 shows the real renegotiation costs microseconds and ~100 bytes).").unwrap();
-    writeln!(out, "the stale schedule keeps pushing 1/3 task/unit into the slow link and clogs").unwrap();
-    writeln!(out, "the root's port; re-negotiation tracks the platform's optimum throughout.").unwrap();
+    writeln!(out, "the stale schedule keeps pushing 1/3 task/unit into the slow link and clogs")
+        .unwrap();
+    writeln!(out, "the root's port; re-negotiation tracks the platform's optimum throughout.")
+        .unwrap();
     out
 }
 
@@ -355,11 +413,16 @@ pub fn e18_dynamic_adaptation() -> String {
 pub fn e19_returns_on_trees() -> String {
     use bwfirst_sim::returns::{simulate_with_returns, ReturnConfig};
     let mut out = String::new();
-    writeln!(out, "E19  forward-optimal schedule under result returns (relative size rho)\n").unwrap();
-    let mut t = Table::new(["tree", "rho=0 (paper model)", "rho=1/8", "rho=1/4", "rho=1/2", "rho=1"]);
+    writeln!(out, "E19  forward-optimal schedule under result returns (relative size rho)\n")
+        .unwrap();
+    let mut t =
+        Table::new(["tree", "rho=0 (paper model)", "rho=1/8", "rho=1/4", "rho=1/2", "rho=1"]);
     let cases: Vec<(String, bwfirst_platform::Platform)> =
         std::iter::once(("example".to_string(), example_tree()))
-            .chain(std::iter::once(("supply-31 #33".to_string(), crate::trees::supply_tree(31, 33))))
+            .chain(std::iter::once((
+                "supply-31 #33".to_string(),
+                crate::trees::supply_tree(31, 33),
+            )))
             .collect();
     for (name, p) in cases {
         let ss = SteadyState::from_solution(&bw_first(&p));
@@ -373,18 +436,23 @@ pub fn e19_returns_on_trees() -> String {
         let ev = EventDrivenSchedule::standard(&p, &ss);
         let start = rat(200, 1);
         let horizon = rat(600, 1);
-        let cfg = SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+        let cfg =
+            SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
         let mut row = vec![name];
         for (num, den) in [(0i128, 1i128), (1, 8), (1, 4), (1, 2), (1, 1)] {
-            let rep = simulate_with_returns(&p, &ev, ReturnConfig { return_ratio: rat(num, den) }, &cfg);
+            let rep =
+                simulate_with_returns(&p, &ev, ReturnConfig { return_ratio: rat(num, den) }, &cfg);
             row.push(f(rep.throughput_in(start, horizon)));
         }
         t.row(row);
     }
     out.push_str(&t.render());
-    writeln!(out, "\nthe paper proves the merge-the-costs simplification wrong (E8) and leaves").unwrap();
-    writeln!(out, "scheduling-with-returns open; here the *forward-optimal* schedule is run").unwrap();
-    writeln!(out, "against growing return traffic: the loss at rho=1 is the price of ignoring").unwrap();
+    writeln!(out, "\nthe paper proves the merge-the-costs simplification wrong (E8) and leaves")
+        .unwrap();
+    writeln!(out, "scheduling-with-returns open; here the *forward-optimal* schedule is run")
+        .unwrap();
+    writeln!(out, "against growing return traffic: the loss at rho=1 is the price of ignoring")
+        .unwrap();
     writeln!(out, "the receiving-port resource when building the schedule.").unwrap();
     out
 }

@@ -74,7 +74,11 @@ pub fn e6_visits() -> String {
     writeln!(out, "E6  BW-First visits vs bottom-up work under root-link bottlenecks\n").unwrap();
     out.push_str(&t.render());
     writeln!(out, "\nthe bottom-up baseline always reduces every fork (edges column);").unwrap();
-    writeln!(out, "BW-First's visits shrink as the bottleneck starves subtrees — Section 5's claim.").unwrap();
+    writeln!(
+        out,
+        "BW-First's visits shrink as the bottleneck starves subtrees — Section 5's claim."
+    )
+    .unwrap();
     out
 }
 
@@ -88,7 +92,14 @@ fn peak_buffer(rep: &SimReport) -> u64 {
 pub fn e9_schedule_compactness() -> String {
     let mut out = String::new();
     writeln!(out, "E9a  synchronous period vs per-node event-driven description\n").unwrap();
-    let mut t = Table::new(["tree (seed)", "nodes", "sync period T", "max T^w", "max bunch", "active nodes"]);
+    let mut t = Table::new([
+        "tree (seed)",
+        "nodes",
+        "sync period T",
+        "max T^w",
+        "max bunch",
+        "active nodes",
+    ]);
     for seed in [1u64, 2, 3, 4, 5] {
         // Integer weights/links, slow CPUs: realistic measured-rate platforms
         // with wide fan-out but bounded lcm blow-up.
@@ -109,10 +120,21 @@ pub fn e9_schedule_compactness() -> String {
     }
     out.push_str(&t.render());
 
-    writeln!(out, "\nE9b  local-schedule ablation on the example tree (horizon 300, stop at 200)\n").unwrap();
+    writeln!(
+        out,
+        "\nE9b  local-schedule ablation on the example tree (horizon 300, stop at 200)\n"
+    )
+    .unwrap();
     let p = bwfirst_platform::examples::example_tree();
     let ss = SteadyState::from_solution(&bw_first(&p));
-    let mut t = Table::new(["local order", "peak buffer", "avg buffer (worst node)", "mean latency", "wind-down", "steady rate ok"]);
+    let mut t = Table::new([
+        "local order",
+        "peak buffer",
+        "avg buffer (worst node)",
+        "mean latency",
+        "wind-down",
+        "steady rate ok",
+    ]);
     for (kind, name) in [
         (LocalScheduleKind::Interleaved, "interleaved (paper)"),
         (LocalScheduleKind::RoundRobin, "round-robin"),
@@ -138,7 +160,11 @@ pub fn e9_schedule_compactness() -> String {
         ]);
     }
     out.push_str(&t.render());
-    writeln!(out, "\nall orders deliver the same steady throughput; interleaving minimizes buffers,").unwrap();
+    writeln!(
+        out,
+        "\nall orders deliver the same steady throughput; interleaving minimizes buffers,"
+    )
+    .unwrap();
     writeln!(out, "task sojourn times, and the wind-down — the Section 6.3 design goal").unwrap();
     writeln!(out, "(\"consume tasks almost as fast as they receive them\").").unwrap();
     out
@@ -161,13 +187,15 @@ pub fn e10_infinite_trees() -> String {
         t.row([depth.to_string(), f(cl), f(cu), f(kl), f(ku)]);
     }
     out.push_str(&t.render());
-    writeln!(out, "\nbounds collapse geometrically: a finite horizon prices an infinite tree —").unwrap();
+    writeln!(out, "\nbounds collapse geometrically: a finite horizon prices an infinite tree —")
+        .unwrap();
     writeln!(out, "the Bataineh & Robertazzi observation the paper cites.").unwrap();
     // Cross-check on a finite platform.
     let p = bwfirst_platform::examples::example_tree();
     let exact = bw_first(&p).throughput();
     let (lo, hi) = throughput_bounds(&bwfirst_core::lazy::PlatformSource(&p), p.height() + 1);
-    writeln!(out, "finite cross-check (example tree): lower {lo} == exact {exact} == upper {hi}").unwrap();
+    writeln!(out, "finite cross-check (example tree): lower {lo} == exact {exact} == upper {hi}")
+        .unwrap();
     out
 }
 
@@ -175,7 +203,8 @@ pub fn e10_infinite_trees() -> String {
 /// `Σ T^ω` ancestor bound.
 #[must_use]
 pub fn e12_startup_bounds() -> String {
-    let mut t = Table::new(["tree", "throughput", "Prop 4 bound", "measured entry", "within bound+W"]);
+    let mut t =
+        Table::new(["tree", "throughput", "Prop 4 bound", "measured entry", "within bound+W"]);
     let mut all_ok = true;
     let cases: Vec<(String, bwfirst_platform::Platform)> =
         std::iter::once(("example".to_string(), bwfirst_platform::examples::example_tree()))
@@ -190,7 +219,8 @@ pub fn e12_startup_bounds() -> String {
         let bound = startup::tree_startup_bound(&p, &ev.tree);
         let window = Rat::from_int(synchronous_period(&ss));
         let horizon = (Rat::from_int(bound) + window * rat(6, 1)).max(rat(120, 1));
-        let cfg = SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+        let cfg =
+            SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
         let rep = event_driven::simulate(&p, &ev, &cfg);
         let entry = rep.steady_state_entry(ss.throughput, window, horizon);
         let ok = entry.is_some_and(|e| e <= Rat::from_int(bound) + window);
@@ -204,7 +234,8 @@ pub fn e12_startup_bounds() -> String {
         ]);
     }
     let mut out = String::new();
-    writeln!(out, "E12  Proposition 4 start-up bounds vs simulated entry into steady state\n").unwrap();
+    writeln!(out, "E12  Proposition 4 start-up bounds vs simulated entry into steady state\n")
+        .unwrap();
     out.push_str(&t.render());
     writeln!(out, "\nall within bound (+ one measurement window): {all_ok}").unwrap();
     out
@@ -264,7 +295,12 @@ pub fn e15_quantization() -> String {
         }
     }
     out.push_str(&t.render());
-    writeln!(out, "\nquantization keeps every single-port constraint satisfied by construction;").unwrap();
-    writeln!(out, "periods collapse from the lcm scale to at most G while losing < active/G throughput.").unwrap();
+    writeln!(out, "\nquantization keeps every single-port constraint satisfied by construction;")
+        .unwrap();
+    writeln!(
+        out,
+        "periods collapse from the lcm scale to at most G while losing < active/G throughput."
+    )
+    .unwrap();
     out
 }

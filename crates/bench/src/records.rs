@@ -1,20 +1,20 @@
 //! Machine-readable experiment records: the quantitative core of the key
-//! experiments as serde-serializable structs, for plotting and regression
+//! experiments as JSON-serializable structs, for plotting and regression
 //! tracking (written to `paper_output/records.json` by
 //! `paper_experiments records`).
 
 use crate::trees::{bottleneck, supply_tree};
 use bwfirst_core::schedule::{synchronous_period, EventDrivenSchedule, TreeSchedule};
 use bwfirst_core::{bottom_up, bw_first, quantize, startup, SteadyState};
+use bwfirst_obs::json::{obj, Value};
 use bwfirst_platform::examples::{example_tree, section9_counterexample};
 use bwfirst_rational::{rat, Rat};
 use bwfirst_sim::demand_driven::DemandConfig;
 use bwfirst_sim::makespan;
 use bwfirst_sim::{event_driven, result_return, SimConfig};
-use serde::Serialize;
 
 /// One point of the E6 visits sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct VisitRecord {
     /// Tree size in nodes.
     pub nodes: usize,
@@ -31,7 +31,7 @@ pub struct VisitRecord {
 }
 
 /// One point of the E13 makespan sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MakespanRecord {
     /// Workload size.
     pub tasks: u64,
@@ -44,7 +44,7 @@ pub struct MakespanRecord {
 }
 
 /// One point of the E15 quantization sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QuantizeRecord {
     /// Grid denominator `G` (`0` = exact schedule).
     pub grid: i64,
@@ -57,7 +57,7 @@ pub struct QuantizeRecord {
 }
 
 /// The E5 headline metrics.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure5Record {
     /// Exact steady throughput as a rational string.
     pub throughput: String,
@@ -76,7 +76,7 @@ pub struct Figure5Record {
 }
 
 /// The E8 result-return rates.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ResultReturnRecord {
     /// Separated send/return accounting.
     pub separated_rate: f64,
@@ -85,7 +85,7 @@ pub struct ResultReturnRecord {
 }
 
 /// Everything `paper_experiments records` emits.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Records {
     /// E5 metrics on the example tree.
     pub figure5: Figure5Record,
@@ -171,7 +171,8 @@ pub fn collect() -> Records {
             tasks: n,
             lower_bound: makespan::lower_bound(&ss, n).to_f64(),
             event_driven: makespan::event_driven_makespan(&p, &ss, &ev, n).to_f64(),
-            demand_driven: makespan::demand_driven_makespan(&p, &ss, DemandConfig::default(), n).to_f64(),
+            demand_driven: makespan::demand_driven_makespan(&p, &ss, DemandConfig::default(), n)
+                .to_f64(),
         })
         .collect();
 
@@ -203,7 +204,66 @@ pub fn collect() -> Records {
 /// Serializes the records as pretty JSON.
 #[must_use]
 pub fn to_json(records: &Records) -> String {
-    serde_json::to_string_pretty(records).expect("records serialize")
+    let visits: Vec<Value> = records
+        .visits
+        .iter()
+        .map(|v| {
+            obj(vec![
+                ("nodes", v.nodes.into()),
+                ("slowdown", i128::from(v.slowdown).into()),
+                ("throughput", v.throughput.as_str().into()),
+                ("throughput_f64", v.throughput_f64.into()),
+                ("bwfirst_visits", v.bwfirst_visits.into()),
+                ("bottom_up_edges", v.bottom_up_edges.into()),
+            ])
+        })
+        .collect();
+    let makespan: Vec<Value> = records
+        .makespan
+        .iter()
+        .map(|m| {
+            obj(vec![
+                ("tasks", m.tasks.into()),
+                ("lower_bound", m.lower_bound.into()),
+                ("event_driven", m.event_driven.into()),
+                ("demand_driven", m.demand_driven.into()),
+            ])
+        })
+        .collect();
+    let quantization: Vec<Value> = records
+        .quantization
+        .iter()
+        .map(|q| {
+            obj(vec![
+                ("grid", i128::from(q.grid).into()),
+                ("throughput_f64", q.throughput_f64.into()),
+                ("loss_pct", q.loss_pct.into()),
+                ("max_t_omega", q.max_t_omega.into()),
+            ])
+        })
+        .collect();
+    let f = &records.figure5;
+    let figure5 = obj(vec![
+        ("throughput", f.throughput.as_str().into()),
+        ("period", f.period.into()),
+        ("startup_bound", f.startup_bound.into()),
+        ("steady_entry", f.steady_entry.into()),
+        ("first_period_tasks", f.first_period_tasks.into()),
+        ("wind_down", f.wind_down.into()),
+        ("peak_buffer", f.peak_buffer.into()),
+    ]);
+    let rr = obj(vec![
+        ("separated_rate", records.result_return.separated_rate.into()),
+        ("merged_rate", records.result_return.merged_rate.into()),
+    ]);
+    obj(vec![
+        ("figure5", figure5),
+        ("visits", Value::Array(visits)),
+        ("result_return", rr),
+        ("makespan", Value::Array(makespan)),
+        ("quantization", Value::Array(quantization)),
+    ])
+    .to_string_pretty()
 }
 
 #[cfg(test)]
@@ -229,7 +289,7 @@ mod tests {
         assert!(ratios.windows(2).all(|w| w[1] <= w[0]));
         // JSON output parses back.
         let json = to_json(&r);
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let v = bwfirst_obs::json::parse(&json).unwrap();
         assert!(v["figure5"]["throughput"].is_string());
     }
 }

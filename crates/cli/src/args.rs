@@ -36,6 +36,8 @@ pub enum CliError {
     },
     /// Reading or parsing the platform file failed.
     Platform(String),
+    /// Writing an output file (`--trace`, `--metrics`) failed.
+    Io(String),
 }
 
 impl fmt::Display for CliError {
@@ -47,6 +49,7 @@ impl fmt::Display for CliError {
             CliError::MissingArgument(a) => write!(f, "missing argument: {a}"),
             CliError::BadValue { what, value } => write!(f, "bad value for {what}: `{value}`"),
             CliError::Platform(msg) => write!(f, "platform error: {msg}"),
+            CliError::Io(msg) => write!(f, "output error: {msg}"),
         }
     }
 }
@@ -77,7 +80,12 @@ impl Args {
     }
 
     /// A flag parsed into `T`, or `default` when absent.
-    pub fn flag_or<T: std::str::FromStr>(&self, key: &str, what: &'static str, default: T) -> Result<T, CliError> {
+    pub fn flag_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        what: &'static str,
+        default: T,
+    ) -> Result<T, CliError> {
         match self.flags.get(key) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| CliError::BadValue { what, value: v.clone() }),
@@ -85,10 +93,16 @@ impl Args {
     }
 
     /// An optional flag parsed into `T`.
-    pub fn flag_opt<T: std::str::FromStr>(&self, key: &str, what: &'static str) -> Result<Option<T>, CliError> {
+    pub fn flag_opt<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        what: &'static str,
+    ) -> Result<Option<T>, CliError> {
         match self.flags.get(key) {
             None => Ok(None),
-            Some(v) => v.parse().map(Some).map_err(|_| CliError::BadValue { what, value: v.clone() }),
+            Some(v) => {
+                v.parse().map(Some).map_err(|_| CliError::BadValue { what, value: v.clone() })
+            }
         }
     }
 }

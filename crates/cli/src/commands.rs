@@ -4,12 +4,13 @@
 
 use crate::args::{Args, CliError};
 use bwfirst_core::schedule::{synchronous_period, EventDrivenSchedule, SlotAction};
-use bwfirst_core::{bw_first, quantize, startup, SteadyState};
+use bwfirst_core::{bw_first, observe, quantize, startup, SteadyState};
+use bwfirst_obs::{chrome, summary, MemoryRecorder};
 use bwfirst_platform::generators;
 use bwfirst_platform::{io, Platform, Weight};
 use bwfirst_rational::{rat, Rat};
 use bwfirst_sim::demand_driven::{self, DemandConfig};
-use bwfirst_sim::{event_driven, SimConfig};
+use bwfirst_sim::{event_driven, GanttProbe, ObsProbe, SimConfig, UtilizationProbe};
 use std::fmt::Write;
 
 /// Usage text.
@@ -25,7 +26,12 @@ usage:
       event-driven periods and local schedules (optionally quantized to 1/G)
   bwfirst simulate <platform.json> [--horizon H] [--stop T] [--tasks N]
                    [--protocol event|demand|demand-int] [--gantt COLS]
+                   [--trace out.json] [--metrics out.json]
       discrete-event simulation with throughput/buffer/wind-down metrics
+  bwfirst stats <platform.json> [--horizon H] [--protocol event|demand|demand-int]
+                [--trace out.json] [--metrics out.json]
+      negotiate, solve, schedule and simulate with full instrumentation:
+      protocol message/byte counters, solver spans, per-node utilization
   bwfirst generate <random|star|chain|kary|example> [--size N] [--seed S]
                    [--arity K] [--depth D]
       emit a platform JSON on stdout
@@ -45,14 +51,38 @@ fn load(platform_json: &str) -> Result<Platform, CliError> {
     io::from_json(platform_json).map_err(|e| CliError::Platform(e.to_string()))
 }
 
-/// Runs the parsed command; `read_file` supplies file contents.
+/// Runs the parsed command; `read_file` supplies file contents. Commands
+/// that write output files (`--trace`, `--metrics`) fail under this entry
+/// point — use [`dispatch_io`] when a file sink is available.
 pub fn dispatch<F>(args: &Args, read_file: F) -> Result<String, CliError>
 where
     F: Fn(&str) -> Result<String, String>,
 {
+    dispatch_io(args, read_file, |path, _| Err(format!("cannot write {path}: no file sink")))
+}
+
+/// Runs the parsed command with both a file source and a file sink, so
+/// `--trace <path>` (Chrome trace JSON) and `--metrics <path>` (metrics
+/// JSON) can be written.
+pub fn dispatch_io<F, W>(args: &Args, read_file: F, write_file: W) -> Result<String, CliError>
+where
+    F: Fn(&str) -> Result<String, String>,
+    W: Fn(&str, &str) -> Result<(), String>,
+{
     let read = |path: &str| -> Result<Platform, CliError> {
         let text = read_file(path).map_err(CliError::Platform)?;
         load(&text)
+    };
+    // Exports the recorder wherever --trace / --metrics point.
+    let export = |args: &Args, rec: &MemoryRecorder| -> Result<(), CliError> {
+        if let Some(path) = args.flags.get("trace") {
+            // 1 simulated time unit = 1ms in the viewer.
+            write_file(path, &chrome::to_chrome_trace(rec, 1000.0)).map_err(CliError::Io)?;
+        }
+        if let Some(path) = args.flags.get("metrics") {
+            write_file(path, &rec.metrics.to_json().to_string_pretty()).map_err(CliError::Io)?;
+        }
+        Ok(())
     };
     match args.command.as_str() {
         "solve" => {
@@ -71,7 +101,20 @@ where
             let tasks = args.flag_opt::<u64>("tasks", "--tasks")?;
             let gantt = args.flag_opt::<usize>("gantt", "--gantt")?;
             let protocol = args.flags.get("protocol").map_or("event", String::as_str);
-            cmd_simulate(&p, horizon, stop, tasks, gantt, protocol)
+            let instrument = args.flags.contains_key("trace") || args.flags.contains_key("metrics");
+            let (out, rec) = cmd_simulate(&p, horizon, stop, tasks, gantt, protocol, instrument)?;
+            if let Some(rec) = &rec {
+                export(args, rec)?;
+            }
+            Ok(out)
+        }
+        "stats" => {
+            let p = read(args.pos(0, "platform file")?)?;
+            let horizon = args.flag_opt::<i128>("horizon", "--horizon")?;
+            let protocol = args.flags.get("protocol").map_or("event", String::as_str);
+            let (out, rec) = cmd_stats(&p, horizon, protocol)?;
+            export(args, &rec)?;
+            Ok(out)
         }
         "generate" => cmd_generate(args),
         "validate" => {
@@ -98,15 +141,33 @@ fn cmd_solve(p: &Platform) -> String {
     let ss = SteadyState::from_solution(&sol);
     let mut out = String::new();
     writeln!(out, "nodes            : {}", p.len()).unwrap();
-    writeln!(out, "throughput       : {} tasks per time unit ({:.4})", sol.throughput(), sol.throughput().to_f64()).unwrap();
+    writeln!(
+        out,
+        "throughput       : {} tasks per time unit ({:.4})",
+        sol.throughput(),
+        sol.throughput().to_f64()
+    )
+    .unwrap();
     writeln!(out, "rootless         : {}", ss.rootless_throughput(p)).unwrap();
     writeln!(out, "visited          : {} nodes", sol.visit_count()).unwrap();
     let unvisited: Vec<String> = sol.unvisited().iter().map(ToString::to_string).collect();
-    writeln!(out, "pruned           : {}", if unvisited.is_empty() { "-".to_string() } else { unvisited.join(", ") }).unwrap();
+    writeln!(
+        out,
+        "pruned           : {}",
+        if unvisited.is_empty() { "-".to_string() } else { unvisited.join(", ") }
+    )
+    .unwrap();
     writeln!(out, "protocol messages: {}", sol.message_count() + 2).unwrap();
     writeln!(out, "\nnode   eta_in      alpha").unwrap();
     for id in p.node_ids() {
-        writeln!(out, "{:<6} {:<11} {}", id.to_string(), ss.eta_in[id.index()].to_string(), ss.alpha[id.index()]).unwrap();
+        writeln!(
+            out,
+            "{:<6} {:<11} {}",
+            id.to_string(),
+            ss.eta_in[id.index()].to_string(),
+            ss.alpha[id.index()]
+        )
+        .unwrap();
     }
     out
 }
@@ -166,6 +227,28 @@ fn cmd_schedule(p: &Platform, grid: Option<i128>) -> String {
     out
 }
 
+/// Runs one simulation under `protocol`, optionally driving extra probes.
+fn run_protocol(
+    p: &Platform,
+    ss: &SteadyState,
+    cfg: &SimConfig,
+    protocol: &str,
+    probe: &mut impl bwfirst_sim::Probe,
+) -> Result<bwfirst_sim::SimReport, CliError> {
+    match protocol {
+        "event" => {
+            let ev = EventDrivenSchedule::standard(p, ss);
+            Ok(event_driven::simulate_probed(p, &ev, cfg, probe))
+        }
+        "demand" => Ok(demand_driven::simulate_probed(p, DemandConfig::default(), cfg, probe)),
+        "demand-int" => {
+            Ok(demand_driven::simulate_probed(p, DemandConfig::interruptible(), cfg, probe))
+        }
+        other => Err(CliError::BadValue { what: "--protocol", value: other.to_string() }),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn cmd_simulate(
     p: &Platform,
     horizon: Option<i128>,
@@ -173,10 +256,11 @@ fn cmd_simulate(
     tasks: Option<u64>,
     gantt: Option<usize>,
     protocol: &str,
-) -> Result<String, CliError> {
+    instrument: bool,
+) -> Result<(String, Option<MemoryRecorder>), CliError> {
     let ss = SteadyState::from_solution(&bw_first(p));
     if !ss.throughput.is_positive() {
-        return Ok("platform has zero throughput; nothing to simulate\n".to_string());
+        return Ok(("platform has zero throughput; nothing to simulate\n".to_string(), None));
     }
     let period = synchronous_period(&ss);
     let horizon = Rat::from_int(horizon.unwrap_or_else(|| (period * 8).clamp(200, 100_000)));
@@ -186,25 +270,31 @@ fn cmd_simulate(
         total_tasks: tasks,
         record_gantt: gantt.is_some(),
     };
-    let rep = match protocol {
-        "event" => {
-            let ev = EventDrivenSchedule::standard(p, &ss);
-            event_driven::simulate(p, &ev, &cfg)
+    let mut rec = instrument.then(MemoryRecorder::new);
+    let mut gantt_probe = GanttProbe::new(cfg.record_gantt);
+    let mut rep = match &mut rec {
+        Some(rec) => {
+            let mut probe = (ObsProbe::new(&mut *rec), &mut gantt_probe);
+            run_protocol(p, &ss, &cfg, protocol, &mut probe)?
         }
-        "demand" => demand_driven::simulate(p, DemandConfig::default(), &cfg),
-        "demand-int" => demand_driven::simulate(p, DemandConfig::interruptible(), &cfg),
-        other => {
-            return Err(CliError::BadValue { what: "--protocol", value: other.to_string() })
-        }
+        None => run_protocol(p, &ss, &cfg, protocol, &mut gantt_probe)?,
     };
+    rep.gantt = gantt_probe.into_gantt();
     let mut out = String::new();
     writeln!(out, "protocol          : {protocol}").unwrap();
     writeln!(out, "horizon           : {horizon}").unwrap();
     writeln!(out, "predicted rate    : {} ({:.4})", ss.throughput, ss.throughput.to_f64()).unwrap();
     let half = horizon / Rat::TWO;
-    writeln!(out, "measured rate     : {:.4} (second half of run)", rep.throughput_in(half, horizon).to_f64()).unwrap();
+    writeln!(
+        out,
+        "measured rate     : {:.4} (second half of run)",
+        rep.throughput_in(half, horizon).to_f64()
+    )
+    .unwrap();
     writeln!(out, "tasks computed    : {}", rep.total_computed()).unwrap();
-    if let Some(entry) = rep.steady_state_entry(ss.throughput, Rat::from_int(period), cfg.injection_end()) {
+    if let Some(entry) =
+        rep.steady_state_entry(ss.throughput, Rat::from_int(period), cfg.injection_end())
+    {
         writeln!(out, "steady entry      : {:.4}", entry.to_f64()).unwrap();
     }
     if let Some(wd) = rep.wind_down() {
@@ -218,7 +308,77 @@ fn cmd_simulate(
         writeln!(out, "\nGantt (first {until} units):").unwrap();
         out.push_str(&g.ascii(&nodes, until, cols.max(20)));
     }
-    Ok(out)
+    Ok((out, rec))
+}
+
+/// The `stats` command: one fully instrumented pass over all three layers —
+/// live protocol negotiation, centralized solver + schedule construction,
+/// and a probed simulation — reported as summary tables. The recorder comes
+/// back so `--trace` / `--metrics` can export it.
+fn cmd_stats(
+    p: &Platform,
+    horizon: Option<i128>,
+    protocol: &str,
+) -> Result<(String, MemoryRecorder), CliError> {
+    let mut rec = MemoryRecorder::new();
+
+    // Layer 1: the live distributed protocol (β/θ messages over channels).
+    let session = bwfirst_proto::ProtocolSession::spawn(p);
+    let negotiated = session.negotiate();
+    negotiated.record(&mut rec);
+    drop(session);
+
+    // Layer 2: the centralized solver and the Lemma 1 period construction.
+    let sol = bw_first(p);
+    observe::record_negotiation(&sol, &mut rec);
+    let ss = SteadyState::from_solution(&sol);
+
+    let mut out = String::new();
+    writeln!(out, "nodes      : {}", p.len()).unwrap();
+    writeln!(
+        out,
+        "throughput : {} tasks per time unit ({:.4})",
+        sol.throughput(),
+        sol.throughput().to_f64()
+    )
+    .unwrap();
+    writeln!(out, "visited    : {} of {} nodes", negotiated.visited_count(), p.len()).unwrap();
+    writeln!(
+        out,
+        "messages   : {} ({} octets on the wire)",
+        negotiated.protocol_messages, negotiated.wire_bytes
+    )
+    .unwrap();
+
+    if ss.throughput.is_positive() {
+        let ev = EventDrivenSchedule::standard(p, &ss);
+        observe::record_schedule(&ev.tree, &mut rec);
+
+        // Layer 3: a probed simulation with per-activity accounting.
+        let period = synchronous_period(&ss);
+        let horizon = Rat::from_int(horizon.unwrap_or_else(|| (period * 8).clamp(200, 100_000)));
+        let cfg =
+            SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+        let mut util = UtilizationProbe::new(p.len(), horizon);
+        {
+            let mut probe = (ObsProbe::new(&mut rec), &mut util);
+            let rep = run_protocol(p, &ss, &cfg, protocol, &mut probe)?;
+            writeln!(
+                out,
+                "simulated  : {} tasks over {horizon} time units ({protocol})",
+                rep.total_computed()
+            )
+            .unwrap();
+        }
+        writeln!(out, "\nper-node utilization (busy fraction of the horizon):").unwrap();
+        out.push_str(&summary::table(&util.finish().rows()));
+    } else {
+        writeln!(out, "simulated  : skipped (zero throughput)").unwrap();
+    }
+
+    writeln!(out, "\nmetrics:").unwrap();
+    out.push_str(&summary::metrics_table(&rec.metrics));
+    Ok((out, rec))
 }
 
 fn cmd_validate(p: &Platform, grid: Option<i128>) -> String {
@@ -237,7 +397,8 @@ fn cmd_validate(p: &Platform, grid: Option<i128>) -> String {
     writeln!(out, "throughput : {}", ss.throughput).unwrap();
     writeln!(out, "active     : {} of {} nodes", ev.tree.active_count(), p.len()).unwrap();
     if violations.is_empty() {
-        writeln!(out, "result     : OK — rates, periods, quantities and orders all consistent").unwrap();
+        writeln!(out, "result     : OK — rates, periods, quantities and orders all consistent")
+            .unwrap();
     } else {
         writeln!(out, "result     : {} violation(s)", violations.len()).unwrap();
         for v in violations {
@@ -256,13 +417,19 @@ fn cmd_graph(args: &Args) -> Result<String, CliError> {
     let size: usize = args.flag_or("size", "--size", 24)?;
     let seed: u64 = args.flag_or("seed", "--seed", 1)?;
     let extra: u32 = args.flag_or("extra", "--extra", 150)?;
-    let g = random_graph(&RandomGraphConfig { size, seed, extra_edge_pct: extra, ..Default::default() });
+    let g = random_graph(&RandomGraphConfig {
+        size,
+        seed,
+        extra_edge_pct: extra,
+        ..Default::default()
+    });
     Ok(bwfirst_overlay::io::to_json(&g))
 }
 
 fn cmd_overlay(graph_json: &str, args: &Args) -> Result<String, CliError> {
     use bwfirst_overlay::{best_overlay, NodeIx, OverlaySearch};
-    let g = bwfirst_overlay::io::from_json(graph_json).map_err(|e| CliError::Platform(e.to_string()))?;
+    let g = bwfirst_overlay::io::from_json(graph_json)
+        .map_err(|e| CliError::Platform(e.to_string()))?;
     let root: u32 = args.flag_or("root", "--root", 0)?;
     if root as usize >= g.len() {
         return Err(CliError::BadValue { what: "--root", value: root.to_string() });
@@ -270,14 +437,19 @@ fn cmd_overlay(graph_json: &str, args: &Args) -> Result<String, CliError> {
     let cfg = OverlaySearch {
         restarts: args.flag_or("restarts", "--restarts", 4)?,
         passes: args.flag_or("passes", "--passes", 8)?,
-        seed: args.flag_or("seed", "--seed", 0x5EA_C4)?,
+        seed: args.flag_or("seed", "--seed", 0x0005_EAC4)?,
     };
     let res = best_overlay(&g, NodeIx(root), &cfg);
     let mut out = String::new();
     writeln!(out, "graph              : {} nodes, {} links", g.len(), g.edge_count()).unwrap();
     writeln!(out, "min-link baseline  : {}", res.min_link_baseline).unwrap();
     writeln!(out, "shortest-path tree : {}", res.spt_baseline).unwrap();
-    writeln!(out, "searched overlay   : {} ({} candidates scored)", res.throughput, res.candidates_scored).unwrap();
+    writeln!(
+        out,
+        "searched overlay   : {} ({} candidates scored)",
+        res.throughput, res.candidates_scored
+    )
+    .unwrap();
     writeln!(out, "\nwinning overlay platform:\n{}", io::to_json(&res.platform)).unwrap();
     Ok(out)
 }
@@ -300,7 +472,9 @@ fn cmd_generate(args: &Args) -> Result<String, CliError> {
         "chain" => generators::daisy_chain(w, &vec![(w, c); size.saturating_sub(1)]),
         "kary" => generators::kary_tree(depth, arity, w, c),
         "example" => bwfirst_platform::examples::example_tree(),
-        other => return Err(CliError::BadValue { what: "generator kind", value: other.to_string() }),
+        other => {
+            return Err(CliError::BadValue { what: "generator kind", value: other.to_string() })
+        }
     };
     Ok(io::to_json(&p))
 }
@@ -357,7 +531,8 @@ mod tests {
 
     #[test]
     fn simulate_demand_runs() {
-        let out = run(&["simulate", "example.json", "--horizon", "150", "--protocol", "demand"]).unwrap();
+        let out =
+            run(&["simulate", "example.json", "--horizon", "150", "--protocol", "demand"]).unwrap();
         assert!(out.contains("protocol          : demand"));
     }
 
@@ -384,7 +559,9 @@ mod tests {
         assert_eq!(star.height(), 1);
         let chain = io::from_json(&run(&["generate", "chain", "--size", "4"]).unwrap()).unwrap();
         assert_eq!(chain.height(), 3);
-        let kary = io::from_json(&run(&["generate", "kary", "--depth", "2", "--arity", "3"]).unwrap()).unwrap();
+        let kary =
+            io::from_json(&run(&["generate", "kary", "--depth", "2", "--arity", "3"]).unwrap())
+                .unwrap();
         assert_eq!(kary.len(), 13);
     }
 
@@ -406,9 +583,18 @@ mod tests {
         let g = bwfirst_overlay::io::from_json(&gjson).unwrap();
         assert_eq!(g.len(), 10);
         // Route the overlay command through a synthetic "file".
-        let args = parse_args(["overlay", "g.json", "--restarts", "1", "--passes", "2"].iter().map(ToString::to_string)).unwrap();
+        let args = parse_args(
+            ["overlay", "g.json", "--restarts", "1", "--passes", "2"]
+                .iter()
+                .map(ToString::to_string),
+        )
+        .unwrap();
         let out = dispatch(&args, |path| {
-            if path == "g.json" { Ok(gjson.clone()) } else { Err("missing".into()) }
+            if path == "g.json" {
+                Ok(gjson.clone())
+            } else {
+                Err("missing".into())
+            }
         })
         .unwrap();
         assert!(out.contains("searched overlay"));
@@ -422,7 +608,9 @@ mod tests {
     #[test]
     fn overlay_rejects_bad_root() {
         let gjson = run(&["graph", "random", "--size", "4"]).unwrap();
-        let args = parse_args(["overlay", "g.json", "--root", "99"].iter().map(ToString::to_string)).unwrap();
+        let args =
+            parse_args(["overlay", "g.json", "--root", "99"].iter().map(ToString::to_string))
+                .unwrap();
         let err = dispatch(&args, |_| Ok(gjson.clone())).unwrap_err();
         assert!(matches!(err, CliError::BadValue { what: "--root", .. }));
     }
@@ -440,5 +628,92 @@ mod tests {
     fn help_prints_usage() {
         let out = run(&["help"]).unwrap();
         assert!(out.contains("bwfirst solve"));
+        assert!(out.contains("bwfirst stats"));
+    }
+
+    /// Like `run`, but with a file sink; returns the output and every file
+    /// written as `(path, contents)`.
+    fn run_io(argv: &[&str]) -> Result<(String, Vec<(String, String)>), CliError> {
+        use std::cell::RefCell;
+        let args = parse_args(argv.iter().map(ToString::to_string)).unwrap();
+        let written: RefCell<Vec<(String, String)>> = RefCell::new(Vec::new());
+        let out = dispatch_io(
+            &args,
+            |path| {
+                if path == "example.json" {
+                    Ok(io::to_json(&bwfirst_platform::examples::example_tree()))
+                } else {
+                    Err(format!("no such file {path}"))
+                }
+            },
+            |path, contents| {
+                written.borrow_mut().push((path.to_string(), contents.to_string()));
+                Ok(())
+            },
+        )?;
+        Ok((out, written.into_inner()))
+    }
+
+    #[test]
+    fn stats_reports_all_three_layers() {
+        let (out, _) = run_io(&["stats", "example.json", "--horizon", "72"]).unwrap();
+        assert!(out.contains("throughput : 10/9"), "got: {out}");
+        assert!(out.contains("visited    : 8 of 12"), "got: {out}");
+        assert!(out.contains("messages   : 16"), "got: {out}");
+        // Protocol counters, solver counters and simulator histograms all
+        // land in the same metrics table.
+        assert!(out.contains("proto.wire_bytes"), "got: {out}");
+        assert!(out.contains("core.bwfirst.visited"), "got: {out}");
+        assert!(out.contains("sim.event_queue_depth"), "got: {out}");
+        // The per-activity utilization table covers the busy root port.
+        assert!(out.contains("P0 send"), "got: {out}");
+    }
+
+    #[test]
+    fn stats_writes_a_valid_chrome_trace() {
+        let (_, files) = run_io(&[
+            "stats",
+            "example.json",
+            "--horizon",
+            "72",
+            "--trace",
+            "t.json",
+            "--metrics",
+            "m.json",
+        ])
+        .unwrap();
+        assert_eq!(files.len(), 2);
+        let (ref tpath, ref trace) = files[0];
+        assert_eq!(tpath, "t.json");
+        let v = bwfirst_obs::json::parse(trace).expect("trace is valid JSON");
+        let evs = v["traceEvents"].as_array().expect("traceEvents array");
+        assert!(evs.len() > 100, "example tree yields a rich trace, got {}", evs.len());
+        for e in evs {
+            let ph = e["ph"].as_str().expect("phase string");
+            assert!(["B", "E", "i", "C"].contains(&ph), "unexpected phase {ph}");
+        }
+        let (ref mpath, ref metrics) = files[1];
+        assert_eq!(mpath, "m.json");
+        let m = bwfirst_obs::json::parse(metrics).expect("metrics are valid JSON");
+        assert!(m["counters"]["proto.messages"].as_i128().is_some());
+    }
+
+    #[test]
+    fn simulate_trace_flag_exports_without_changing_output() {
+        let plain = run(&["simulate", "example.json", "--horizon", "150"]).unwrap();
+        let (traced, files) =
+            run_io(&["simulate", "example.json", "--horizon", "150", "--trace", "sim.json"])
+                .unwrap();
+        assert_eq!(plain, traced, "instrumentation must not change the report");
+        assert_eq!(files.len(), 1);
+        let v = bwfirst_obs::json::parse(&files[0].1).expect("valid JSON");
+        assert!(!v["traceEvents"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn trace_flag_without_a_sink_fails_cleanly() {
+        let err =
+            run(&["stats", "example.json", "--horizon", "72", "--trace", "t.json"]).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
     }
 }

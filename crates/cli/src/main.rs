@@ -1,6 +1,6 @@
 //! Thin I/O shell around the testable command implementations.
 
-use bwfirst_cli::{dispatch, parse_args, usage, CliError};
+use bwfirst_cli::{dispatch_io, parse_args, usage, CliError};
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -15,7 +15,11 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match dispatch(&args, |path| std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))) {
+    match dispatch_io(
+        &args,
+        |path| std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}")),
+        |path, contents| std::fs::write(path, contents).map_err(|e| format!("{path}: {e}")),
+    ) {
         Ok(out) => print!("{out}"),
         Err(e) => {
             eprintln!("error: {e}");

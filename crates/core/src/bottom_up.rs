@@ -14,10 +14,9 @@
 use crate::fork::{fork_equivalent_rate, ForkChild};
 use bwfirst_platform::{NodeId, Platform};
 use bwfirst_rational::Rat;
-use serde::{Deserialize, Serialize};
 
 /// Result and work accounting of a bottom-up reduction run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BottomUpOutcome {
     /// Maximum steady-state throughput of the tree (tasks per time unit).
     pub throughput: Rat,
@@ -47,7 +46,10 @@ pub fn bottom_up(platform: &Platform) -> BottomUpOutcome {
         let children: Vec<ForkChild> = platform
             .children(id)
             .iter()
-            .map(|&k| ForkChild { c: platform.link_time(k).expect("child has link"), rate: rate[k.index()] })
+            .map(|&k| ForkChild {
+                c: platform.link_time(k).expect("child has link"),
+                rate: rate[k.index()],
+            })
             .collect();
         let red = fork_equivalent_rate(platform.compute_rate(id), &children);
         rate[id.index()] = red.rate;

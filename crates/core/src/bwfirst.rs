@@ -23,12 +23,11 @@
 
 use bwfirst_platform::{NodeId, Platform};
 use bwfirst_rational::Rat;
-use serde::{Deserialize, Serialize};
 
 /// A closed two-phase transaction (Definition 1): the parent proposed `beta`
 /// tasks per time unit, the child acknowledged `theta` back; the subtree
 /// consumes `beta − theta`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Transaction {
     /// Proposing parent.
     pub parent: NodeId,
@@ -50,7 +49,7 @@ impl Transaction {
 
 /// One protocol message, in traversal order — the Figure 4(b) trace.
 /// Every message carries a *single number*, as Definition 1 requires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// `from` proposes `beta` tasks per time unit to `to` (first phase).
     Proposal {
@@ -73,7 +72,7 @@ pub enum TraceEvent {
 }
 
 /// Complete output of a `BW-First` run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BwFirstSolution {
     /// The proposal made by the virtual parent (`t_max` at the root).
     pub t_max: Rat,
@@ -226,7 +225,15 @@ pub fn bw_first_with_lambda(platform: &Platform, lambda: Rat) -> BwFirstSolution
         match stack.last_mut() {
             None => {
                 let throughput = lambda - theta;
-                return BwFirstSolution { t_max: lambda, throughput, alpha, eta_in, visited, transactions, trace };
+                return BwFirstSolution {
+                    t_max: lambda,
+                    throughput,
+                    alpha,
+                    eta_in,
+                    visited,
+                    transactions,
+                    trace,
+                };
             }
             Some(parent) => {
                 let child = done.node;

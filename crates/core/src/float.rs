@@ -13,11 +13,8 @@ use bwfirst_platform::{NodeId, Platform};
 #[must_use]
 pub fn bw_first_f64(platform: &Platform) -> f64 {
     let root = platform.root();
-    let best_bw = platform
-        .children(root)
-        .iter()
-        .map(|&k| 1.0 / link(platform, k))
-        .fold(0.0f64, f64::max);
+    let best_bw =
+        platform.children(root).iter().map(|&k| 1.0 / link(platform, k)).fold(0.0f64, f64::max);
     let t_max = rate(platform, root) + best_bw;
     t_max - visit(platform, root, t_max)
 }

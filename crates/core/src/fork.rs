@@ -17,10 +17,9 @@
 //! bandwidth-centric principle.
 
 use bwfirst_rational::Rat;
-use serde::{Deserialize, Serialize};
 
 /// One child of a fork: link time `c` and computing rate `r = 1/w`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ForkChild {
     /// Communication time from the parent (must be positive).
     pub c: Rat,
@@ -30,7 +29,7 @@ pub struct ForkChild {
 
 /// The result of a Proposition 1 reduction, with the quantities the proof
 /// names (`p`, `ε`) exposed for inspection and testing.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ForkReduction {
     /// Equivalent computing rate `r_f` of the whole fork.
     pub rate: Rat,
@@ -74,7 +73,7 @@ impl ForkReduction {
 pub fn fork_equivalent_rate(parent_rate: Rat, children: &[ForkChild]) -> ForkReduction {
     assert!(children.iter().all(|ch| ch.c.is_positive()), "fork link times must be positive");
     let mut sorted: Vec<&ForkChild> = children.iter().collect();
-    sorted.sort_by(|a, b| a.c.cmp(&b.c)); // stable: ties keep index order
+    sorted.sort_by_key(|ch| ch.c); // stable: ties keep index order
     let mut rate = parent_rate;
     let mut budget = Rat::ONE; // the unit-interval sending-port time
     let mut fully_fed = 0;
@@ -118,7 +117,8 @@ mod tests {
     #[test]
     fn all_children_fully_fed_when_bandwidth_ample() {
         // Two children, each needing 1/4 of the port.
-        let f = fork_equivalent_rate(Rat::ONE, &[ch(rat(1, 2), rat(1, 2)), ch(rat(1, 2), rat(1, 2))]);
+        let f =
+            fork_equivalent_rate(Rat::ONE, &[ch(rat(1, 2), rat(1, 2)), ch(rat(1, 2), rat(1, 2))]);
         assert_eq!(f.rate, Rat::TWO);
         assert_eq!(f.fully_fed, 2);
         assert_eq!(f.epsilon, Rat::ZERO);
@@ -129,7 +129,10 @@ mod tests {
     fn bandwidth_limited_fork_prefers_fast_links() {
         // Child A: slow link (c=2), huge rate. Child B: fast link (c=1), rate 1/2.
         // Bandwidth-centric: feed B first (uses 1/2 port), then A partially.
-        let f = fork_equivalent_rate(Rat::ZERO, &[ch(rat(2, 1), rat(100, 1)), ch(rat(1, 1), rat(1, 2))]);
+        let f = fork_equivalent_rate(
+            Rat::ZERO,
+            &[ch(rat(2, 1), rat(100, 1)), ch(rat(1, 1), rat(1, 2))],
+        );
         assert_eq!(f.fully_fed, 1); // only B
         assert_eq!(f.epsilon, rat(1, 2));
         // r_f = 1/2 (B) + ε·b_A = 1/2 + (1/2)(1/2) = 3/4.
@@ -160,7 +163,8 @@ mod tests {
 
     #[test]
     fn switch_children_cost_no_bandwidth() {
-        let f = fork_equivalent_rate(Rat::ONE, &[ch(rat(5, 1), Rat::ZERO), ch(rat(1, 1), rat(1, 2))]);
+        let f =
+            fork_equivalent_rate(Rat::ONE, &[ch(rat(5, 1), Rat::ZERO), ch(rat(1, 1), rat(1, 2))]);
         assert_eq!(f.rate, rat(3, 2));
         assert_eq!(f.fully_fed, 2);
     }
@@ -168,7 +172,8 @@ mod tests {
     #[test]
     fn sort_is_by_c_not_by_rate() {
         // Fast-link child is second in the slice but must be served first.
-        let a = fork_equivalent_rate(Rat::ZERO, &[ch(rat(3, 1), rat(1, 3)), ch(rat(1, 1), rat(1, 1))]);
+        let a =
+            fork_equivalent_rate(Rat::ZERO, &[ch(rat(3, 1), rat(1, 3)), ch(rat(1, 1), rat(1, 1))]);
         // Serve c=1 (needs full port) → p=1, ε=0 → rate 1.
         assert_eq!(a.rate, Rat::ONE);
         assert_eq!(a.fully_fed, 1);

@@ -60,22 +60,28 @@ struct LazyFrame<N> {
 /// `depth_limit` according to `bound`. Returns the resulting throughput
 /// estimate (`λ − θ_root`). Nodes are expanded only while tasks flow.
 #[must_use]
-pub fn bw_first_lazy<S: TreeSource>(source: &S, lambda: Rat, depth_limit: usize, bound: Bound) -> Rat {
+pub fn bw_first_lazy<S: TreeSource>(
+    source: &S,
+    lambda: Rat,
+    depth_limit: usize,
+    bound: Bound,
+) -> Rat {
     let (root, root_rate) = source.root();
-    let enter = |node: S::Node, depth: usize, rate: Rat, lambda: Rat, source: &S| -> LazyFrame<S::Node> {
-        let alpha = rate.min(lambda);
-        let at_limit = depth >= depth_limit;
-        let (delta, kids) = match (at_limit, bound) {
-            (true, Bound::Lower) => (lambda - alpha, Vec::new()),
-            (true, Bound::Upper) => (Rat::ZERO, Vec::new()), // consume everything
-            (false, _) => {
-                let mut kids = source.children(&node);
-                kids.sort_by(|a, b| a.1.cmp(&b.1));
-                (lambda - alpha, kids)
-            }
+    let enter =
+        |node: S::Node, depth: usize, rate: Rat, lambda: Rat, source: &S| -> LazyFrame<S::Node> {
+            let alpha = rate.min(lambda);
+            let at_limit = depth >= depth_limit;
+            let (delta, kids) = match (at_limit, bound) {
+                (true, Bound::Lower) => (lambda - alpha, Vec::new()),
+                (true, Bound::Upper) => (Rat::ZERO, Vec::new()), // consume everything
+                (false, _) => {
+                    let mut kids = source.children(&node);
+                    kids.sort_by_key(|k| k.1);
+                    (lambda - alpha, kids)
+                }
+            };
+            LazyFrame { depth, delta, tau: Rat::ONE, kids, next: 0, open: Rat::ZERO }
         };
-        LazyFrame { depth, delta, tau: Rat::ONE, kids, next: 0, open: Rat::ZERO }
-    };
 
     let mut stack = vec![enter(root, 0, root_rate, lambda, source)];
     loop {
@@ -110,12 +116,8 @@ pub fn bw_first_lazy<S: TreeSource>(source: &S, lambda: Rat, depth_limit: usize,
 #[must_use]
 pub fn throughput_bounds<S: TreeSource>(source: &S, depth_limit: usize) -> (Rat, Rat) {
     let (root, root_rate) = source.root();
-    let best_bw = source
-        .children(&root)
-        .iter()
-        .map(|(_, c, _)| c.recip())
-        .max()
-        .unwrap_or(Rat::ZERO);
+    let best_bw =
+        source.children(&root).iter().map(|(_, c, _)| c.recip()).max().unwrap_or(Rat::ZERO);
     let lambda = root_rate + best_bw;
     (
         bw_first_lazy(source, lambda, depth_limit, Bound::Lower),

@@ -31,6 +31,8 @@
 //!   arithmetic.
 //! * [`validate`] — one-call validation of a whole event-driven schedule
 //!   (rates + periods + quantities + orders) before deployment.
+//! * [`observe`] — converts solver outputs (transaction traces, reduction
+//!   counts, period constructions) into `bwfirst-obs` spans and metrics.
 //!
 //! The headline invariant — `bw_first` and `bottom_up` agree on every tree —
 //! is property-tested in `tests/`.
@@ -43,6 +45,7 @@ pub mod bwfirst;
 pub mod float;
 pub mod fork;
 pub mod lazy;
+pub mod observe;
 pub mod quantize;
 pub mod schedule;
 pub mod startup;

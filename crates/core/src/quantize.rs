@@ -89,9 +89,7 @@ pub fn smallest_grid_within(
 ) -> Option<i128> {
     let mut sorted = candidates.to_vec();
     sorted.sort_unstable();
-    sorted
-        .into_iter()
-        .find(|&g| ss.throughput - quantize(platform, ss, g).throughput <= max_loss)
+    sorted.into_iter().find(|&g| ss.throughput - quantize(platform, ss, g).throughput <= max_loss)
 }
 
 #[cfg(test)]

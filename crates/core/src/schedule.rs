@@ -30,7 +30,6 @@
 use crate::steady_state::SteadyState;
 use bwfirst_platform::{NodeId, Platform};
 use bwfirst_rational::{lcm_i128, Rat};
-use serde::{Deserialize, Serialize};
 
 fn as_int(r: Rat, what: &str) -> i128 {
     assert!(r.is_integer(), "{what} must be an integer, got {r}");
@@ -42,7 +41,7 @@ fn lcm(a: i128, b: i128) -> i128 {
 }
 
 /// The per-node periods and integer quantities of Lemma 1 / Section 6.2.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeSchedule {
     /// The node this schedule belongs to.
     pub node: NodeId,
@@ -72,7 +71,7 @@ pub struct NodeSchedule {
 }
 
 /// The asynchronous/event-driven schedules of every *active* node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TreeSchedule {
     schedules: Vec<Option<NodeSchedule>>,
 }
@@ -97,10 +96,7 @@ impl TreeSchedule {
             let alpha = ss.alpha[i];
             let t_comp = alpha.denom();
             let kids = platform.children_bandwidth_centric(id);
-            let t_send = kids
-                .iter()
-                .map(|&k| ss.eta_in[k.index()].denom())
-                .fold(1i128, lcm);
+            let t_send = kids.iter().map(|&k| ss.eta_in[k.index()].denom()).fold(1i128, lcm);
             let t_omega = lcm(t_comp, t_send);
             let (t_recv, phi_recv) = match platform.parent(id) {
                 None => (None, None),
@@ -173,7 +169,7 @@ pub fn synchronous_period(ss: &SteadyState) -> i128 {
 }
 
 /// What a node does with one incoming (or generated) task of a bunch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SlotAction {
     /// Keep the task and compute it locally.
     Compute,
@@ -182,7 +178,7 @@ pub enum SlotAction {
 }
 
 /// Intra-bunch ordering policy (Section 6.3 and the E9 ablation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LocalScheduleKind {
     /// The paper's proportional interleaving — minimizes buffered tasks.
     Interleaved,
@@ -196,7 +192,7 @@ pub enum LocalScheduleKind {
 }
 
 /// The concrete per-bunch action order of one node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LocalSchedule {
     /// The node this order belongs to.
     pub node: NodeId,
@@ -212,7 +208,8 @@ impl LocalSchedule {
     pub fn build(sched: &NodeSchedule, kind: LocalScheduleKind) -> LocalSchedule {
         // Destinations with their local index: self is index 0, children get
         // 1.. in bandwidth-centric order (the paper's local re-numbering).
-        let mut dests: Vec<(SlotAction, i128, usize)> = Vec::with_capacity(1 + sched.psi_children.len());
+        let mut dests: Vec<(SlotAction, i128, usize)> =
+            Vec::with_capacity(1 + sched.psi_children.len());
         if sched.psi_self > 0 {
             dests.push((SlotAction::Compute, sched.psi_self, 0));
         }
@@ -225,9 +222,9 @@ impl LocalSchedule {
             LocalScheduleKind::AllAtOnce => {
                 let mut acts = Vec::with_capacity(sched.bunch as usize);
                 for &(child, q) in &sched.psi_children {
-                    acts.extend(std::iter::repeat(SlotAction::Send(child)).take(q as usize));
+                    acts.extend(std::iter::repeat_n(SlotAction::Send(child), q as usize));
                 }
-                acts.extend(std::iter::repeat(SlotAction::Compute).take(sched.psi_self as usize));
+                acts.extend(std::iter::repeat_n(SlotAction::Compute, sched.psi_self as usize));
                 acts
             }
             LocalScheduleKind::RoundRobin => {
@@ -273,7 +270,7 @@ fn interleave(dests: &[(SlotAction, i128, usize)]) -> Vec<SlotAction> {
 /// The fully-resolved event-driven schedule of the whole tree: per-node
 /// periods/quantities plus the intra-bunch order, ready for execution by the
 /// simulator or the distributed runtime.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EventDrivenSchedule {
     /// Periods and quantities per active node.
     pub tree: TreeSchedule,
@@ -301,7 +298,11 @@ impl EventDrivenSchedule {
     /// assert_eq!(ev.local(NodeId(0)).unwrap().actions.len(), 10);
     /// ```
     #[must_use]
-    pub fn build(platform: &Platform, ss: &SteadyState, kind: LocalScheduleKind) -> EventDrivenSchedule {
+    pub fn build(
+        platform: &Platform,
+        ss: &SteadyState,
+        kind: LocalScheduleKind,
+    ) -> EventDrivenSchedule {
         let tree = TreeSchedule::build(platform, ss);
         let locals = platform
             .node_ids()
@@ -473,7 +474,11 @@ mod tests {
     #[test]
     fn all_kinds_preserve_quantities() {
         let (p, ss, ts) = example_schedule();
-        for kind in [LocalScheduleKind::Interleaved, LocalScheduleKind::AllAtOnce, LocalScheduleKind::RoundRobin] {
+        for kind in [
+            LocalScheduleKind::Interleaved,
+            LocalScheduleKind::AllAtOnce,
+            LocalScheduleKind::RoundRobin,
+        ] {
             let ev = EventDrivenSchedule::build(&p, &ss, kind);
             for s in ts.iter() {
                 let ls = ev.local(s.node).unwrap();
@@ -517,12 +522,8 @@ mod tests {
         // under interleaving than under all-at-once for the root's ψ=3 kids.
         let (p, ss, _) = example_schedule();
         let gap = |actions: &[SlotAction], target: SlotAction| {
-            let pos: Vec<usize> = actions
-                .iter()
-                .enumerate()
-                .filter(|(_, &a)| a == target)
-                .map(|(i, _)| i)
-                .collect();
+            let pos: Vec<usize> =
+                actions.iter().enumerate().filter(|(_, &a)| a == target).map(|(i, _)| i).collect();
             // Cyclic max gap.
             let n = actions.len();
             pos.windows(2)
@@ -534,6 +535,9 @@ mod tests {
         let inter = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::Interleaved);
         let burst = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::AllAtOnce);
         let t = SlotAction::Send(NodeId(1));
-        assert!(gap(&inter.local(NodeId(0)).unwrap().actions, t) < gap(&burst.local(NodeId(0)).unwrap().actions, t));
+        assert!(
+            gap(&inter.local(NodeId(0)).unwrap().actions, t)
+                < gap(&burst.local(NodeId(0)).unwrap().actions, t)
+        );
     }
 }

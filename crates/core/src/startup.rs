@@ -41,11 +41,8 @@ pub fn tree_startup_bound(platform: &Platform, schedule: &TreeSchedule) -> i128 
 #[must_use]
 pub fn dominant_path(platform: &Platform, schedule: &TreeSchedule) -> Vec<NodeId> {
     let bounds = startup_bounds(platform, schedule);
-    let Some((idx, _)) = bounds
-        .iter()
-        .enumerate()
-        .filter_map(|(i, b)| b.map(|v| (i, v)))
-        .max_by_key(|&(_, v)| v)
+    let Some((idx, _)) =
+        bounds.iter().enumerate().filter_map(|(i, b)| b.map(|v| (i, v))).max_by_key(|&(_, v)| v)
     else {
         return Vec::new();
     };
@@ -75,7 +72,7 @@ mod tests {
         let (p, ts) = schedule();
         let b = startup_bounds(&p, &ts);
         assert_eq!(b[0], Some(0)); // root starts in steady state
-        // P1..P3 hang off the root (T^ω = 9).
+                                   // P1..P3 hang off the root (T^ω = 9).
         assert_eq!(b[1], Some(9));
         assert_eq!(b[2], Some(9));
         assert_eq!(b[3], Some(9));

@@ -15,11 +15,10 @@
 use crate::bwfirst::BwFirstSolution;
 use bwfirst_platform::{NodeId, Platform};
 use bwfirst_rational::Rat;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A violation found by [`SteadyState::verify`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SteadyStateViolation {
     /// `η_{-1} ≠ α + Σ η_i` at this node.
     Conservation(NodeId),
@@ -38,8 +37,12 @@ impl fmt::Display for SteadyStateViolation {
         match self {
             SteadyStateViolation::Conservation(n) => write!(f, "conservation law violated at {n}"),
             SteadyStateViolation::ComputeOverload(n) => write!(f, "compute rate exceeded at {n}"),
-            SteadyStateViolation::SendPortOverload(n) => write!(f, "sending port over-booked at {n}"),
-            SteadyStateViolation::ReceivePortOverload(n) => write!(f, "receiving port over-booked at {n}"),
+            SteadyStateViolation::SendPortOverload(n) => {
+                write!(f, "sending port over-booked at {n}")
+            }
+            SteadyStateViolation::ReceivePortOverload(n) => {
+                write!(f, "receiving port over-booked at {n}")
+            }
             SteadyStateViolation::NegativeRate(n) => write!(f, "negative rate at {n}"),
         }
     }
@@ -48,7 +51,7 @@ impl fmt::Display for SteadyStateViolation {
 impl std::error::Error for SteadyStateViolation {}
 
 /// The steady-state rational rates of every node (Figure 4(c)).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SteadyState {
     /// Tasks per time unit node `i` receives from its parent (for the root:
     /// the total injection rate, equal to the throughput).
@@ -63,7 +66,11 @@ impl SteadyState {
     /// Extracts the steady-state rates from a `BW-First` solution.
     #[must_use]
     pub fn from_solution(sol: &BwFirstSolution) -> SteadyState {
-        SteadyState { eta_in: sol.eta_in.clone(), alpha: sol.alpha.clone(), throughput: sol.throughput() }
+        SteadyState {
+            eta_in: sol.eta_in.clone(),
+            alpha: sol.alpha.clone(),
+            throughput: sol.throughput(),
+        }
     }
 
     /// Tasks per time unit flowing from `id` to each of its children, in the
@@ -168,7 +175,11 @@ mod tests {
     fn verify_catches_conservation_violation() {
         let (p, mut ss) = example_state();
         ss.alpha[3] = rat(1, 2);
-        assert!(matches!(ss.verify(&p), Err(SteadyStateViolation::ComputeOverload(NodeId(3))) | Err(SteadyStateViolation::Conservation(NodeId(3)))));
+        assert!(matches!(
+            ss.verify(&p),
+            Err(SteadyStateViolation::ComputeOverload(NodeId(3)))
+                | Err(SteadyStateViolation::Conservation(NodeId(3)))
+        ));
     }
 
     #[test]
@@ -177,7 +188,11 @@ mod tests {
         // P4 has w=6 → rate 1/6. Claim it computes 1/2 and patch conservation.
         ss.alpha[4] = rat(1, 2);
         ss.eta_in[4] = rat(1, 2);
-        assert!(matches!(ss.verify(&p), Err(SteadyStateViolation::ComputeOverload(NodeId(4))) | Err(SteadyStateViolation::Conservation(_))));
+        assert!(matches!(
+            ss.verify(&p),
+            Err(SteadyStateViolation::ComputeOverload(NodeId(4)))
+                | Err(SteadyStateViolation::Conservation(_))
+        ));
     }
 
     #[test]

@@ -34,7 +34,9 @@ impl fmt::Display for ScheduleViolation {
         match self {
             ScheduleViolation::Rates(v) => write!(f, "rates: {v}"),
             ScheduleViolation::Coverage(n) => write!(f, "schedule coverage wrong at {n}"),
-            ScheduleViolation::Periods(n, what) => write!(f, "period relation `{what}` broken at {n}"),
+            ScheduleViolation::Periods(n, what) => {
+                write!(f, "period relation `{what}` broken at {n}")
+            }
             ScheduleViolation::Quantity(n, what) => write!(f, "quantity `{what}` wrong at {n}"),
             ScheduleViolation::Bunch(n, what) => write!(f, "bunch `{what}` wrong at {n}"),
         }

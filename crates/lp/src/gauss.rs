@@ -34,6 +34,7 @@ pub fn solve(a: &[Vec<Rat>], b: &[Rat]) -> Option<Vec<Rat>> {
         for r in 0..n {
             if r != col && !m[r][col].is_zero() {
                 let factor = m[r][col];
+                #[allow(clippy::needless_range_loop)] // rows col and r of m are borrowed together
                 for c in col..=n {
                     let v = m[col][c];
                     m[r][c] -= factor * v;
@@ -64,6 +65,7 @@ pub fn rank(a: &[Vec<Rat>]) -> usize {
         for r in 0..rows {
             if r != rank && !m[r][col].is_zero() {
                 let factor = m[r][col];
+                #[allow(clippy::needless_range_loop)] // rows rank and r of m are borrowed together
                 for c in 0..cols {
                     let v = m[rank][c];
                     m[r][c] -= factor * v;

@@ -106,7 +106,8 @@ impl Tableau {
                 match &leave {
                     None => leave = Some((r, ratio)),
                     Some((lr, lratio)) => {
-                        if ratio < *lratio || (ratio == *lratio && self.basis[r] < self.basis[*lr]) {
+                        if ratio < *lratio || (ratio == *lratio && self.basis[r] < self.basis[*lr])
+                        {
                             leave = Some((r, ratio));
                         }
                     }
@@ -241,7 +242,9 @@ mod tests {
                 (vec![r(0), r(0), r(1), r(0)], r(1)),
             ],
         };
-        let StandardOutcome::Optimal { value, .. } = solve_standard(&sf) else { panic!("must solve") };
+        let StandardOutcome::Optimal { value, .. } = solve_standard(&sf) else {
+            panic!("must solve")
+        };
         assert_eq!(value, rat(1, 20));
     }
 

@@ -24,7 +24,9 @@ fn oracle_max(objective: &[Rat], rows: &[(Vec<Rat>, Rat)]) -> Option<(Rat, Vec<R
         all.push((a, Rat::ZERO));
     }
     let m = all.len();
-    let feasible = |x: &[Rat]| all.iter().all(|(a, b)| a.iter().zip(x).map(|(&c, &v)| c * v).sum::<Rat>() <= *b);
+    let feasible = |x: &[Rat]| {
+        all.iter().all(|(a, b)| a.iter().zip(x).map(|(&c, &v)| c * v).sum::<Rat>() <= *b)
+    };
     let mut best: Option<(Rat, Vec<Rat>)> = None;
     // All n-subsets of constraint indices.
     let mut idx: Vec<usize> = (0..n).collect();

@@ -1,0 +1,79 @@
+//! Export to the Chrome trace-event format.
+//!
+//! The output loads in `chrome://tracing` and [Perfetto](https://ui.perfetto.dev):
+//! one JSON object with a `traceEvents` array of `B`/`E`/`i`/`C` phase
+//! records. Simulated rational time maps to microseconds through a caller
+//! -chosen scale (1 simulated time unit = `scale` µs), keeping small
+//! rational gaps visible in the viewer.
+
+use crate::event::{Event, EventKind};
+use crate::json::{obj, Value};
+use crate::recorder::MemoryRecorder;
+
+/// Renders recorded events as a Chrome trace JSON document.
+///
+/// `scale` is the number of trace microseconds per simulated time unit
+/// (1000.0 makes one time unit read as one millisecond in the viewer).
+#[must_use]
+pub fn to_chrome_trace(rec: &MemoryRecorder, scale: f64) -> String {
+    let events: Vec<Value> = rec.events.iter().map(|e| event_json(e, scale)).collect();
+    obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::Str("ms".to_string())),
+    ])
+    .to_string_pretty()
+}
+
+fn event_json(e: &Event, scale: f64) -> Value {
+    let mut members = vec![
+        ("name", Value::Str(e.name.clone())),
+        ("ph", Value::Str(e.kind.phase().to_string())),
+        ("ts", Value::Float(e.ts.to_f64() * scale)),
+        ("pid", Value::Int(0)),
+        ("tid", Value::Int(i128::from(e.track))),
+    ];
+    if e.kind == EventKind::Instant {
+        // Thread-scoped instants render as small arrows on the track.
+        members.push(("s", Value::Str("t".to_string())));
+    }
+    if !e.args.is_empty() {
+        members.push((
+            "args",
+            match e.kind {
+                // Counter tracks chart each numeric arg as a series.
+                EventKind::Counter => Value::Object(
+                    e.args.iter().map(|(k, v)| (k.clone(), Value::Float(v.to_f64()))).collect(),
+                ),
+                _ => Value::Object(e.args.iter().map(|(k, v)| (k.clone(), v.to_json())).collect()),
+            },
+        ));
+    }
+    obj(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Arg, Ts};
+    use crate::json;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_paired_spans() {
+        let mut rec = MemoryRecorder::new();
+        rec.event(Event::new(Ts::ZERO, 1, "compute", EventKind::Begin));
+        rec.event(Event::new(Ts::new(3, 2), 1, "compute", EventKind::End));
+        rec.event(
+            Event::new(Ts::new(3, 2), 1, "buffer", EventKind::Counter).arg("tasks", Arg::Int(4)),
+        );
+        let trace = to_chrome_trace(&rec, 1000.0);
+        let v = json::parse(&trace).unwrap();
+        let evs = v["traceEvents"].as_array().unwrap();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0]["ph"].as_str(), Some("B"));
+        assert_eq!(evs[1]["ph"].as_str(), Some("E"));
+        assert_eq!(evs[1]["ts"].as_f64(), Some(1500.0));
+        assert_eq!(evs[2]["args"]["tasks"].as_f64(), Some(4.0));
+        assert_eq!(v["displayTimeUnit"].as_str(), Some("ms"));
+    }
+}

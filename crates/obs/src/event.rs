@@ -1,0 +1,219 @@
+//! Structured trace events on exact rational timestamps.
+//!
+//! Events are deliberately close to the Chrome trace-event model — paired
+//! `Begin`/`End` spans, `Instant` marks and `Counter` samples on a per-track
+//! timeline — but keep time as an exact rational so simulator traces replay
+//! without drift and can be compared exactly in tests.
+
+use crate::json::{obj, Value};
+
+/// An exact rational timestamp (`num/den` simulated time units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ts {
+    /// Numerator.
+    pub num: i128,
+    /// Denominator (positive).
+    pub den: i128,
+}
+
+impl Ts {
+    /// Time zero.
+    pub const ZERO: Ts = Ts { num: 0, den: 1 };
+
+    /// A timestamp from a fraction (denominator must be positive).
+    #[must_use]
+    pub fn new(num: i128, den: i128) -> Ts {
+        debug_assert!(den > 0, "timestamp denominators are positive");
+        Ts { num, den }
+    }
+
+    /// Approximate value for exporters that need floats.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// The `p/q` (or `p` for integers) rendering used across the repo.
+    #[must_use]
+    pub fn display(self) -> String {
+        if self.den == 1 {
+            self.num.to_string()
+        } else {
+            format!("{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl PartialOrd for Ts {
+    fn partial_cmp(&self, other: &Ts) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ts {
+    fn cmp(&self, other: &Ts) -> std::cmp::Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+/// What an [`Event`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opens on the event's track.
+    Begin,
+    /// The most recent span with the same name on the track closes.
+    End,
+    /// A point-in-time mark.
+    Instant,
+    /// A counter sample; the value rides in the `value` arg.
+    Counter,
+}
+
+impl EventKind {
+    /// The Chrome trace-event phase letter.
+    #[must_use]
+    pub fn phase(self) -> &'static str {
+        match self {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Instant => "i",
+            EventKind::Counter => "C",
+        }
+    }
+}
+
+/// An event argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// An integer.
+    Int(i128),
+    /// An exact rational `num/den`.
+    Rat(i128, i128),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+}
+
+impl Arg {
+    /// JSON rendering: rationals keep the repo's `"p/q"` string form.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        match self {
+            Arg::Int(n) => Value::Int(*n),
+            Arg::Rat(p, q) => Value::Str(Ts::new(*p, *q).display()),
+            Arg::F64(x) => Value::Float(*x),
+            Arg::Str(s) => Value::Str(s.clone()),
+        }
+    }
+
+    /// Numeric view, for Chrome counter tracks.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        match self {
+            Arg::Int(n) => *n as f64,
+            Arg::Rat(p, q) => *p as f64 / *q as f64,
+            Arg::F64(x) => *x,
+            Arg::Str(_) => f64::NAN,
+        }
+    }
+}
+
+impl From<i128> for Arg {
+    fn from(n: i128) -> Arg {
+        Arg::Int(n)
+    }
+}
+
+impl From<u64> for Arg {
+    fn from(n: u64) -> Arg {
+        Arg::Int(n as i128)
+    }
+}
+
+impl From<usize> for Arg {
+    fn from(n: usize) -> Arg {
+        Arg::Int(n as i128)
+    }
+}
+
+impl From<&str> for Arg {
+    fn from(s: &str) -> Arg {
+        Arg::Str(s.to_string())
+    }
+}
+
+impl From<String> for Arg {
+    fn from(s: String) -> Arg {
+        Arg::Str(s)
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// When.
+    pub ts: Ts,
+    /// Which timeline (node id, actor id, 0 for global).
+    pub track: u32,
+    /// Event name (span name for `Begin`/`End`, counter name for `Counter`).
+    pub name: String,
+    /// Phase.
+    pub kind: EventKind,
+    /// Named arguments.
+    pub args: Vec<(String, Arg)>,
+}
+
+impl Event {
+    /// A new event without arguments.
+    #[must_use]
+    pub fn new(ts: Ts, track: u32, name: impl Into<String>, kind: EventKind) -> Event {
+        Event { ts, track, name: name.into(), kind, args: Vec::new() }
+    }
+
+    /// Adds an argument (builder style).
+    #[must_use]
+    pub fn arg(mut self, key: impl Into<String>, value: impl Into<Arg>) -> Event {
+        self.args.push((key.into(), value.into()));
+        self
+    }
+
+    /// The JSON-lines rendering of this event.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut members = vec![
+            ("ts", Value::Str(self.ts.display())),
+            ("track", Value::Int(i128::from(self.track))),
+            ("name", Value::Str(self.name.clone())),
+            ("ph", Value::Str(self.kind.phase().to_string())),
+        ];
+        if !self.args.is_empty() {
+            members.push((
+                "args",
+                Value::Object(self.args.iter().map(|(k, v)| (k.clone(), v.to_json())).collect()),
+            ));
+        }
+        obj(members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_order_as_rationals() {
+        assert!(Ts::new(1, 3) < Ts::new(1, 2));
+        assert!(Ts::new(10, 9) > Ts::new(1, 1));
+        assert_eq!(Ts::new(2, 4), Ts::new(2, 4));
+        assert_eq!(Ts::new(7, 1).display(), "7");
+        assert_eq!(Ts::new(10, 9).display(), "10/9");
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let ev = Event::new(Ts::new(3, 2), 4, "compute", EventKind::Begin).arg("w", 12u64);
+        let json = ev.to_json().to_string_compact();
+        assert_eq!(json, r#"{"ts":"3/2","track":4,"name":"compute","ph":"B","args":{"w":12}}"#);
+    }
+}

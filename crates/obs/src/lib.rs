@@ -1,0 +1,33 @@
+//! Zero-dependency observability for the BW-First reproduction.
+//!
+//! The paper's claims are quantitative — messages per edge (Proposition 2),
+//! nodes visited vs platform size, per-activity utilization under the
+//! single-port model — so the repo needs a way to *measure* its own layers
+//! without dragging in external crates. This crate provides:
+//!
+//! * [`json`] — a minimal JSON value, parser and writer (the only JSON
+//!   implementation in the workspace; platform/overlay/record files use it);
+//! * [`event`] — structured trace events on exact rational timestamps;
+//! * [`metrics`] — named counters and scalar histograms;
+//! * [`recorder`] — the [`Recorder`] sink trait with a zero-cost no-op
+//!   ([`recorder::Noop`]) and an in-memory collector ([`MemoryRecorder`]);
+//! * [`chrome`] — export to the Chrome trace-event format
+//!   (`chrome://tracing`, Perfetto);
+//! * [`summary`] — a human-readable summary table.
+//!
+//! Everything is plain `std`; the crate has **no dependencies**, not even on
+//! the workspace's own crates, so every layer can depend on it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod summary;
+
+pub use event::{Arg, Event, EventKind, Ts};
+pub use metrics::Metrics;
+pub use recorder::{MemoryRecorder, Noop, Recorder};

@@ -1,0 +1,181 @@
+//! Named counters and scalar histograms.
+//!
+//! Counters are exact (`i128`); histograms keep count/sum/min/max plus
+//! power-of-two magnitude buckets, enough to see the shape of queue depths
+//! and message sizes without configuring bucket boundaries.
+
+use crate::json::{obj, Value};
+use std::collections::BTreeMap;
+
+/// A scalar distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// `buckets[i]` counts observations `v` with `2^(i-1) <= v < 2^i`
+    /// (bucket 0 holds `v < 1`).
+    pub buckets: Vec<u64>,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: Vec::new(),
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let bucket = if v < 1.0 { 0 } else { (v.log2().floor() as usize) + 1 };
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+    }
+
+    /// Mean observation (`NaN` when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A registry of counters and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Monotonic (or at least exact-integer) counters by name.
+    pub counters: BTreeMap<String, i128>,
+    /// Distributions by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn add(&mut self, name: &str, delta: i128) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Reads a counter (absent counters read as zero).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> i128 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one observation in the named histogram.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms.entry(name.to_string()).or_insert_with(Histogram::new).observe(value);
+    }
+
+    /// Folds another registry into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            let dst = self.histograms.entry(k.clone()).or_insert_with(Histogram::new);
+            dst.count += h.count;
+            dst.sum += h.sum;
+            dst.min = dst.min.min(h.min);
+            dst.max = dst.max.max(h.max);
+            if dst.buckets.len() < h.buckets.len() {
+                dst.buckets.resize(h.buckets.len(), 0);
+            }
+            for (i, b) in h.buckets.iter().enumerate() {
+                dst.buckets[i] += b;
+            }
+        }
+    }
+
+    /// JSON rendering (counters then histogram summaries).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let counters =
+            Value::Object(self.counters.iter().map(|(k, v)| (k.clone(), Value::Int(*v))).collect());
+        let histograms = Value::Object(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        obj(vec![
+                            ("count", h.count.into()),
+                            ("sum", h.sum.into()),
+                            ("min", h.min.into()),
+                            ("max", h.max.into()),
+                            ("mean", h.mean().into()),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        obj(vec![("counters", counters), ("histograms", histograms)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.add("msgs", 2);
+        m.add("msgs", 3);
+        assert_eq!(m.counter("msgs"), 5);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_tracks_shape() {
+        let mut m = Metrics::new();
+        for v in [0.5, 1.0, 3.0, 8.0] {
+            m.observe("depth", v);
+        }
+        let h = &m.histograms["depth"];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 8.0);
+        assert_eq!(h.mean(), 3.125);
+        // 0.5 → bucket 0; 1.0 → bucket 1; 3.0 → bucket 2; 8.0 → bucket 4.
+        assert_eq!(h.buckets, vec![1, 1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn merge_folds_both_kinds() {
+        let mut a = Metrics::new();
+        a.add("x", 1);
+        a.observe("h", 2.0);
+        let mut b = Metrics::new();
+        b.add("x", 2);
+        b.add("y", 5);
+        b.observe("h", 6.0);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 5);
+        assert_eq!(a.histograms["h"].count, 2);
+        assert_eq!(a.histograms["h"].sum, 8.0);
+    }
+}

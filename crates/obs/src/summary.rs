@@ -1,0 +1,66 @@
+//! Human-readable summary tables for metrics.
+
+use crate::metrics::Metrics;
+use std::fmt::Write;
+
+/// Renders counters and histograms as an aligned two-column table.
+#[must_use]
+pub fn metrics_table(m: &Metrics) -> String {
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for (name, v) in &m.counters {
+        rows.push((name.clone(), v.to_string()));
+    }
+    for (name, h) in &m.histograms {
+        rows.push((
+            format!("{name} (n={})", h.count),
+            format!("min {} / mean {:.3} / max {}", trim(h.min), h.mean(), trim(h.max)),
+        ));
+    }
+    render(&rows)
+}
+
+/// Renders arbitrary label/value rows as an aligned table.
+#[must_use]
+pub fn table(rows: &[(String, String)]) -> String {
+    render(rows)
+}
+
+fn render(rows: &[(String, String)]) -> String {
+    let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (k, v) in rows {
+        writeln!(out, "{k:<width$} : {v}").expect("write to string");
+    }
+    out
+}
+
+fn trim(v: f64) -> String {
+    if v == v.trunc() && v.is_finite() {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut m = Metrics::new();
+        m.add("proposals_sent", 7);
+        m.add("acks", 7);
+        m.observe("queue_depth", 2.0);
+        m.observe("queue_depth", 4.0);
+        let t = metrics_table(&m);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("acks"));
+        assert!(lines[1].starts_with("proposals_sent"));
+        assert!(lines[2].contains("queue_depth (n=2)"));
+        assert!(lines[2].contains("min 2 / mean 3.000 / max 4"));
+        let colon = lines[0].find(':').unwrap();
+        assert!(lines.iter().all(|l| l.find(':') == Some(colon)));
+    }
+}

@@ -45,7 +45,9 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
             GraphError::BadEdge(a, b) => write!(f, "bad edge {a}-{b} (self-loop or duplicate)"),
-            GraphError::NonPositiveLink(a, b) => write!(f, "edge {a}-{b} has non-positive link time"),
+            GraphError::NonPositiveLink(a, b) => {
+                write!(f, "edge {a}-{b} has non-positive link time")
+            }
             GraphError::Disconnected => f.write_str("graph is not connected"),
             GraphError::ParseJson(msg) => write!(f, "cannot parse graph JSON: {msg}"),
         }
@@ -100,7 +102,7 @@ impl GraphBuilder {
             adjacency[b.index()].push((a, c));
         }
         let g = Graph { weights: self.weights, adjacency };
-        if g.len() > 0 && !g.is_connected() {
+        if !g.is_empty() && !g.is_connected() {
             return Err(GraphError::Disconnected);
         }
         Ok(g)
@@ -218,10 +220,15 @@ pub fn random_graph(cfg: &RandomGraphConfig) -> Graph {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut b = GraphBuilder::new();
     let sample_c = |rng: &mut StdRng| {
-        rat(rng.gen_range(cfg.link_num.0..=cfg.link_num.1), rng.gen_range(cfg.link_den.0..=cfg.link_den.1))
+        rat(
+            rng.gen_range(cfg.link_num.0..=cfg.link_num.1),
+            rng.gen_range(cfg.link_den.0..=cfg.link_den.1),
+        )
     };
     let nodes: Vec<NodeIx> = (0..cfg.size)
-        .map(|_| b.node(Weight::Time(rat(rng.gen_range(cfg.weight_range.0..=cfg.weight_range.1), 1))))
+        .map(|_| {
+            b.node(Weight::Time(rat(rng.gen_range(cfg.weight_range.0..=cfg.weight_range.1), 1)))
+        })
         .collect();
     let mut pairs: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
     // Connecting skeleton: attach each node to a random earlier one.
@@ -332,8 +339,13 @@ mod tests {
 
     #[test]
     fn random_graph_extra_edges_scale() {
-        let sparse = random_graph(&RandomGraphConfig { size: 40, extra_edge_pct: 0, ..Default::default() });
-        let dense = random_graph(&RandomGraphConfig { size: 40, extra_edge_pct: 300, ..Default::default() });
+        let sparse =
+            random_graph(&RandomGraphConfig { size: 40, extra_edge_pct: 0, ..Default::default() });
+        let dense = random_graph(&RandomGraphConfig {
+            size: 40,
+            extra_edge_pct: 300,
+            ..Default::default()
+        });
         assert_eq!(sparse.edge_count(), 39);
         assert!(dense.edge_count() > sparse.edge_count() + 20);
     }

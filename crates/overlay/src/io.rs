@@ -1,4 +1,4 @@
-//! Graph interchange: a serde-backed JSON format for physical networks.
+//! Graph interchange: a JSON format for physical networks.
 //!
 //! ```json
 //! {
@@ -10,12 +10,12 @@
 //! `"w": null` denotes a pure forwarder (`w = +∞`).
 
 use crate::graph::{Graph, GraphBuilder, GraphError, NodeIx};
+use bwfirst_obs::json::{self, obj, Value};
 use bwfirst_platform::Weight;
 use bwfirst_rational::Rat;
-use serde::{Deserialize, Serialize};
 
 /// One node of a [`GraphSpec`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NodeSpec {
     /// Dense node id.
     pub id: u32,
@@ -24,7 +24,7 @@ pub struct NodeSpec {
 }
 
 /// One undirected edge of a [`GraphSpec`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EdgeSpec {
     /// First endpoint.
     pub a: u32,
@@ -35,7 +35,7 @@ pub struct EdgeSpec {
 }
 
 /// Serializable description of a [`Graph`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GraphSpec {
     /// All nodes, ids dense from 0.
     pub nodes: Vec<NodeSpec>,
@@ -57,6 +57,38 @@ impl GraphSpec {
             }
         }
         GraphSpec { nodes, edges }
+    }
+
+    fn from_json(v: &Value) -> Result<GraphSpec, String> {
+        let u32_field = |v: &Value, key: &str| -> Result<u32, String> {
+            v[key]
+                .as_i128()
+                .and_then(|i| u32::try_from(i).ok())
+                .ok_or(format!("missing or malformed `{key}`"))
+        };
+        let nodes = v["nodes"].as_array().ok_or("missing `nodes` array")?;
+        let nodes: Vec<NodeSpec> = nodes
+            .iter()
+            .map(|n| {
+                let w = match &n["w"] {
+                    Value::Null => None,
+                    w => Some(Rat::from_json(w)?),
+                };
+                Ok(NodeSpec { id: u32_field(n, "id")?, w })
+            })
+            .collect::<Result<_, String>>()?;
+        let edges = v["edges"].as_array().ok_or("missing `edges` array")?;
+        let edges: Vec<EdgeSpec> = edges
+            .iter()
+            .map(|e| {
+                Ok(EdgeSpec {
+                    a: u32_field(e, "a")?,
+                    b: u32_field(e, "b")?,
+                    c: Rat::from_json(&e["c"])?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        Ok(GraphSpec { nodes, edges })
     }
 
     /// Rebuilds the [`Graph`] (validating ids, connectivity, weights).
@@ -81,13 +113,35 @@ impl GraphSpec {
 /// Serializes a graph to pretty JSON.
 #[must_use]
 pub fn to_json(g: &Graph) -> String {
-    serde_json::to_string_pretty(&GraphSpec::from_graph(g)).expect("graph spec serializes")
+    let spec = GraphSpec::from_graph(g);
+    let nodes: Vec<Value> = spec
+        .nodes
+        .iter()
+        .map(|n| {
+            obj(vec![
+                ("id", Value::Int(i128::from(n.id))),
+                ("w", n.w.as_ref().map_or(Value::Null, Rat::to_json)),
+            ])
+        })
+        .collect();
+    let edges: Vec<Value> = spec
+        .edges
+        .iter()
+        .map(|e| {
+            obj(vec![
+                ("a", Value::Int(i128::from(e.a))),
+                ("b", Value::Int(i128::from(e.b))),
+                ("c", e.c.to_json()),
+            ])
+        })
+        .collect();
+    obj(vec![("nodes", Value::Array(nodes)), ("edges", Value::Array(edges))]).to_string_pretty()
 }
 
 /// Parses a graph from JSON.
 pub fn from_json(s: &str) -> Result<Graph, GraphError> {
-    let spec: GraphSpec =
-        serde_json::from_str(s).map_err(|e| GraphError::ParseJson(e.to_string()))?;
+    let v = json::parse(s).map_err(|e| GraphError::ParseJson(e.to_string()))?;
+    let spec = GraphSpec::from_json(&v).map_err(GraphError::ParseJson)?;
     spec.to_graph()
 }
 

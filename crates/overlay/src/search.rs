@@ -28,7 +28,7 @@ pub struct OverlaySearch {
 
 impl Default for OverlaySearch {
     fn default() -> Self {
-        OverlaySearch { restarts: 4, passes: 8, seed: 0x5EA_C4 }
+        OverlaySearch { restarts: 4, passes: 8, seed: 0x0005_EAC4 }
     }
 }
 
@@ -67,7 +67,13 @@ fn in_subtree(t: &SpanningTree, v: NodeIx, candidate_parent: NodeIx) -> bool {
 }
 
 /// One full improvement pass; returns the improved tree and score.
-fn improve_pass(g: &Graph, t: &SpanningTree, score: f64, rng: &mut StdRng, scored: &mut usize) -> (SpanningTree, f64, bool) {
+fn improve_pass(
+    g: &Graph,
+    t: &SpanningTree,
+    score: f64,
+    rng: &mut StdRng,
+    scored: &mut usize,
+) -> (SpanningTree, f64, bool) {
     let mut best = t.clone();
     let mut best_score = score;
     let mut improved = false;
@@ -97,7 +103,7 @@ fn improve_pass(g: &Graph, t: &SpanningTree, score: f64, rng: &mut StdRng, score
 /// Searches for a high-throughput overlay rooted at `root`.
 #[must_use]
 pub fn best_overlay(g: &Graph, root: NodeIx, cfg: &OverlaySearch) -> OverlayResult {
-    assert!(g.len() >= 1);
+    assert!(!g.is_empty());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut scored = 0usize;
 
@@ -189,10 +195,8 @@ mod tests {
     #[test]
     fn in_subtree_detection() {
         // Chain 0 -> 1 -> 2 rooted at 0.
-        let t = SpanningTree {
-            root: NodeIx(0),
-            parent: vec![None, Some(NodeIx(0)), Some(NodeIx(1))],
-        };
+        let t =
+            SpanningTree { root: NodeIx(0), parent: vec![None, Some(NodeIx(0)), Some(NodeIx(1))] };
         assert!(in_subtree(&t, NodeIx(1), NodeIx(2))); // 2 is below 1
         assert!(in_subtree(&t, NodeIx(1), NodeIx(1)));
         assert!(!in_subtree(&t, NodeIx(1), NodeIx(0)));

@@ -38,7 +38,12 @@ impl PlatformBuilder {
         }
         self.root_defined = true;
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(NodeData { weight: w.into(), parent: None, link_time: None, children: Vec::new() });
+        self.nodes.push(NodeData {
+            weight: w.into(),
+            parent: None,
+            link_time: None,
+            children: Vec::new(),
+        });
         id
     }
 
@@ -51,7 +56,12 @@ impl PlatformBuilder {
         } else {
             self.errors.push(PlatformError::UnknownParent(parent));
         }
-        self.nodes.push(NodeData { weight: w.into(), parent: Some(parent), link_time: Some(c), children: Vec::new() });
+        self.nodes.push(NodeData {
+            weight: w.into(),
+            parent: Some(parent),
+            link_time: Some(c),
+            children: Vec::new(),
+        });
         id
     }
 
@@ -153,7 +163,10 @@ mod tests {
     fn chain_builds_daisy_chain() {
         let mut b = PlatformBuilder::new();
         let r = b.root(rat(2, 1));
-        let tip = b.chain(r, &[(Weight::Time(rat(1, 1)), rat(1, 1)), (Weight::Time(rat(3, 1)), rat(2, 1))]);
+        let tip = b.chain(
+            r,
+            &[(Weight::Time(rat(1, 1)), rat(1, 1)), (Weight::Time(rat(3, 1)), rat(2, 1))],
+        );
         let p = b.build().unwrap();
         assert_eq!(p.depth(tip), 2);
         assert_eq!(p.parent(tip), Some(NodeId(1)));

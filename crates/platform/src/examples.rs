@@ -143,11 +143,8 @@ mod tests {
         // Feeding 1/3 task/unit to each of the three c=1 children saturates
         // the root's single sending port exactly.
         let p = example_tree();
-        let busy: Rat = p
-            .children(p.root())
-            .iter()
-            .map(|&k| p.link_time(k).unwrap() * rat(1, 3))
-            .sum();
+        let busy: Rat =
+            p.children(p.root()).iter().map(|&k| p.link_time(k).unwrap() * rat(1, 3)).sum();
         assert_eq!(busy, Rat::ONE);
     }
 

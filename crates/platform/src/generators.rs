@@ -265,7 +265,8 @@ mod tests {
         }
         // B_3: the root's subtrees are B_2, B_1, B_0 in some order.
         let p = binomial_tree(3, w(1), rat(1, 1));
-        let mut sizes: Vec<usize> = p.children(p.root()).iter().map(|&k| p.subtree_size(k)).collect();
+        let mut sizes: Vec<usize> =
+            p.children(p.root()).iter().map(|&k| p.subtree_size(k)).collect();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![1, 2, 4]);
     }
@@ -283,7 +284,9 @@ mod tests {
         }
         let c = random_tree(&RandomTreeConfig { seed: 99, ..cfg });
         // Different seed ⇒ (almost surely) different weights somewhere.
-        let differs = a.node_ids().any(|id| a.weight(id) != c.weight(id) || a.link_time(id) != c.link_time(id));
+        let differs = a
+            .node_ids()
+            .any(|id| a.weight(id) != c.weight(id) || a.link_time(id) != c.link_time(id));
         assert!(differs);
     }
 

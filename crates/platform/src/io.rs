@@ -1,4 +1,4 @@
-//! Platform interchange: a serde-backed JSON format and Graphviz DOT export.
+//! Platform interchange: a JSON format and Graphviz DOT export.
 //!
 //! The JSON format is a flat node list — stable under hand edits and easy to
 //! produce from network measurement tools (the paper suggests the Network
@@ -18,29 +18,65 @@ use crate::builder::PlatformBuilder;
 use crate::error::PlatformError;
 use crate::node::{NodeId, Weight};
 use crate::platform::Platform;
+use bwfirst_obs::json::{self, obj, Value};
 use bwfirst_rational::Rat;
-use serde::{Deserialize, Serialize};
 
 /// One node in a [`PlatformSpec`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NodeSpec {
     /// Dense node id; the root must be 0.
     pub id: u32,
-    /// Parent id (`None` for the root).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
+    /// Parent id (`None` for the root; omitted from JSON).
     pub parent: Option<u32>,
-    /// Processing time per task; `None` means a switch (`w = +∞`).
+    /// Processing time per task; `None` means a switch (`w = +∞`,
+    /// `"w": null` in JSON).
     pub w: Option<Rat>,
-    /// Communication time of the edge from the parent (`None` for the root).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
+    /// Communication time of the edge from the parent (`None` for the root;
+    /// omitted from JSON).
     pub c: Option<Rat>,
 }
 
 /// Serializable description of a [`Platform`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PlatformSpec {
     /// All nodes; parents must precede children.
     pub nodes: Vec<NodeSpec>,
+}
+
+impl NodeSpec {
+    fn to_json(&self) -> Value {
+        let mut members = vec![("id", Value::Int(i128::from(self.id)))];
+        if let Some(p) = self.parent {
+            members.push(("parent", Value::Int(i128::from(p))));
+        }
+        members.push(("w", self.w.as_ref().map_or(Value::Null, Rat::to_json)));
+        if let Some(c) = &self.c {
+            members.push(("c", c.to_json()));
+        }
+        obj(members)
+    }
+
+    fn from_json(v: &Value) -> Result<NodeSpec, String> {
+        let id = v["id"].as_i128().ok_or("node is missing an integer `id`")?;
+        let id = u32::try_from(id).map_err(|_| format!("node id {id} out of range"))?;
+        let parent = match &v["parent"] {
+            Value::Null => None,
+            p => Some(
+                p.as_i128()
+                    .and_then(|p| u32::try_from(p).ok())
+                    .ok_or(format!("node {id} has a malformed `parent`"))?,
+            ),
+        };
+        let w = match &v["w"] {
+            Value::Null => None,
+            w => Some(Rat::from_json(w)?),
+        };
+        let c = match &v["c"] {
+            Value::Null => None,
+            c => Some(Rat::from_json(c)?),
+        };
+        Ok(NodeSpec { id, parent, w, c })
+    }
 }
 
 impl PlatformSpec {
@@ -101,14 +137,23 @@ impl PlatformSpec {
 /// Serializes a platform to pretty JSON.
 #[must_use]
 pub fn to_json(p: &Platform) -> String {
-    serde_json::to_string_pretty(&PlatformSpec::from_platform(p)).expect("platform spec serializes")
+    let spec = PlatformSpec::from_platform(p);
+    let nodes: Vec<Value> = spec.nodes.iter().map(NodeSpec::to_json).collect();
+    obj(vec![("nodes", Value::Array(nodes))]).to_string_pretty()
 }
 
 /// Parses a platform from JSON produced by [`to_json`] (or hand-written).
 pub fn from_json(s: &str) -> Result<Platform, PlatformError> {
-    let spec: PlatformSpec =
-        serde_json::from_str(s).map_err(|e| PlatformError::MalformedSpec(e.to_string()))?;
-    spec.to_platform()
+    let v = json::parse(s).map_err(|e| PlatformError::MalformedSpec(e.to_string()))?;
+    let nodes = v["nodes"]
+        .as_array()
+        .ok_or_else(|| PlatformError::MalformedSpec("missing `nodes` array".to_string()))?;
+    let nodes: Vec<NodeSpec> = nodes
+        .iter()
+        .map(NodeSpec::from_json)
+        .collect::<Result<_, String>>()
+        .map_err(PlatformError::MalformedSpec)?;
+    PlatformSpec { nodes }.to_platform()
 }
 
 /// Graphviz DOT rendering: nodes labelled `P_i (w)`, edges labelled `c`.

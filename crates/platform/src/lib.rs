@@ -21,7 +21,7 @@
 //!   seeded random/bottlenecked platforms for the experiments;
 //! * [`examples`] — the reconstructed Figure 4 example tree and the
 //!   Section 9 result-return counter-example;
-//! * [`io`] — a serde-backed JSON interchange format and Graphviz DOT export.
+//! * [`io`] — a JSON interchange format and Graphviz DOT export.
 //!
 //! ```
 //! use bwfirst_platform::{PlatformBuilder, Weight};

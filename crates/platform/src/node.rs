@@ -1,13 +1,11 @@
 use bwfirst_rational::Rat;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a node within a [`crate::Platform`] arena.
 ///
 /// Ids are dense (`0..platform.len()`), assigned in insertion order, and the
 /// root is always id 0. Display follows the paper's `P_i` notation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

@@ -171,7 +171,12 @@ impl Platform {
             if let Some(p) = parent {
                 nodes[p.index()].children.push(new_id);
             }
-            nodes.push(NodeData { weight: self.weight(old), parent, link_time, children: Vec::new() });
+            nodes.push(NodeData {
+                weight: self.weight(old),
+                parent,
+                link_time,
+                children: Vec::new(),
+            });
         }
         (Platform { nodes }, map)
     }
@@ -250,7 +255,10 @@ mod tests {
     #[test]
     fn preorder_follows_bandwidth_centric_order() {
         let (p, ids) = sample();
-        assert_eq!(p.preorder_bandwidth_centric(ids[0]), vec![ids[0], ids[2], ids[1], ids[4], ids[3]]);
+        assert_eq!(
+            p.preorder_bandwidth_centric(ids[0]),
+            vec![ids[0], ids[2], ids[1], ids[4], ids[3]]
+        );
     }
 
     #[test]

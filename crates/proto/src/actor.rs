@@ -98,7 +98,8 @@ impl Actor {
 
     /// One `BW-First` round, exactly Algorithm 1 from the node's viewpoint.
     fn negotiate(&mut self, lambda: Rat) {
-        let mut messages = 0u64;
+        let mut proposals_sent = 0u64;
+        let mut wire_bytes_sent = 0u64;
         self.alpha = self.weight.rate().min(lambda);
         let mut delta = lambda - self.alpha;
         let mut tau = Rat::ONE;
@@ -106,7 +107,10 @@ impl Actor {
         // Bandwidth-centric order over *local* link knowledge.
         let mut order: Vec<usize> = (0..self.children.len()).collect();
         order.sort_by(|&a, &b| {
-            self.children[a].c.cmp(&self.children[b].c).then(self.children[a].id.cmp(&self.children[b].id))
+            self.children[a]
+                .c
+                .cmp(&self.children[b].c)
+                .then(self.children[a].id.cmp(&self.children[b].id))
         });
         for slot in order {
             if !delta.is_positive() || !tau.is_positive() {
@@ -114,11 +118,9 @@ impl Actor {
             }
             let c = self.children[slot].c;
             let beta = delta.min(tau / c);
-            self.children[slot]
-                .tx
-                .send(DownMsg::Proposal(beta))
-                .expect("child actor alive");
-            messages += 1;
+            wire_bytes_sent += crate::wire::encode_down(&DownMsg::Proposal(beta)).len() as u64;
+            self.children[slot].tx.send(DownMsg::Proposal(beta)).expect("child actor alive");
+            proposals_sent += 1;
             let UpMsg::Ack(theta) = self.children[slot].rx.recv().expect("child acknowledges");
             let consumed = beta - theta;
             self.flows[slot] = consumed;
@@ -129,8 +131,15 @@ impl Actor {
         // Rates changed: any previously built schedule is stale.
         self.schedule = None;
         self.cursor = 0;
+        wire_bytes_sent += crate::wire::encode_up(&UpMsg::Ack(delta)).len() as u64;
         self.report_tx
-            .send(Report::Negotiation { node: self.id, alpha: self.alpha, eta_in: self.eta_in, messages: messages + 1 })
+            .send(Report::Negotiation {
+                node: self.id,
+                alpha: self.alpha,
+                eta_in: self.eta_in,
+                proposals_sent,
+                wire_bytes_sent,
+            })
             .expect("driver alive");
         self.parent_tx.send(UpMsg::Ack(delta)).expect("parent alive");
     }
@@ -155,14 +164,16 @@ impl Actor {
             v.numer()
         };
         let psi_self = to_int(self.alpha);
-        let mut slots: Vec<usize> = (0..self.children.len()).filter(|&s| self.flows[s].is_positive()).collect();
+        let mut slots: Vec<usize> =
+            (0..self.children.len()).filter(|&s| self.flows[s].is_positive()).collect();
         slots.sort_by(|&a, &b| {
-            self.children[a].c.cmp(&self.children[b].c).then(self.children[a].id.cmp(&self.children[b].id))
+            self.children[a]
+                .c
+                .cmp(&self.children[b].c)
+                .then(self.children[a].id.cmp(&self.children[b].id))
         });
-        let psi_children: Vec<(NodeId, i128)> = slots
-            .iter()
-            .map(|&s| (NodeId(self.children[s].id), to_int(self.flows[s])))
-            .collect();
+        let psi_children: Vec<(NodeId, i128)> =
+            slots.iter().map(|&s| (NodeId(self.children[s].id), to_int(self.flows[s]))).collect();
         let bunch = psi_self + psi_children.iter().map(|&(_, q)| q).sum::<i128>();
         let sched = NodeSchedule {
             node: NodeId(self.id),
@@ -264,6 +275,9 @@ impl Actor {
             return;
         }
         let slot = *self.route.get(&target).expect("control target in subtree");
-        self.children[slot].tx.send(DownMsg::Control { target, change }).expect("child actor alive");
+        self.children[slot]
+            .tx
+            .send(DownMsg::Control { target, change })
+            .expect("child actor alive");
     }
 }

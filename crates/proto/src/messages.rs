@@ -67,14 +67,13 @@ pub(crate) enum Report {
         node: u32,
         alpha: Rat,
         eta_in: Rat,
-        /// Protocol messages this node sent this round (proposals + its ack).
-        messages: u64,
+        /// Proposals this node sent to children this round (one ack came
+        /// back for each, so this also counts acks received).
+        proposals_sent: u64,
+        /// Encoded octets of everything this node put on the wire this
+        /// round: its proposals down plus its own ack up.
+        wire_bytes_sent: u64,
     },
     /// One node's counters after a flow phase.
-    Flow {
-        node: u32,
-        computed: u64,
-        forwarded: u64,
-        bytes_processed: u64,
-    },
+    Flow { node: u32, computed: u64, forwarded: u64, bytes_processed: u64 },
 }

@@ -2,6 +2,7 @@
 
 use crate::actor::{Actor, ChildLink};
 use crate::messages::{ControlMsg, DownMsg, Report, UpMsg};
+use bwfirst_obs::{Arg, Event, EventKind, Recorder, Ts};
 use bwfirst_platform::{NodeId, Platform, Weight};
 use bwfirst_rational::Rat;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -22,11 +23,62 @@ pub struct NegotiationOutcome {
     pub eta_in: Vec<Rat>,
     /// Which nodes took part in the round.
     pub visited: Vec<bool>,
+    /// Proposals each node sent to its children (acks received match
+    /// one-for-one; 0 for unvisited nodes and leaves).
+    pub proposals_sent: Vec<u64>,
     /// Total protocol messages exchanged (each carries one number), counting
     /// the virtual parent's proposal and the root's final ack.
     pub protocol_messages: u64,
+    /// Total encoded octets of the round, virtual-parent edge included.
+    pub wire_bytes: u64,
     /// Wall-clock duration of the round.
     pub elapsed: Duration,
+}
+
+impl NegotiationOutcome {
+    /// How many nodes took part in the round.
+    #[must_use]
+    pub fn visited_count(&self) -> usize {
+        self.visited.iter().filter(|&&v| v).count()
+    }
+
+    /// Records the round into a `bwfirst-obs` recorder: one instant event
+    /// per visited node (in node order, with its negotiated rates as args)
+    /// and the Proposition 2 counters — `proto.proposals`, `proto.acks`,
+    /// `proto.messages`, `proto.wire_bytes`, `proto.nodes_visited`,
+    /// `proto.nodes_total` — plus a `proto.negotiate_micros` histogram
+    /// sample for the round's wall-clock latency.
+    pub fn record(&self, rec: &mut impl Recorder) {
+        if !rec.enabled() {
+            return;
+        }
+        let proposals: u64 = self.proposals_sent.iter().sum();
+        for (i, &v) in self.visited.iter().enumerate() {
+            if !v {
+                continue;
+            }
+            rec.event(
+                Event::new(
+                    Ts::new(i as i128, 1),
+                    i as u32,
+                    format!("negotiate P{i}"),
+                    EventKind::Instant,
+                )
+                .arg("alpha", Arg::Rat(self.alpha[i].numer(), self.alpha[i].denom()))
+                .arg("eta_in", Arg::Rat(self.eta_in[i].numer(), self.eta_in[i].denom()))
+                .arg("proposals_sent", Arg::Int(i128::from(self.proposals_sent[i]))),
+            );
+        }
+        // Every proposal down is answered by one ack up; the virtual parent
+        // contributes one of each on the driver→root edge.
+        rec.add("proto.proposals", i128::from(proposals) + 1);
+        rec.add("proto.acks", i128::from(proposals) + 1);
+        rec.add("proto.messages", i128::from(self.protocol_messages));
+        rec.add("proto.wire_bytes", i128::from(self.wire_bytes));
+        rec.add("proto.nodes_visited", self.visited_count() as i128);
+        rec.add("proto.nodes_total", self.visited.len() as i128);
+        rec.observe("proto.negotiate_micros", self.elapsed.as_secs_f64() * 1e6);
+    }
 }
 
 /// Result of one flow phase (real payloads routed through the tree).
@@ -90,18 +142,15 @@ impl ProtocolSession {
     /// of each parent→child edge (including the driver→root edge).
     fn spawn_with_links<F>(platform: &Platform, make_link: F) -> ProtocolSession
     where
-        F: Fn() -> (Sender<DownMsg>, Receiver<DownMsg>, Sender<UpMsg>, Receiver<UpMsg>),
+        F: Fn() -> crate::wire::bridge::LinkEndpoints,
     {
         let n = platform.len();
         let (report_tx, report_rx) = unbounded();
         // Per-node link endpoints for the edge *into* that node.
-        let links: Vec<(Sender<DownMsg>, Receiver<DownMsg>, Sender<UpMsg>, Receiver<UpMsg>)> =
-            (0..n).map(|_| make_link()).collect();
+        let links: Vec<crate::wire::bridge::LinkEndpoints> = (0..n).map(|_| make_link()).collect();
         let mut down: Vec<Option<(Sender<DownMsg>, Receiver<DownMsg>)>> = Vec::with_capacity(n);
-        let up: Vec<Option<(Sender<UpMsg>, Receiver<UpMsg>)>> = links
-            .iter()
-            .map(|(_, _, ut, ur)| Some((ut.clone(), ur.clone())))
-            .collect();
+        let up: Vec<Option<(Sender<UpMsg>, Receiver<UpMsg>)>> =
+            links.iter().map(|(_, _, ut, ur)| Some((ut.clone(), ur.clone()))).collect();
         for (dt, dr, _, _) in links {
             down.push(Some((dt, dr)));
         }
@@ -133,7 +182,15 @@ impl ProtocolSession {
                     route.insert(d.0, slot);
                 }
             }
-            let actor = Actor::new(id.0, platform.weight(id), parent_rx, parent_tx, children, route, report_tx.clone());
+            let actor = Actor::new(
+                id.0,
+                platform.weight(id),
+                parent_rx,
+                parent_tx,
+                children,
+                route,
+                report_tx.clone(),
+            );
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("bwfirst-{id}"))
@@ -169,20 +226,42 @@ impl ProtocolSession {
         let mut alpha = vec![Rat::ZERO; n];
         let mut eta_in = vec![Rat::ZERO; n];
         let mut visited = vec![false; n];
-        // +2: the virtual parent's proposal and the root's ack to it.
+        let mut proposals_sent = vec![0u64; n];
+        // The virtual parent's proposal and the root's ack to it.
         let mut protocol_messages = 1u64;
+        let mut wire_bytes = crate::wire::encode_down(&DownMsg::Proposal(t_max)).len() as u64;
         // All reports were enqueued before the root's ack (happens-before
         // along the DFS), so a non-blocking drain sees them all.
         for report in self.report_rx.try_iter() {
-            if let Report::Negotiation { node, alpha: a, eta_in: e, messages } = report {
+            if let Report::Negotiation {
+                node,
+                alpha: a,
+                eta_in: e,
+                proposals_sent: p,
+                wire_bytes_sent: b,
+            } = report
+            {
                 let i = node as usize;
                 alpha[i] = a;
                 eta_in[i] = e;
                 visited[i] = true;
-                protocol_messages += messages;
+                proposals_sent[i] = p;
+                // Each visited node sends its proposals plus its own ack.
+                protocol_messages += p + 1;
+                wire_bytes += b;
             }
         }
-        NegotiationOutcome { t_max, throughput: t_max - theta, alpha, eta_in, visited, protocol_messages, elapsed }
+        NegotiationOutcome {
+            t_max,
+            throughput: t_max - theta,
+            alpha,
+            eta_in,
+            visited,
+            proposals_sent,
+            protocol_messages,
+            wire_bytes,
+            elapsed,
+        }
     }
 
     /// Streams `bunches` root bunches of `payload_len`-byte tasks through
@@ -227,7 +306,10 @@ impl ProtocolSession {
         let parent = self.platform.parent(child).expect("child has a parent");
         self.platform.set_link_time(child, c);
         self.root_tx
-            .send(DownMsg::Control { target: parent.0, change: ControlMsg::SetLink { child: child.0, c } })
+            .send(DownMsg::Control {
+                target: parent.0,
+                change: ControlMsg::SetLink { child: child.0, c },
+            })
             .expect("root actor alive");
     }
 
@@ -267,6 +349,30 @@ mod tests {
         assert_eq!(out.visited, reference.visited);
         // 7 transactions + the virtual parent's: 8 proposals + 8 acks.
         assert_eq!(out.protocol_messages, 16);
+        // Each visited node has exactly one incoming edge (the root's being
+        // virtual): 2 messages — one rational each way — per visited edge.
+        assert_eq!(out.protocol_messages, 2 * out.visited_count() as u64);
+        assert_eq!(out.proposals_sent.iter().sum::<u64>(), 7);
+        // The octet count matches the codec replaying the centralized trace.
+        assert_eq!(out.wire_bytes, crate::wire::negotiation_wire_bytes(&reference) as u64);
+    }
+
+    #[test]
+    fn negotiation_records_into_obs() {
+        let p = example_tree();
+        let session = ProtocolSession::spawn(&p);
+        let out = session.negotiate();
+        let mut rec = bwfirst_obs::MemoryRecorder::new();
+        out.record(&mut rec);
+        assert_eq!(rec.metrics.counter("proto.nodes_visited"), 8);
+        assert_eq!(rec.metrics.counter("proto.nodes_total"), 12);
+        assert_eq!(rec.metrics.counter("proto.proposals"), 8);
+        assert_eq!(rec.metrics.counter("proto.acks"), 8);
+        assert_eq!(rec.metrics.counter("proto.messages"), 16);
+        assert_eq!(rec.events.len(), 8, "one instant per visited node");
+        assert!(rec.metrics.counter("proto.wire_bytes") > 0);
+        // The no-op recorder takes the early-out path.
+        out.record(&mut bwfirst_obs::Noop);
     }
 
     #[test]

@@ -269,8 +269,15 @@ pub mod bridge {
     use crossbeam::channel::{Receiver, Sender};
     use std::io::{Read, Write};
 
+    /// The four endpoints of one bidirectional parent->child link:
+    /// `(down_tx, down_rx, up_tx, up_rx)`.
+    pub type LinkEndpoints = (Sender<DownMsg>, Receiver<DownMsg>, Sender<UpMsg>, Receiver<UpMsg>);
+
     /// Pumps `DownMsg`s from a channel onto a byte stream.
-    pub fn pump_down_out<W: Write>(rx: &Receiver<DownMsg>, stream: &mut W) -> Result<(), WireError> {
+    pub fn pump_down_out<W: Write>(
+        rx: &Receiver<DownMsg>,
+        stream: &mut W,
+    ) -> Result<(), WireError> {
         for msg in rx.iter() {
             let stop = matches!(msg, DownMsg::Shutdown);
             write_frame(stream, &encode_down(&msg))?;
@@ -324,13 +331,11 @@ pub mod bridge {
     /// re-materializes on `down_rx` after crossing a real socket (and
     /// symmetrically for the up direction on a second socket). The four
     /// pump threads run detached and end when the link shuts down.
-    pub fn tcp_link() -> Result<
-        (Sender<DownMsg>, Receiver<DownMsg>, Sender<UpMsg>, Receiver<UpMsg>),
-        WireError,
-    > {
+    pub fn tcp_link() -> Result<LinkEndpoints, WireError> {
         use crossbeam::channel::unbounded;
         use std::net::{TcpListener, TcpStream};
-        let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| WireError::Io(e.to_string()))?;
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| WireError::Io(e.to_string()))?;
         let addr = listener.local_addr().map_err(|e| WireError::Io(e.to_string()))?;
 
         let (down_tx, down_mid_rx) = unbounded::<DownMsg>();
@@ -375,7 +380,9 @@ mod tests {
 
     #[test]
     fn rationals_roundtrip_compactly() {
-        for (n, d, max_len) in [(2i128, 3i128, 3usize), (1, 12, 3), (10, 9, 3), (-7, 2, 3), (0, 1, 3)] {
+        for (n, d, max_len) in
+            [(2i128, 3i128, 3usize), (1, 12, 3), (10, 9, 3), (-7, 2, 3), (0, 1, 3)]
+        {
             let bytes = encode_down(&DownMsg::Proposal(rat(n, d)));
             assert!(bytes.len() <= max_len, "{n}/{d} took {} bytes", bytes.len());
             match roundtrip_down(DownMsg::Proposal(rat(n, d))) {
@@ -429,14 +436,19 @@ mod tests {
     #[test]
     fn frames_roundtrip_over_a_buffer() {
         let mut stream = Vec::new();
-        for msg in [DownMsg::Proposal(rat(10, 9)), DownMsg::Eof, DownMsg::Task(Bytes::from_static(b"x"))] {
+        for msg in
+            [DownMsg::Proposal(rat(10, 9)), DownMsg::Eof, DownMsg::Task(Bytes::from_static(b"x"))]
+        {
             write_frame(&mut stream, &encode_down(&msg)).unwrap();
         }
         let mut cursor = std::io::Cursor::new(stream);
         let a = decode_down(&read_frame(&mut cursor).unwrap()).unwrap();
         assert!(matches!(a, DownMsg::Proposal(r) if r == rat(10, 9)));
         assert!(matches!(decode_down(&read_frame(&mut cursor).unwrap()).unwrap(), DownMsg::Eof));
-        assert!(matches!(decode_down(&read_frame(&mut cursor).unwrap()).unwrap(), DownMsg::Task(_)));
+        assert!(matches!(
+            decode_down(&read_frame(&mut cursor).unwrap()).unwrap(),
+            DownMsg::Task(_)
+        ));
         // Stream exhausted.
         assert!(matches!(read_frame(&mut cursor), Err(WireError::Io(_))));
     }

@@ -26,9 +26,15 @@ impl fmt::Display for RatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RatError::DivisionByZero => write!(f, "rational division by zero"),
-            RatError::Overflow { op } => write!(f, "rational overflow in `{op}` (i128 range exceeded)"),
-            RatError::Parse { input } => write!(f, "cannot parse `{input}` as a rational (expected `p` or `p/q`)"),
-            RatError::NonPositive { op } => write!(f, "`{op}` requires strictly positive rationals"),
+            RatError::Overflow { op } => {
+                write!(f, "rational overflow in `{op}` (i128 range exceeded)")
+            }
+            RatError::Parse { input } => {
+                write!(f, "cannot parse `{input}` as a rational (expected `p` or `p/q`)")
+            }
+            RatError::NonPositive { op } => {
+                write!(f, "`{op}` requires strictly positive rationals")
+            }
         }
     }
 }

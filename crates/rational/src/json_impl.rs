@@ -1,0 +1,61 @@
+//! JSON support: a [`Rat`] renders as the human-readable string `"p/q"`
+//! (or `"p"` for integers), the same syntax accepted by `FromStr`, and
+//! parses from that string form or from a bare JSON integer. Platform
+//! files and experiment records therefore stay hand-editable.
+
+use crate::rat::Rat;
+use bwfirst_obs::json::Value;
+
+impl Rat {
+    /// Renders this rational as a JSON value (`"p/q"` or `"p"` string).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+
+    /// Parses a rational from a JSON value: a `"p/q"` / `"p"` string or a
+    /// bare integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending value when it is neither.
+    pub fn from_json(v: &Value) -> Result<Rat, String> {
+        match v {
+            Value::Str(s) => s.parse().map_err(|e| format!("invalid rational {s:?}: {e}")),
+            Value::Int(i) => Ok(Rat::from_int(*i)),
+            other => {
+                Err(format!("expected a rational as `p/q`, `p`, or an integer, got {other:?}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfirst_obs::json;
+
+    #[test]
+    fn json_roundtrip() {
+        let r = Rat::new(10, 9);
+        let s = r.to_json().to_string_compact();
+        assert_eq!(s, "\"10/9\"");
+        let back = Rat::from_json(&json::parse(&s).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn json_accepts_bare_integers() {
+        let r = Rat::from_json(&json::parse("7").unwrap()).unwrap();
+        assert_eq!(r, Rat::from_int(7));
+        let r = Rat::from_json(&json::parse("\"-3\"").unwrap()).unwrap();
+        assert_eq!(r, Rat::from_int(-3));
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(Rat::from_json(&json::parse("\"1/0\"").unwrap()).is_err());
+        assert!(Rat::from_json(&json::parse("\"x\"").unwrap()).is_err());
+        assert!(Rat::from_json(&json::parse("true").unwrap()).is_err());
+    }
+}

@@ -14,7 +14,7 @@
 //!   silent wraparound),
 //! * [`Rat::lcm`] / [`Rat::gcd`] over positive rationals (used by Lemma 1 of
 //!   the paper to build minimal periods),
-//! * parsing/printing in `"p/q"` form and serde support in the same form.
+//! * parsing/printing in `"p/q"` form and JSON support in the same form.
 //!
 //! # Example
 //! ```
@@ -32,8 +32,8 @@
 
 mod error;
 mod gcd;
+mod json_impl;
 mod rat;
-mod serde_impl;
 
 pub use error::RatError;
 pub use gcd::{gcd_i128, gcd_u128, lcm_i128, lcm_u128};

@@ -129,7 +129,10 @@ impl Rat {
 
     /// Checked subtraction.
     pub fn checked_sub(self, rhs: Rat) -> Result<Rat, RatError> {
-        let neg = Rat { num: rhs.num.checked_neg().ok_or(RatError::Overflow { op: "sub" })?, den: rhs.den };
+        let neg = Rat {
+            num: rhs.num.checked_neg().ok_or(RatError::Overflow { op: "sub" })?,
+            den: rhs.den,
+        };
         self.checked_add(neg)
     }
 
@@ -366,9 +369,9 @@ macro_rules! panicking_op {
             type Output = Rat;
             #[inline]
             fn $method(self, rhs: Rat) -> Rat {
-                self.$checked(rhs).unwrap_or_else(|e|
-
-                    panic!("Rat {} Rat failed: {e} ({self} {} {rhs})", $symbol, $symbol))
+                self.$checked(rhs).unwrap_or_else(|e| {
+                    panic!("Rat {} Rat failed: {e} ({self} {} {rhs})", $symbol, $symbol)
+                })
             }
         }
         impl $assign_trait for Rat {

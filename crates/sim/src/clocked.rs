@@ -23,7 +23,8 @@
 //! phase) to start cleanly.
 
 use crate::engine::{BufferTracker, EventQueue, SimConfig, SimReport};
-use crate::gantt::{Gantt, SegmentKind};
+use crate::gantt::SegmentKind;
+use crate::probe::{GanttProbe, Probe};
 use bwfirst_core::schedule::TreeSchedule;
 use bwfirst_platform::{NodeId, Platform};
 use bwfirst_rational::Rat;
@@ -69,7 +70,7 @@ struct NodeState {
     prefilled: u64,
 }
 
-struct ClockedSim<'a> {
+struct ClockedSim<'a, P: Probe> {
     platform: &'a Platform,
     schedule: &'a TreeSchedule,
     cfg: &'a SimConfig,
@@ -79,13 +80,13 @@ struct ClockedSim<'a> {
     rho: Vec<i128>,
     phi: Vec<Vec<(NodeId, i128)>>,
     buffers: BufferTracker,
-    gantt: Option<Gantt>,
+    probe: P,
     completions: Vec<(Rat, NodeId)>,
     injected: u64,
     last_injection: Option<Rat>,
 }
 
-impl ClockedSim<'_> {
+impl<P: Probe> ClockedSim<'_, P> {
     fn is_root(&self, node: NodeId) -> bool {
         node == self.platform.root()
     }
@@ -105,6 +106,7 @@ impl ClockedSim<'_> {
         } else if self.nodes[node.index()].buffer > 0 {
             self.nodes[node.index()].buffer -= 1;
             self.buffers.add(node, t, -1);
+            self.probe.buffer(node, t, self.buffers.size(node));
             true
         } else {
             false
@@ -122,9 +124,7 @@ impl ClockedSim<'_> {
         }
         self.nodes[i].cpu_quota -= 1;
         self.nodes[i].cpu_busy = true;
-        if let Some(g) = &mut self.gantt {
-            g.push(node, SegmentKind::Compute, t, t + w);
-        }
+        self.probe.segment(node, SegmentKind::Compute, t, t + w);
         self.queue.push(t + w, Ev::CpuEnd(node));
     }
 
@@ -144,12 +144,8 @@ impl ClockedSim<'_> {
             if q <= 0 {
                 continue;
             }
-            let total = self.phi[i]
-                .iter()
-                .find(|&&(k, _)| k == child)
-                .map(|&(_, f)| f)
-                .unwrap_or(1)
-                .max(1);
+            let total =
+                self.phi[i].iter().find(|&&(k, _)| k == child).map(|&(_, f)| f).unwrap_or(1).max(1);
             let share = Rat::new(q, total);
             if pos_best.as_ref().is_none_or(|&(best, _)| share > best) {
                 pos_best = Some((share, pos));
@@ -163,10 +159,8 @@ impl ClockedSim<'_> {
         self.nodes[i].send_quota[pos].1 -= 1;
         self.nodes[i].port_busy = true;
         let c = self.platform.link_time(child).expect("child link");
-        if let Some(g) = &mut self.gantt {
-            g.push(node, SegmentKind::Send(child), t, t + c);
-            g.push(child, SegmentKind::Receive, t, t + c);
-        }
+        self.probe.segment(node, SegmentKind::Send(child), t, t + c);
+        self.probe.segment(child, SegmentKind::Receive, t, t + c);
         self.queue.push(t + c, Ev::PortEnd(node));
         self.queue.push(t + c, Ev::Arrive(child));
     }
@@ -185,6 +179,7 @@ impl ClockedSim<'_> {
             if t > self.cfg.horizon {
                 break;
             }
+            self.probe.queue_depth(t, self.queue.len());
             match ev {
                 Ev::CpuTick(node) => {
                     let s = self.schedule.get(node).expect("scheduled");
@@ -217,6 +212,7 @@ impl ClockedSim<'_> {
                     self.nodes[i].received += 1;
                     self.nodes[i].buffer += 1;
                     self.buffers.add(node, t, 1);
+                    self.probe.buffer(node, t, self.buffers.size(node));
                     self.try_cpu(node, t);
                     self.try_port(node, t);
                 }
@@ -237,7 +233,7 @@ impl ClockedSim<'_> {
             computed: self.nodes.iter().map(|n| n.computed).collect(),
             received: self.nodes.iter().map(|n| n.received + n.prefilled).collect(),
             buffers: self.buffers.finalize(self.cfg.horizon),
-            gantt: self.gantt,
+            gantt: None,
         }
     }
 }
@@ -253,6 +249,22 @@ pub fn simulate(
     schedule: &TreeSchedule,
     clocked: ClockedConfig,
     cfg: &SimConfig,
+) -> SimReport {
+    let mut probe = GanttProbe::new(cfg.record_gantt);
+    let mut rep = simulate_probed(platform, schedule, clocked, cfg, &mut probe);
+    rep.gantt = probe.into_gantt();
+    rep
+}
+
+/// Simulates the clocked schedule, driving a custom [`Probe`].
+/// The report's `gantt` is `None`; plug in a [`GanttProbe`] to collect one.
+#[must_use]
+pub fn simulate_probed(
+    platform: &Platform,
+    schedule: &TreeSchedule,
+    clocked: ClockedConfig,
+    cfg: &SimConfig,
+    probe: &mut impl Probe,
 ) -> SimReport {
     let n = platform.len();
     let mut buffers = BufferTracker::new(n);
@@ -277,16 +289,13 @@ pub fn simulate(
         rho[i] = s.psi_self * s.t_comp / s.t_omega;
         debug_assert_eq!(rho[i] * s.t_omega, s.psi_self * s.t_comp);
         // φ_i tasks per T^s window.
-        phi[i] = s
-            .psi_children
-            .iter()
-            .map(|&(k, q)| (k, q * s.t_send / s.t_omega))
-            .collect();
+        phi[i] = s.psi_children.iter().map(|&(k, q)| (k, q * s.t_send / s.t_omega)).collect();
         if clocked.prefill {
             if let Some(chi) = s.chi_in {
                 nodes[i].buffer = chi as u64;
                 nodes[i].prefilled = chi as u64;
                 buffers.set(s.node, Rat::ZERO, chi as u64);
+                probe.buffer(s.node, Rat::ZERO, chi as u64);
             }
         }
     }
@@ -299,7 +308,7 @@ pub fn simulate(
         rho,
         phi,
         buffers,
-        gantt: cfg.record_gantt.then(Gantt::default),
+        probe,
         completions: Vec::new(),
         injected: 0,
         last_injection: None,
@@ -367,12 +376,16 @@ mod tests {
         // Drained: everything received (incl. prefill) was computed or
         // forwarded.
         for id in p.node_ids() {
-            let forwarded: u64 = p.children(id).iter().map(|&k| {
-                // Children's receive counts include their own prefill; what
-                // the parent actually forwarded is received - prefilled.
-                let s = ts.get(k);
-                rep.received[k.index()] - s.and_then(|s| s.chi_in).unwrap_or(0) as u64
-            }).sum();
+            let forwarded: u64 = p
+                .children(id)
+                .iter()
+                .map(|&k| {
+                    // Children's receive counts include their own prefill; what
+                    // the parent actually forwarded is received - prefilled.
+                    let s = ts.get(k);
+                    rep.received[k.index()] - s.and_then(|s| s.chi_in).unwrap_or(0) as u64
+                })
+                .sum();
             assert_eq!(
                 rep.received[id.index()],
                 rep.computed[id.index()] + forwarded,

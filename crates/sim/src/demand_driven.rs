@@ -25,7 +25,8 @@
 //! compared with the event-driven schedule (experiment E7).
 
 use crate::engine::{BufferTracker, EventQueue, SimConfig, SimReport};
-use crate::gantt::{Gantt, SegmentKind};
+use crate::gantt::SegmentKind;
+use crate::probe::{GanttProbe, Probe};
 use bwfirst_platform::{NodeId, Platform};
 use bwfirst_rational::Rat;
 
@@ -59,10 +60,7 @@ enum Ev {
     CpuEnd(NodeId),
     /// The transfer with this token completed (frees the sender's port and
     /// delivers the task). Stale tokens (interrupted transfers) are ignored.
-    TransferEnd {
-        node: NodeId,
-        token: u64,
-    },
+    TransferEnd { node: NodeId, token: u64 },
 }
 
 /// An in-progress transfer on a node's sending port.
@@ -94,7 +92,7 @@ struct NodeState {
     computed: u64,
 }
 
-struct DdSim<'a> {
+struct DdSim<'a, P: Probe> {
     platform: &'a Platform,
     cfg: &'a SimConfig,
     demand: DemandConfig,
@@ -104,7 +102,7 @@ struct DdSim<'a> {
     /// the platform's child list (for `pending` lookups).
     serve_order: Vec<Vec<(NodeId, usize)>>,
     buffers: BufferTracker,
-    gantt: Option<Gantt>,
+    probe: P,
     completions: Vec<(Rat, NodeId)>,
     injected: u64,
     last_injection: Option<Rat>,
@@ -117,7 +115,7 @@ enum Candidate {
     Fresh { child: NodeId, slot: usize },
 }
 
-impl DdSim<'_> {
+impl<P: Probe> DdSim<'_, P> {
     fn is_root(&self, node: NodeId) -> bool {
         node == self.platform.root()
     }
@@ -140,6 +138,7 @@ impl DdSim<'_> {
         } else {
             self.nodes[node.index()].buffer -= 1;
             self.buffers.add(node, t, -1);
+            self.probe.buffer(node, t, self.buffers.size(node));
         }
     }
 
@@ -166,11 +165,8 @@ impl DdSim<'_> {
             return;
         }
         let i = node.index();
-        let own = if self.platform.weight(node).time().is_some() {
-            self.demand.buffer_target
-        } else {
-            0
-        };
+        let own =
+            if self.platform.weight(node).time().is_some() { self.demand.buffer_target } else { 0 };
         let downstream: u64 = self.nodes[i].pending.iter().sum();
         let desired = own + downstream;
         let have = self.nodes[i].buffer + self.nodes[i].inflight + self.nodes[i].outstanding;
@@ -180,7 +176,8 @@ impl DdSim<'_> {
         let deficit = desired - have;
         self.nodes[i].outstanding += deficit;
         let parent = self.platform.parent(node).expect("non-root");
-        let slot = self.platform.children(parent).iter().position(|&k| k == node).expect("child slot");
+        let slot =
+            self.platform.children(parent).iter().position(|&k| k == node).expect("child slot");
         self.nodes[parent.index()].pending[slot] += deficit;
         // Demand travels upward before the parent decides what to do.
         self.replenish(parent, t);
@@ -199,9 +196,8 @@ impl DdSim<'_> {
             }
         }
         if self.stock(node, t) > 0 {
-            if let Some(&(child, slot)) = self.serve_order[i]
-                .iter()
-                .find(|&&(_, slot)| self.nodes[i].pending[slot] > 0)
+            if let Some(&(child, slot)) =
+                self.serve_order[i].iter().find(|&&(_, slot)| self.nodes[i].pending[slot] > 0)
             {
                 let c = self.link(child);
                 if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
@@ -240,15 +236,15 @@ impl DdSim<'_> {
     fn interrupt(&mut self, node: NodeId, t: Rat) {
         let i = node.index();
         let cur = self.nodes[i].current_send.take().expect("send in progress");
-        if let Some(g) = &mut self.gantt {
-            if t > cur.seg_start {
-                g.push(node, SegmentKind::Send(cur.child), cur.seg_start, t);
-                g.push(cur.child, SegmentKind::Receive, cur.seg_start, t);
-            }
+        if t > cur.seg_start {
+            self.probe.segment(node, SegmentKind::Send(cur.child), cur.seg_start, t);
+            self.probe.segment(cur.child, SegmentKind::Receive, cur.seg_start, t);
         }
-        self.nodes[i]
-            .paused
-            .push(PausedSend { child: cur.child, slot: cur.slot, remaining: cur.end - t });
+        self.nodes[i].paused.push(PausedSend {
+            child: cur.child,
+            slot: cur.slot,
+            remaining: cur.end - t,
+        });
         // The old TransferEnd event becomes stale: its token no longer
         // matches any current send.
     }
@@ -279,9 +275,7 @@ impl DdSim<'_> {
             if let Some(w) = self.platform.weight(node).time() {
                 self.take_task(node, t);
                 self.nodes[node.index()].cpu_busy = true;
-                if let Some(g) = &mut self.gantt {
-                    g.push(node, SegmentKind::Compute, t, t + w);
-                }
+                self.probe.segment(node, SegmentKind::Compute, t, t + w);
                 self.queue.push(t + w, Ev::CpuEnd(node));
                 self.replenish(node, t);
             }
@@ -295,16 +289,15 @@ impl DdSim<'_> {
             return; // interrupted transfer's stale completion
         }
         let cur = self.nodes[i].current_send.take().expect("send in progress");
-        if let Some(g) = &mut self.gantt {
-            g.push(node, SegmentKind::Send(cur.child), cur.seg_start, t);
-            g.push(cur.child, SegmentKind::Receive, cur.seg_start, t);
-        }
+        self.probe.segment(node, SegmentKind::Send(cur.child), cur.seg_start, t);
+        self.probe.segment(cur.child, SegmentKind::Receive, cur.seg_start, t);
         let child = cur.child;
         let ci = child.index();
         self.nodes[ci].received += 1;
         self.nodes[ci].inflight -= 1;
         self.nodes[ci].buffer += 1;
         self.buffers.add(child, t, 1);
+        self.probe.buffer(child, t, self.buffers.size(child));
         self.replenish(child, t);
         self.dispatch(child, t);
         self.dispatch(node, t);
@@ -321,6 +314,7 @@ impl DdSim<'_> {
             if t > self.cfg.horizon {
                 break;
             }
+            self.probe.queue_depth(t, self.queue.len());
             match ev {
                 Ev::CpuEnd(node) => {
                     let i = node.index();
@@ -347,7 +341,7 @@ impl DdSim<'_> {
             computed: self.nodes.iter().map(|n| n.computed).collect(),
             received: self.nodes.iter().map(|n| n.received).collect(),
             buffers: self.buffers.finalize(self.cfg.horizon),
-            gantt: self.gantt,
+            gantt: None,
         }
     }
 }
@@ -355,6 +349,21 @@ impl DdSim<'_> {
 /// Simulates the demand-driven autonomous protocol.
 #[must_use]
 pub fn simulate(platform: &Platform, demand: DemandConfig, cfg: &SimConfig) -> SimReport {
+    let mut probe = GanttProbe::new(cfg.record_gantt);
+    let mut rep = simulate_probed(platform, demand, cfg, &mut probe);
+    rep.gantt = probe.into_gantt();
+    rep
+}
+
+/// Simulates the demand-driven protocol, driving a custom [`Probe`].
+/// The report's `gantt` is `None`; plug in a [`GanttProbe`] to collect one.
+#[must_use]
+pub fn simulate_probed(
+    platform: &Platform,
+    demand: DemandConfig,
+    cfg: &SimConfig,
+    probe: &mut impl Probe,
+) -> SimReport {
     let n = platform.len();
     let serve_order = platform
         .node_ids()
@@ -391,7 +400,7 @@ pub fn simulate(platform: &Platform, demand: DemandConfig, cfg: &SimConfig) -> S
         nodes,
         serve_order,
         buffers: BufferTracker::new(n),
-        gantt: cfg.record_gantt.then(Gantt::default),
+        probe,
         completions: Vec::new(),
         injected: 0,
         last_injection: None,
@@ -441,7 +450,11 @@ mod tests {
             assert_eq!(rep.total_computed(), rep.received[0]);
             for id in p.node_ids() {
                 let forwarded: u64 = p.children(id).iter().map(|&k| rep.received[k.index()]).sum();
-                assert_eq!(rep.received[id.index()], rep.computed[id.index()] + forwarded, "at {id}");
+                assert_eq!(
+                    rep.received[id.index()],
+                    rep.computed[id.index()] + forwarded,
+                    "at {id}"
+                );
             }
         }
     }

@@ -184,7 +184,8 @@ impl DynSim {
         if !ss.throughput.is_positive() {
             return; // nothing schedulable; keep the old one
         }
-        self.schedule = EventDrivenSchedule::build(&self.platform, &ss, LocalScheduleKind::Interleaved);
+        self.schedule =
+            EventDrivenSchedule::build(&self.platform, &ss, LocalScheduleKind::Interleaved);
         for n in &mut self.nodes {
             n.cursor = 0;
         }

@@ -4,12 +4,11 @@
 use crate::gantt::Gantt;
 use bwfirst_platform::NodeId;
 use bwfirst_rational::Rat;
-use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Configuration shared by all executors.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Simulate events up to this time.
     pub horizon: Rat,
@@ -38,20 +37,35 @@ impl SimConfig {
 
 /// Priority event queue ordered by `(time, insertion sequence)` — ties fire
 /// in insertion order, keeping runs deterministic.
+///
+/// Payload slots freed by [`pop`](EventQueue::pop) are recycled through a
+/// free list, so the payload arena stays bounded by the peak number of
+/// *pending* events instead of growing with every event ever pushed (long
+/// horizons used to leak one `Option<E>` per event).
 pub(crate) struct EventQueue<E> {
     heap: BinaryHeap<Reverse<(Rat, u64, u64)>>,
     payloads: Vec<Option<E>>,
+    free: Vec<u64>,
     seq: u64,
 }
 
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), payloads: Vec::new(), seq: 0 }
+        EventQueue { heap: BinaryHeap::new(), payloads: Vec::new(), free: Vec::new(), seq: 0 }
     }
 
     pub fn push(&mut self, time: Rat, ev: E) {
-        let idx = self.payloads.len() as u64;
-        self.payloads.push(Some(ev));
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                debug_assert!(self.payloads[idx as usize].is_none());
+                self.payloads[idx as usize] = Some(ev);
+                idx
+            }
+            None => {
+                self.payloads.push(Some(ev));
+                (self.payloads.len() - 1) as u64
+            }
+        };
         self.heap.push(Reverse((time, self.seq, idx)));
         self.seq += 1;
     }
@@ -59,12 +73,24 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(Rat, E)> {
         let Reverse((time, _, idx)) = self.heap.pop()?;
         let ev = self.payloads[idx as usize].take().expect("event present");
+        self.free.push(idx);
         Some((time, ev))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
     }
 
     #[cfg(test)]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Size of the payload arena (bounded by the peak pending count).
+    #[cfg(test)]
+    pub fn arena_capacity(&self) -> usize {
+        self.payloads.len()
     }
 }
 
@@ -100,6 +126,11 @@ impl BufferTracker {
         self.set(node, t, cur as u64);
     }
 
+    /// Current occupancy of one node's buffer.
+    pub fn size(&self, node: NodeId) -> u64 {
+        self.size[node.index()]
+    }
+
     pub fn finalize(mut self, end: Rat) -> Vec<BufferStats> {
         let n = self.size.len();
         (0..n)
@@ -115,7 +146,7 @@ impl BufferTracker {
 }
 
 /// Buffer occupancy summary of one node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BufferStats {
     /// Peak number of buffered tasks.
     pub max: u64,
@@ -124,7 +155,7 @@ pub struct BufferStats {
 }
 
 /// Everything measured during a simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// The simulated horizon.
     pub horizon: Rat,
@@ -255,6 +286,28 @@ mod tests {
         assert_eq!(q.pop(), Some((rat(1, 1), "a2")));
         assert_eq!(q.pop(), Some((rat(2, 1), "b")));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_arena_stays_bounded() {
+        // Regression: popped payload slots must be reused, or the arena
+        // grows by one slot per event over the whole run.
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for round in 0..10_000u64 {
+            // Keep at most 3 events pending at any moment.
+            q.push(rat(round as i128, 1), round);
+            q.push(rat(round as i128, 1), round);
+            q.push(rat(round as i128 + 1, 1), round);
+            q.pop();
+            q.pop();
+            q.pop();
+        }
+        assert!(q.is_empty());
+        assert!(
+            q.arena_capacity() <= 3,
+            "payload arena grew to {} slots for 3 concurrent events",
+            q.arena_capacity()
+        );
     }
 
     #[test]

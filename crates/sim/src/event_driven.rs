@@ -21,7 +21,8 @@
 //!   the start-up performs no useful computation.
 
 use crate::engine::{BufferTracker, EventQueue, SimConfig, SimReport};
-use crate::gantt::{Gantt, SegmentKind};
+use crate::gantt::SegmentKind;
+use crate::probe::{GanttProbe, Probe};
 use bwfirst_core::schedule::{EventDrivenSchedule, SlotAction};
 use bwfirst_platform::{NodeId, Platform};
 use bwfirst_rational::Rat;
@@ -66,14 +67,14 @@ struct NodeState {
     computed: u64,
 }
 
-struct EvSim<'a> {
+struct EvSim<'a, P: Probe> {
     platform: &'a Platform,
     schedule: &'a EventDrivenSchedule,
     cfg: &'a SimConfig,
     queue: EventQueue<Ev>,
     nodes: Vec<NodeState>,
     buffers: BufferTracker,
-    gantt: Option<Gantt>,
+    probe: P,
     completions: Vec<(Rat, NodeId)>,
     latencies: Vec<Rat>,
     injected: u64,
@@ -83,7 +84,7 @@ struct EvSim<'a> {
     prefill_threshold: Vec<u64>,
 }
 
-impl EvSim<'_> {
+impl<P: Probe> EvSim<'_, P> {
     fn actions(&self, node: NodeId) -> &[SlotAction] {
         &self.schedule.local(node).expect("active node has a schedule").actions
     }
@@ -110,21 +111,19 @@ impl EvSim<'_> {
 
     fn try_cpu(&mut self, node: NodeId, t: Rat) {
         let i = node.index();
-        if self.nodes[i].cpu_busy || self.nodes[i].pending_cpu.is_empty() || !self.nodes[i].compute_enabled {
+        if self.nodes[i].cpu_busy
+            || self.nodes[i].pending_cpu.is_empty()
+            || !self.nodes[i].compute_enabled
+        {
             return;
         }
-        let w = self
-            .platform
-            .weight(node)
-            .time()
-            .expect("switches never receive Compute actions");
+        let w = self.platform.weight(node).time().expect("switches never receive Compute actions");
         let stamp = self.nodes[i].pending_cpu.pop_front().expect("non-empty");
         self.nodes[i].cpu_stamp = stamp;
         self.nodes[i].cpu_busy = true;
         self.buffers.add(node, t, -1);
-        if let Some(g) = &mut self.gantt {
-            g.push(node, SegmentKind::Compute, t, t + w);
-        }
+        self.probe.buffer(node, t, self.buffers.size(node));
+        self.probe.segment(node, SegmentKind::Compute, t, t + w);
         self.queue.push(t + w, Ev::CpuEnd(node));
     }
 
@@ -137,10 +136,9 @@ impl EvSim<'_> {
         let c = self.platform.link_time(child).expect("child link");
         self.nodes[i].port_busy = true;
         self.buffers.add(node, t, -1);
-        if let Some(g) = &mut self.gantt {
-            g.push(node, SegmentKind::Send(child), t, t + c);
-            g.push(child, SegmentKind::Receive, t, t + c);
-        }
+        self.probe.buffer(node, t, self.buffers.size(node));
+        self.probe.segment(node, SegmentKind::Send(child), t, t + c);
+        self.probe.segment(child, SegmentKind::Receive, t, t + c);
         self.queue.push(t + c, Ev::PortEnd(node));
         self.queue.push(t + c, Ev::Arrive(child, stamp));
     }
@@ -149,6 +147,7 @@ impl EvSim<'_> {
         let i = node.index();
         self.nodes[i].received += 1;
         self.buffers.add(node, t, 1);
+        self.probe.buffer(node, t, self.buffers.size(node));
         if !self.nodes[i].compute_enabled && self.nodes[i].received >= self.prefill_threshold[i] {
             self.nodes[i].compute_enabled = true;
         }
@@ -176,6 +175,7 @@ impl EvSim<'_> {
             if t > self.cfg.horizon {
                 break;
             }
+            self.probe.queue_depth(t, self.queue.len());
             match ev {
                 Ev::Release => {
                     self.injected += 1;
@@ -217,7 +217,7 @@ impl EvSim<'_> {
             computed: self.nodes.iter().map(|n| n.computed).collect(),
             received: self.nodes.iter().map(|n| n.received).collect(),
             buffers: self.buffers.finalize(self.cfg.horizon),
-            gantt: self.gantt,
+            gantt: None,
         }
     }
 }
@@ -239,6 +239,33 @@ pub fn simulate_with_policy(
     cfg: &SimConfig,
     policy: StartupPolicy,
 ) -> SimReport {
+    let mut probe = GanttProbe::new(cfg.record_gantt);
+    let mut rep = simulate_with_policy_probed(platform, schedule, cfg, policy, &mut probe);
+    rep.gantt = probe.into_gantt();
+    rep
+}
+
+/// Simulates with the paper's start-up policy, driving a custom [`Probe`].
+/// The report's `gantt` is `None`; plug in a [`GanttProbe`] to collect one.
+#[must_use]
+pub fn simulate_probed(
+    platform: &Platform,
+    schedule: &EventDrivenSchedule,
+    cfg: &SimConfig,
+    probe: &mut impl Probe,
+) -> SimReport {
+    simulate_with_policy_probed(platform, schedule, cfg, StartupPolicy::EventDriven, probe)
+}
+
+/// Simulates under the chosen start-up policy, driving a custom [`Probe`].
+#[must_use]
+pub fn simulate_with_policy_probed(
+    platform: &Platform,
+    schedule: &EventDrivenSchedule,
+    cfg: &SimConfig,
+    policy: StartupPolicy,
+    probe: &mut impl Probe,
+) -> SimReport {
     let root = platform.root();
     let root_sched = schedule.tree.get(root).expect("root must be active");
     let release_step = Rat::from_int(root_sched.t_omega) / Rat::from_int(root_sched.bunch);
@@ -247,11 +274,9 @@ pub fn simulate_with_policy(
         .node_ids()
         .map(|id| match policy {
             StartupPolicy::EventDriven => 0,
-            StartupPolicy::Prefill => schedule
-                .tree
-                .get(id)
-                .and_then(|s| s.chi_in)
-                .map_or(0, |chi| chi as u64),
+            StartupPolicy::Prefill => {
+                schedule.tree.get(id).and_then(|s| s.chi_in).map_or(0, |chi| chi as u64)
+            }
         })
         .collect();
     let nodes = (0..n)
@@ -274,7 +299,7 @@ pub fn simulate_with_policy(
         queue: EventQueue::new(),
         nodes,
         buffers: BufferTracker::new(n),
-        gantt: cfg.record_gantt.then(Gantt::default),
+        probe,
         completions: Vec::new(),
         latencies: Vec::new(),
         injected: 0,
@@ -477,7 +502,12 @@ mod tests {
         let ri = simulate(&p, &inter, &cfg);
         let rb = simulate(&p, &burst, &cfg);
         let peak = |r: &SimReport| r.buffers.iter().map(|b| b.max).max().unwrap();
-        assert!(peak(&ri) <= peak(&rb), "interleaved peak {} > bursty peak {}", peak(&ri), peak(&rb));
+        assert!(
+            peak(&ri) <= peak(&rb),
+            "interleaved peak {} > bursty peak {}",
+            peak(&ri),
+            peak(&rb)
+        );
         // Throughput is schedule-order independent.
         assert_eq!(
             ri.completions_in(rat(76, 1), rat(292, 1)),

@@ -7,10 +7,9 @@
 
 use bwfirst_platform::NodeId;
 use bwfirst_rational::Rat;
-use serde::{Deserialize, Serialize};
 
 /// The activity a segment records.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SegmentKind {
     /// Receiving one task from the parent.
     Receive,
@@ -21,7 +20,7 @@ pub enum SegmentKind {
 }
 
 /// One busy interval of one node's resource.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GanttSegment {
     /// The node doing the work.
     pub node: NodeId,
@@ -34,7 +33,7 @@ pub struct GanttSegment {
 }
 
 /// A whole run's trace.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Gantt {
     /// All recorded segments, in recording order.
     pub segments: Vec<GanttSegment>,
@@ -56,7 +55,14 @@ impl Gantt {
     /// Total busy time of one node's lane of the given kind, clipped to
     /// `[0, until)`.
     #[must_use]
-    pub fn busy_time(&self, node: NodeId, want_send: bool, want_compute: bool, want_recv: bool, until: Rat) -> Rat {
+    pub fn busy_time(
+        &self,
+        node: NodeId,
+        want_send: bool,
+        want_compute: bool,
+        want_recv: bool,
+        until: Rat,
+    ) -> Rat {
         self.segments
             .iter()
             .filter(|s| s.node == node)
@@ -79,7 +85,8 @@ impl Gantt {
             SegmentKind::Compute => 1,
             SegmentKind::Send(_) => 2,
         };
-        let mut by_key: std::collections::HashMap<(u32, u8), Vec<(Rat, Rat, GanttSegment)>> =
+        type LaneSegments = Vec<(Rat, Rat, GanttSegment)>;
+        let mut by_key: std::collections::HashMap<(u32, u8), LaneSegments> =
             std::collections::HashMap::new();
         for s in &self.segments {
             by_key.entry((s.node.0, lane(s.kind))).or_default().push((s.start, s.end, *s));

@@ -136,8 +136,14 @@ pub fn render_svg(gantt: &Gantt, nodes: &[NodeId], until: Rat, opts: &SvgOptions
     let mut t = 0.0;
     while t <= until_f + 1e-9 {
         let x = GUTTER as f64 + (t / until_f) * plot_w;
-        writeln!(s, r##"<line x1="{x:.2}" y1="{axis_y}" x2="{x:.2}" y2="{}" stroke="#333333"/>"##, axis_y + 4).unwrap();
-        writeln!(s, r#"<text x="{x:.2}" y="{}" text-anchor="middle">{t}</text>"#, axis_y + 16).unwrap();
+        writeln!(
+            s,
+            r##"<line x1="{x:.2}" y1="{axis_y}" x2="{x:.2}" y2="{}" stroke="#333333"/>"##,
+            axis_y + 4
+        )
+        .unwrap();
+        writeln!(s, r#"<text x="{x:.2}" y="{}" text-anchor="middle">{t}</text>"#, axis_y + 16)
+            .unwrap();
         t += step;
     }
     writeln!(s, "</svg>").unwrap();
@@ -178,7 +184,8 @@ mod tests {
 
     #[test]
     fn renders_valid_svg_skeleton() {
-        let svg = render_svg(&sample(), &[NodeId(0), NodeId(1)], rat(10, 1), &SvgOptions::default());
+        let svg =
+            render_svg(&sample(), &[NodeId(0), NodeId(1)], rat(10, 1), &SvgOptions::default());
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));
         // Three rects for the three segments plus the background.
@@ -200,7 +207,8 @@ mod tests {
 
     #[test]
     fn lanes_have_distinct_colors() {
-        let svg = render_svg(&sample(), &[NodeId(0), NodeId(1)], rat(10, 1), &SvgOptions::default());
+        let svg =
+            render_svg(&sample(), &[NodeId(0), NodeId(1)], rat(10, 1), &SvgOptions::default());
         assert!(svg.contains("#55A868")); // compute
         assert!(svg.contains("#DD8452")); // send
         assert!(svg.contains("#4C72B0")); // receive

@@ -40,6 +40,13 @@
 //! Measurements ([`SimReport`]): per-node Gantt traces (Figure 5),
 //! completion series, throughput over windows, steady-state entry times,
 //! buffer occupancy, and wind-down lengths.
+//!
+//! Instrumentation: the `event_driven`, `clocked` and `demand_driven`
+//! executors each expose a `simulate_probed` variant generic over a
+//! [`Probe`] — busy segments, event-queue depths and buffer occupancy
+//! stream to any sink ([`GanttProbe`], [`UtilizationProbe`], or
+//! [`ObsProbe`] into a `bwfirst-obs` recorder) with zero cost when
+//! [`NoProbe`] is plugged in.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,8 +59,10 @@ pub mod event_driven;
 pub mod gantt;
 pub mod gantt_svg;
 pub mod makespan;
+pub mod probe;
 pub mod result_return;
 pub mod returns;
 
 pub use engine::{BufferStats, SimConfig, SimReport};
 pub use gantt::{Gantt, GanttSegment, SegmentKind};
+pub use probe::{GanttProbe, NoProbe, ObsProbe, Probe, Utilization, UtilizationProbe};

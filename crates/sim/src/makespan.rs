@@ -107,9 +107,8 @@ mod tests {
     #[test]
     fn ratio_approaches_one_with_more_tasks() {
         let (p, ss, ev) = setup();
-        let ratio = |n: u64| {
-            (event_driven_makespan(&p, &ss, &ev, n) / lower_bound(&ss, n)).to_f64()
-        };
+        let ratio =
+            |n: u64| (event_driven_makespan(&p, &ss, &ev, n) / lower_bound(&ss, n)).to_f64();
         let small = ratio(20);
         let large = ratio(500);
         assert!(large < small, "ratio must shrink: {small} -> {large}");

@@ -1,0 +1,114 @@
+//! Cross-executor conformance: the event-driven, demand-driven and clocked
+//! executors all simulate the *same* steady-state rates, so over a long
+//! enough horizon they must report the same throughput — and the new
+//! per-activity utilization probe must agree with them on how busy every
+//! CPU is (`busy compute fraction = α·w` exactly, for each executor).
+
+use bwfirst_core::schedule::EventDrivenSchedule;
+use bwfirst_core::{bw_first, SteadyState};
+use bwfirst_platform::generators::{random_tree, RandomTreeConfig};
+use bwfirst_platform::{Platform, Weight};
+use bwfirst_rational::{rat, Rat};
+use bwfirst_sim::clocked::{self, ClockedConfig};
+use bwfirst_sim::demand_driven::{self, DemandConfig};
+use bwfirst_sim::{event_driven, SimConfig, Utilization, UtilizationProbe};
+
+/// Runs all three executors over `horizon` and returns, per executor, the
+/// measured second-half throughput and the utilization report.
+fn run_all(p: &Platform, ss: &SteadyState, horizon: Rat) -> Vec<(&'static str, Rat, Utilization)> {
+    let cfg =
+        SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+    let half = horizon / Rat::TWO;
+    let mut out = Vec::new();
+
+    let ev = EventDrivenSchedule::standard(p, ss);
+    let mut util = UtilizationProbe::new(p.len(), horizon);
+    let rep = event_driven::simulate_probed(p, &ev, &cfg, &mut util);
+    out.push(("event-driven", rep.throughput_in(half, horizon), util.finish()));
+
+    let mut util = UtilizationProbe::new(p.len(), horizon);
+    let rep = demand_driven::simulate_probed(p, DemandConfig::default(), &cfg, &mut util);
+    out.push(("demand-driven", rep.throughput_in(half, horizon), util.finish()));
+
+    let mut util = UtilizationProbe::new(p.len(), horizon);
+    let rep = clocked::simulate_probed(p, &ev.tree, ClockedConfig::default(), &cfg, &mut util);
+    out.push(("clocked", rep.throughput_in(half, horizon), util.finish()));
+
+    out
+}
+
+#[test]
+fn executors_agree_on_steady_throughput_across_seeds() {
+    for seed in [2u64, 11, 29] {
+        let p = random_tree(&RandomTreeConfig { size: 16, seed, ..Default::default() });
+        let sol = bw_first(&p);
+        let ss = SteadyState::from_solution(&sol);
+        if !ss.throughput.is_positive() {
+            continue;
+        }
+        // Long horizon: measurement windows are not period-aligned, so allow
+        // one bunch of slack either way (a rational, not float, tolerance).
+        let period = bwfirst_core::schedule::synchronous_period(&ss);
+        let horizon = Rat::from_int((period * 16).clamp(400, 60_000));
+        let half = horizon / Rat::TWO;
+        let tol = Rat::from_int(2 * period) / half; // ≤ 2 periods of drift
+        for (name, measured, _) in run_all(&p, &ss, horizon) {
+            let err = (measured - ss.throughput).abs();
+            assert!(
+                err <= ss.throughput * tol + rat(1, 10),
+                "seed {seed}, {name}: measured {measured} vs predicted {} (err {err})",
+                ss.throughput
+            );
+        }
+    }
+}
+
+#[test]
+fn executors_agree_with_each_other_tightly() {
+    // Executor-to-executor agreement is tighter than executor-to-prediction:
+    // all three converge on the same rate from the same rates table.
+    for seed in [2u64, 11, 29] {
+        let p = random_tree(&RandomTreeConfig { size: 16, seed, ..Default::default() });
+        let ss = SteadyState::from_solution(&bw_first(&p));
+        if !ss.throughput.is_positive() {
+            continue;
+        }
+        let period = bwfirst_core::schedule::synchronous_period(&ss);
+        let horizon = Rat::from_int((period * 16).clamp(400, 60_000));
+        let runs = run_all(&p, &ss, horizon);
+        let (base_name, base, _) = &runs[0];
+        for (name, measured, _) in &runs[1..] {
+            let err = (*measured - *base).abs();
+            assert!(
+                err <= ss.throughput / rat(5, 1) + rat(1, 10),
+                "seed {seed}: {name} measured {measured} vs {base_name} {base}"
+            );
+        }
+    }
+}
+
+#[test]
+fn compute_utilization_matches_alpha_times_w() {
+    // In steady state every active CPU is busy exactly α·w of the time; the
+    // utilization probe must converge on that for the executors that follow
+    // the negotiated rates. (Demand-driven is the autonomous baseline — it
+    // routes by pull requests, not by α, so it is exempt here.)
+    let p = bwfirst_platform::examples::example_tree();
+    let ss = SteadyState::from_solution(&bw_first(&p));
+    let horizon = rat(3600, 1); // 100 synchronous periods
+    for (name, _, util) in
+        run_all(&p, &ss, horizon).into_iter().filter(|(n, _, _)| *n != "demand-driven")
+    {
+        for id in p.node_ids() {
+            let Weight::Time(w) = p.weight(id) else { continue };
+            let predicted = ss.alpha[id.index()] * w;
+            let measured = util.fraction(id, 1); // compute lane
+            let err = (measured - predicted).abs();
+            assert!(
+                err <= rat(1, 20),
+                "{name}: P{} compute busy {measured} vs predicted {predicted}",
+                id.0
+            );
+        }
+    }
+}

@@ -67,7 +67,8 @@ fn main() {
     let ev = EventDrivenSchedule::standard(&p, &q);
     let settle = Rat::from_int(startup::tree_startup_bound(&p, &ev.tree)) + rat(2520, 1);
     let horizon = settle + rat(2520, 1) * rat(2, 1);
-    let cfg = SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+    let cfg =
+        SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
     let rep = event_driven::simulate(&p, &ev, &cfg);
     let measured = rep.throughput_in(settle, settle + rat(2520, 1));
     println!("\nsimulated quantized schedule over one grid period:");

@@ -45,7 +45,10 @@ fn main() {
     println!("\nP0->P1 link degrades to c=12; renegotiating on the live actors:");
     session.set_link(NodeId(1), rat(12, 1));
     let neg2 = session.negotiate();
-    println!("  new throughput = {} ({} messages, {:?})", neg2.throughput, neg2.protocol_messages, neg2.elapsed);
+    println!(
+        "  new throughput = {} ({} messages, {:?})",
+        neg2.throughput, neg2.protocol_messages, neg2.elapsed
+    );
 
     let flow2 = session.run_flow(50, 4096);
     println!("  task routing after adaptation: {} tasks computed", flow2.total_computed());
@@ -55,7 +58,14 @@ fn main() {
     println!("\nsame tree, links over real TCP sockets:");
     let tcp = ProtocolSession::spawn_tcp(&platform);
     let neg_tcp = tcp.negotiate();
-    println!("  throughput = {} ({} messages, {:?})", neg_tcp.throughput, neg_tcp.protocol_messages, neg_tcp.elapsed);
+    println!(
+        "  throughput = {} ({} messages, {:?})",
+        neg_tcp.throughput, neg_tcp.protocol_messages, neg_tcp.elapsed
+    );
     let flow_tcp = tcp.run_flow(10, 1024);
-    println!("  {} tasks of 1 KiB crossed the sockets in {:?}", flow_tcp.total_computed(), flow_tcp.elapsed);
+    println!(
+        "  {} tasks of 1 KiB crossed the sockets in {:?}",
+        flow_tcp.total_computed(),
+        flow_tcp.elapsed
+    );
 }

@@ -23,7 +23,8 @@ fn measure(platform: &bwfirst::platform::Platform, schedule: &EventDrivenSchedul
     let ss = SteadyState::from_solution(&bw_first(platform));
     let window = Rat::from_int(synchronous_period(&ss));
     let horizon = window * rat(8, 1);
-    let cfg = SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+    let cfg =
+        SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
     let rep = event_driven::simulate(platform, schedule, &cfg);
     rep.throughput_in(horizon / Rat::TWO, horizon)
 }

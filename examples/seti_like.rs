@@ -32,7 +32,11 @@ fn main() {
     let solution = bw_first(&platform);
     let ss = SteadyState::from_solution(&solution);
     ss.verify(&platform).expect("feasible");
-    println!("volunteers: {} nodes, optimal rate {} work units/time unit", platform.len(), ss.throughput);
+    println!(
+        "volunteers: {} nodes, optimal rate {} work units/time unit",
+        platform.len(),
+        ss.throughput
+    );
     println!(
         "BW-First visited {} nodes ({} pruned as unreachable-by-bandwidth)",
         solution.visit_count(),
@@ -60,8 +64,13 @@ fn main() {
     println!("\ncampaign of {total} work units:");
     println!("  makespan            : {:.2} time units", makespan.to_f64());
     println!("  ideal (rate-limited): {:.2}", (Rat::from(total as usize) / ss.throughput).to_f64());
-    println!("  efficiency          : {:.1}%", 100.0 * (Rat::from(total as usize) / ss.throughput / makespan).to_f64());
-    if let Some(entry) = report.steady_state_entry(ss.throughput, window, report.injection_stopped_at.unwrap()) {
+    println!(
+        "  efficiency          : {:.1}%",
+        100.0 * (Rat::from(total as usize) / ss.throughput / makespan).to_f64()
+    );
+    if let Some(entry) =
+        report.steady_state_entry(ss.throughput, window, report.injection_stopped_at.unwrap())
+    {
         println!("  steady state from   : {:.2} (bound {bound})", entry.to_f64());
     }
     println!("  wind-down           : {:.2} time units", report.wind_down().unwrap().to_f64());

@@ -10,8 +10,8 @@
 //! cargo run --release --example topology_search
 //! ```
 
-use bwfirst::core::float::bw_first_f64;
 use bwfirst::core::bw_first;
+use bwfirst::core::float::bw_first_f64;
 use bwfirst::platform::{Platform, PlatformBuilder, Weight};
 use bwfirst::rat;
 use bwfirst::Rat;
@@ -71,11 +71,11 @@ fn main() {
     for arity in [1usize, 2, 3, 4, 8, 48] {
         // Bandwidth-centric ordering: fastest links nearest the master.
         let mut by_bw = workers.clone();
-        by_bw.sort_by(|a, b| a.c.cmp(&b.c));
+        by_bw.sort_by_key(|s| s.c);
         candidates.push((format!("{arity}-ary, fast links first"), kary_overlay(&by_bw, arity)));
         // CPU-first ordering (the intuition bandwidth-centricity refutes).
         let mut by_cpu = workers.clone();
-        by_cpu.sort_by(|a, b| a.w.cmp(&b.w));
+        by_cpu.sort_by_key(|s| s.w);
         candidates.push((format!("{arity}-ary, fast CPUs first"), kary_overlay(&by_cpu, arity)));
         // Random orders.
         for s in 0..40 {

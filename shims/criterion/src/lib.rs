@@ -1,0 +1,231 @@
+//! In-tree stand-in for the `criterion` crate: the group/`Bencher` API the
+//! workspace's benches use, backed by a small but honest measurement loop
+//! (warm-up, batched samples, median-of-samples ns/iter). No plots, no
+//! statistics beyond median/min/max — enough to compare two
+//! implementations on the same machine in the same run.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement tuning shared by all groups.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warmup: Duration,
+    sample_count: usize,
+    target_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warmup: Duration::from_millis(80),
+            sample_count: 20,
+            target_sample: Duration::from_millis(12),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup { crit: self, _name: name, sample_count: None }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    crit: &'a mut Criterion,
+    _name: String,
+    sample_count: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = Some(n);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = self.bencher();
+        f(&mut b);
+        b.report(&id.to_string());
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = self.bencher();
+        f(&mut b, input);
+        b.report(&id.to_string());
+    }
+
+    /// Ends the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            warmup: self.crit.warmup,
+            sample_count: self.sample_count.unwrap_or(self.crit.sample_count),
+            target_sample: self.crit.target_sample,
+            samples_ns: Vec::new(),
+        }
+    }
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { text: format!("{}/{parameter}", function.into()) }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Runs and times the closure under test.
+pub struct Bencher {
+    warmup: Duration,
+    sample_count: usize,
+    target_sample: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, called repeatedly; the measured quantity is wall time
+    /// per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, estimating speed.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((self.target_sample.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        self.samples_ns.clear();
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples_ns.push(t0.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+
+    /// Median ns/iter of the recorded samples (for tests and callers that
+    /// want the number rather than the printout).
+    #[must_use]
+    pub fn median_ns(&self) -> f64 {
+        let mut s = self.samples_ns.clone();
+        s.sort_by(f64::total_cmp);
+        if s.is_empty() {
+            f64::NAN
+        } else {
+            s[s.len() / 2]
+        }
+    }
+
+    fn report(&self, id: &str) {
+        let mut s = self.samples_ns.clone();
+        s.sort_by(f64::total_cmp);
+        if s.is_empty() {
+            println!("  {id:<40} (not measured)");
+            return;
+        }
+        let median = s[s.len() / 2];
+        println!(
+            "  {id:<40} median {} (min {}, max {})",
+            fmt_ns(median),
+            fmt_ns(s[0]),
+            fmt_ns(s[s.len() - 1])
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundles benchmark functions into one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// The entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(2),
+            sample_count: 5,
+            target_sample: Duration::from_micros(200),
+        };
+        let mut g = c.benchmark_group("test");
+        g.sample_size(5);
+        let mut measured = 0.0;
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+            measured = b.median_ns();
+        });
+        g.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        g.finish();
+        assert!(measured > 0.0);
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

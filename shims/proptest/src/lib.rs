@@ -1,0 +1,203 @@
+//! In-tree stand-in for the `proptest` crate, covering the macro and
+//! strategy surface this workspace's tests use: the `proptest!` block with
+//! an optional `proptest_config`, integer-range / `any` / `Just` / tuple /
+//! `prop_oneof!` / `prop::collection::vec` strategies, `.prop_map`, and the
+//! `prop_assert!` family.
+//!
+//! Differences from upstream, deliberate for an offline build: cases are
+//! generated from a deterministic per-test seed (derived from the test
+//! name), and **failing inputs are not shrunk** — the failure message
+//! carries the case number so a failing case replays exactly.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::` paths (`prop::collection::vec(...)`) as upstream spells them.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob import test files start with.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random instantiations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let mut ran: u32 = 0;
+                let mut rejected: u32 = 0;
+                while ran < cfg.cases {
+                    if rejected > cfg.cases.saturating_mul(20) + 1000 {
+                        panic!(
+                            "proptest {}: too many rejected cases ({} rejects for {} accepted)",
+                            stringify!($name), rejected, ran
+                        );
+                    }
+                    $(let $arg = $crate::strategy::Strategy::new_value(&$strat, &mut rng);)+
+                    let case: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    match case {
+                        ::std::result::Result::Ok(()) => ran += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {} of {}: {}",
+                                stringify!($name), ran, cfg.cases, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `{:?}` == `{:?}`", l, r),
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{} (`{:?}` != `{:?}`)", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Discards the current case unless `cond` holds (does not count it).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// A uniform choice between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_tuples_and_maps(
+            (a, b) in (0u32..10, 5usize..=9),
+            flag in any::<bool>(),
+            v in prop::collection::vec(0i64..100, 2..5),
+            k in prop_oneof![Just(2i128), Just(6), Just(30)],
+            doubled in (1u8..50).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!(u8::from(flag) <= 1);
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (0..100).contains(&x)));
+            prop_assert!([2i128, 6, 30].contains(&k));
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert_ne!(doubled, 255);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0, "x = {}", x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest always_fails failed at case 0")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

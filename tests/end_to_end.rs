@@ -76,7 +76,8 @@ fn simulator_matches_prediction_on_random_trees() {
         let settle = Rat::from_int(startup::tree_startup_bound(&p, &ts)) + window;
         let horizon = settle + window * rat(3, 1);
         let ev = EventDrivenSchedule::standard(&p, &ss);
-        let cfg = SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+        let cfg =
+            SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
         let rep = event_driven::simulate(&p, &ev, &cfg);
         let measured = rep.throughput_in(settle, settle + window * rat(2, 1));
         assert_eq!(measured, ss.throughput, "seed {seed}: measured {measured} vs predicted");
@@ -91,7 +92,8 @@ fn demand_driven_bounded_by_optimum() {
         let p = supply_tree(31, seed);
         let ss = SteadyState::from_solution(&bw_first(&p));
         let horizon = rat(600, 1);
-        let cfg = SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+        let cfg =
+            SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
         let rep = demand_driven::simulate(&p, DemandConfig::default(), &cfg);
         let measured = rep.throughput_in(horizon / Rat::TWO, horizon);
         // A finite window can beat the steady rate by draining the backlog
@@ -143,7 +145,8 @@ fn quantized_pipeline_delivers_its_rate() {
     let ev = EventDrivenSchedule::standard(&p, &q);
     let settle = Rat::from_int(startup::tree_startup_bound(&p, &ts)) + Rat::from_int(grid);
     let horizon = settle + Rat::from_int(2 * grid);
-    let cfg = SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+    let cfg =
+        SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
     let rep = event_driven::simulate(&p, &ev, &cfg);
     assert_eq!(rep.throughput_in(settle, settle + Rat::from_int(grid)), q.throughput);
 }

@@ -10,15 +10,17 @@ use bwfirst::{rat, Rat};
 use proptest::prelude::*;
 
 fn arb_platform() -> impl Strategy<Value = Platform> {
-    (2usize..60, any::<u64>(), 1usize..5, 0u8..30).prop_map(|(size, seed, max_children, switch_pct)| {
-        random_tree(&RandomTreeConfig {
-            size,
-            max_children,
-            switch_pct,
-            seed,
-            ..Default::default()
-        })
-    })
+    (2usize..60, any::<u64>(), 1usize..5, 0u8..30).prop_map(
+        |(size, seed, max_children, switch_pct)| {
+            random_tree(&RandomTreeConfig {
+                size,
+                max_children,
+                switch_pct,
+                seed,
+                ..Default::default()
+            })
+        },
+    )
 }
 
 proptest! {

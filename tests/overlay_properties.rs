@@ -5,8 +5,8 @@
 use bwfirst::core::bw_first;
 use bwfirst::overlay::graph::{random_graph, RandomGraphConfig};
 use bwfirst::overlay::{
-    best_overlay, min_link_tree, random_spanning_tree, shortest_path_tree, tree_to_platform,
-    Graph, NodeIx, OverlaySearch,
+    best_overlay, min_link_tree, random_spanning_tree, shortest_path_tree, tree_to_platform, Graph,
+    NodeIx, OverlaySearch,
 };
 use proptest::prelude::*;
 

@@ -2,17 +2,23 @@
 //! consistency, subtree extraction, and I/O roundtrips on random trees.
 
 use bwfirst::core::{bw_first, bw_first_with_lambda};
-use bwfirst::platform::generators::{
-    binomial_tree, kary_tree, random_tree, RandomTreeConfig,
-};
+use bwfirst::platform::generators::{binomial_tree, kary_tree, random_tree, RandomTreeConfig};
 use bwfirst::platform::{io, NodeId, Platform, Weight};
 use bwfirst::rat;
 use proptest::prelude::*;
 
 fn arb_platform() -> impl Strategy<Value = Platform> {
-    (2usize..40, any::<u64>(), 1usize..6, 0u8..30).prop_map(|(size, seed, max_children, switch_pct)| {
-        random_tree(&RandomTreeConfig { size, seed, max_children, switch_pct, ..Default::default() })
-    })
+    (2usize..40, any::<u64>(), 1usize..6, 0u8..30).prop_map(
+        |(size, seed, max_children, switch_pct)| {
+            random_tree(&RandomTreeConfig {
+                size,
+                seed,
+                max_children,
+                switch_pct,
+                ..Default::default()
+            })
+        },
+    )
 }
 
 proptest! {

@@ -11,9 +11,17 @@ use bwfirst::proto::ProtocolSession;
 use proptest::prelude::*;
 
 fn arb_platform() -> impl Strategy<Value = Platform> {
-    (2usize..40, any::<u64>(), 1usize..5, 0u8..25).prop_map(|(size, seed, max_children, switch_pct)| {
-        random_tree(&RandomTreeConfig { size, seed, max_children, switch_pct, ..Default::default() })
-    })
+    (2usize..40, any::<u64>(), 1usize..5, 0u8..25).prop_map(
+        |(size, seed, max_children, switch_pct)| {
+            random_tree(&RandomTreeConfig {
+                size,
+                seed,
+                max_children,
+                switch_pct,
+                ..Default::default()
+            })
+        },
+    )
 }
 
 proptest! {

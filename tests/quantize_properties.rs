@@ -9,9 +9,17 @@ use bwfirst::platform::Platform;
 use proptest::prelude::*;
 
 fn arb_platform() -> impl Strategy<Value = Platform> {
-    (2usize..36, any::<u64>(), 1usize..5, 0u8..25).prop_map(|(size, seed, max_children, switch_pct)| {
-        random_tree(&RandomTreeConfig { size, seed, max_children, switch_pct, ..Default::default() })
-    })
+    (2usize..36, any::<u64>(), 1usize..5, 0u8..25).prop_map(
+        |(size, seed, max_children, switch_pct)| {
+            random_tree(&RandomTreeConfig {
+                size,
+                seed,
+                max_children,
+                switch_pct,
+                ..Default::default()
+            })
+        },
+    )
 }
 
 fn grids() -> impl Strategy<Value = i128> {

@@ -51,11 +51,8 @@ fn check_no_overlap(rep: &SimReport) -> Result<(), TestCaseError> {
 
 fn check_conservation(p: &Platform, rep: &SimReport, prefill: &[u64]) -> Result<(), TestCaseError> {
     for id in p.node_ids() {
-        let forwarded: u64 = p
-            .children(id)
-            .iter()
-            .map(|&k| rep.received[k.index()] - prefill[k.index()])
-            .sum();
+        let forwarded: u64 =
+            p.children(id).iter().map(|&k| rep.received[k.index()] - prefill[k.index()]).sum();
         prop_assert_eq!(
             rep.received[id.index()],
             rep.computed[id.index()] + forwarded,
