@@ -1,0 +1,16 @@
+//! Fixture: deliberately violates R1 (`float`). The linter must flag the
+//! cast, the type, and the literal — and must honor the allow marker.
+
+pub fn leaky_average(total: i64, count: i64) -> f64 {
+    let t = total as f64;
+    t / count as f64
+}
+
+pub fn drifts() -> bool {
+    let x = 0.1 + 0.2;
+    x > 0.3
+}
+
+pub fn sanctioned() -> f32 { // lint: allow(float) — sanctioned: NOT reported
+    1.5f32 // lint: allow(float)
+}

@@ -1,0 +1,23 @@
+//! Fixture: deliberately violates R3 (`wildcard-match`). A `_ =>` arm in a
+//! match over a protocol message enum silently drops new variants.
+
+pub enum DownMsg {
+    Proposal(u64),
+    Eof,
+    Shutdown,
+}
+
+pub fn route(msg: DownMsg) -> &'static str {
+    match msg {
+        DownMsg::Proposal(_) => "propose",
+        _ => "ignored", // swallows Eof, Shutdown, and every future variant
+    }
+}
+
+pub fn fine(n: u32) -> &'static str {
+    // Wildcards over plain data are allowed: only message enums are guarded.
+    match n {
+        0 => "zero",
+        _ => "many",
+    }
+}

@@ -1,0 +1,409 @@
+//! A minimal Rust lexer for line-and-token-level lints.
+//!
+//! This is deliberately **not** a real parser: the rules in
+//! [`crate::rules`] only need a token stream with comments and literals
+//! stripped, per-line allow markers, and the line spans of `#[cfg(test)]`
+//! modules. Keeping the scanner this small is what lets the crate stay
+//! dependency-free (no `syn`, no `proc-macro2`), consistent with the
+//! workspace `shims/` policy.
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+/// The classes of token the lint rules care about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`match`, `unwrap`, `f64`, ...).
+    Ident(String),
+    /// An integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// A floating-point literal (`1.5`, `1e6`, `2.0f64`, `3f32`).
+    Float,
+    /// A single punctuation character (`{`, `}`, `(`, `)`, `.`, `!`, ...).
+    Punct(char),
+    /// A two-character operator the rules need intact (`=>`, `::`, `..`).
+    Op(&'static str),
+}
+
+/// Everything the scanner extracts from one source file.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// The token stream, comments and string/char literals removed.
+    pub tokens: Vec<Token>,
+    /// Lines carrying a `lint: allow(<rule>)` marker, with the rule name.
+    /// A marker suppresses findings for that rule on its own line **and**
+    /// on the following line.
+    pub allows: Vec<(usize, String)>,
+    /// 1-based inclusive line spans of `#[cfg(test)] mod ... { }` bodies.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl Scan {
+    /// Is `line` suppressed for `rule` by an allow marker?
+    #[must_use]
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows.iter().any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
+    }
+
+    /// Is `line` inside a `#[cfg(test)]` module body?
+    #[must_use]
+    pub fn in_test_code(&self, line: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+}
+
+/// Scans `src`, producing tokens, allow markers, and test-module spans.
+#[must_use]
+pub fn scan(src: &str) -> Scan {
+    let mut out = Scan::default();
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                record_allow(&mut out, &src[start..i], line);
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                record_allow(&mut out, &src[start..i], start_line);
+            }
+            b'"' => i = skip_string(b, i, &mut line),
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                i = skip_raw_string(b, i, &mut line);
+            }
+            b'\'' => i = skip_char_or_lifetime(b, i),
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                if text == "_" {
+                    out.tokens.push(Token { kind: TokenKind::Punct('_'), line });
+                } else {
+                    out.tokens.push(Token { kind: TokenKind::Ident(text.to_string()), line });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let kind = scan_number(b, &mut i);
+                out.tokens.push(Token { kind, line });
+            }
+            b'=' if b.get(i + 1) == Some(&b'>') => {
+                out.tokens.push(Token { kind: TokenKind::Op("=>"), line });
+                i += 2;
+            }
+            b':' if b.get(i + 1) == Some(&b':') => {
+                out.tokens.push(Token { kind: TokenKind::Op("::"), line });
+                i += 2;
+            }
+            b'.' if b.get(i + 1) == Some(&b'.') => {
+                out.tokens.push(Token { kind: TokenKind::Op(".."), line });
+                i += 2;
+            }
+            _ => {
+                if !c.is_ascii_whitespace() {
+                    out.tokens.push(Token { kind: TokenKind::Punct(c as char), line });
+                }
+                i += 1;
+            }
+        }
+    }
+    out.test_spans = test_spans(&out.tokens);
+    out
+}
+
+/// Records a `lint: allow(<rule>)` marker found in comment text. Only
+/// kebab-case rule names are markers; placeholders in prose (`<rule>`,
+/// `...`) are documentation, not suppressions.
+fn record_allow(out: &mut Scan, comment: &str, line: usize) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint: allow(") {
+        let tail = &rest[pos + "lint: allow(".len()..];
+        if let Some(end) = tail.find(')') {
+            let rule = tail[..end].trim();
+            if !rule.is_empty()
+                && rule.bytes().all(|b| b.is_ascii_lowercase() || b == b'-' || b.is_ascii_digit())
+            {
+                out.allows.push((line, rule.to_string()));
+            }
+            rest = &tail[end..];
+        } else {
+            break;
+        }
+    }
+}
+
+/// Does a raw (byte) string literal start at `i`? (`r"`, `r#`, `br"`, `b"`.)
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'r' => matches!(b.get(i + 1), Some(b'"' | b'#')),
+        b'b' => match b.get(i + 1) {
+            Some(b'"') => true,
+            Some(b'r') => matches!(b.get(i + 2), Some(b'"' | b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skips a normal `"..."` literal starting at `i` (the quote).
+fn skip_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#` literals.
+fn skip_raw_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
+    while i < b.len() && (b[i] == b'r' || b[i] == b'b') {
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return i; // not actually a string; resume scanning here
+    }
+    if hashes == 0 {
+        // b"..." has escapes; r"..." does not, but treating both as escaped
+        // only risks skipping one extra char after a backslash in a raw
+        // string, which cannot contain a bare `"` anyway.
+        return skip_string(b, i, line);
+    }
+    i += 1;
+    let closer: Vec<u8> = std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+        }
+        if b[i..].starts_with(&closer) {
+            return i + closer.len();
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skips a char literal (`'x'`, `'\n'`) but leaves lifetimes (`'a`) alone.
+fn skip_char_or_lifetime(b: &[u8], i: usize) -> usize {
+    // `'a` / `'static` followed by no closing quote is a lifetime; a char
+    // literal closes within a few bytes. Look ahead conservatively.
+    if b.get(i + 1) == Some(&b'\\') {
+        // escaped char: skip to the closing quote
+        let mut j = i + 2;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return j + 1;
+    }
+    if b.get(i + 2) == Some(&b'\'') {
+        return i + 3; // plain 'x'
+    }
+    i + 1 // lifetime: just consume the tick, the ident follows normally
+}
+
+/// Scans a numeric literal at `i`, classifying int vs float.
+fn scan_number(b: &[u8], i: &mut usize) -> TokenKind {
+    let radix_prefix =
+        b[*i] == b'0' && matches!(b.get(*i + 1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+    if radix_prefix {
+        *i += 2;
+        while *i < b.len() && (b[*i].is_ascii_alphanumeric() || b[*i] == b'_') {
+            *i += 1;
+        }
+        return TokenKind::Int;
+    }
+    let mut float = false;
+    while *i < b.len() && (b[*i].is_ascii_digit() || b[*i] == b'_') {
+        *i += 1;
+    }
+    if b.get(*i) == Some(&b'.') && b.get(*i + 1).is_some_and(u8::is_ascii_digit) {
+        float = true;
+        *i += 1;
+        while *i < b.len() && (b[*i].is_ascii_digit() || b[*i] == b'_') {
+            *i += 1;
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        let sign = usize::from(matches!(b.get(*i + 1), Some(b'+' | b'-')));
+        if b.get(*i + 1 + sign).is_some_and(u8::is_ascii_digit) {
+            float = true;
+            *i += 1 + sign;
+            while *i < b.len() && (b[*i].is_ascii_digit() || b[*i] == b'_') {
+                *i += 1;
+            }
+        }
+    }
+    // Type suffix (`u32`, `i128`, `f64`...). A float suffix makes it a float.
+    let sfx_start = *i;
+    while *i < b.len() && (b[*i].is_ascii_alphanumeric() || b[*i] == b'_') {
+        *i += 1;
+    }
+    let suffix = &b[sfx_start..*i];
+    if suffix == b"f64" || suffix == b"f32" {
+        float = true;
+    }
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+/// Finds the line spans of `#[cfg(test)] mod ... { }` bodies.
+fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let ident = |t: &Token, s: &str| matches!(&t.kind, TokenKind::Ident(x) if x == s);
+    let punct = |t: &Token, c: char| t.kind == TokenKind::Punct(c);
+    let mut k = 0;
+    while k + 6 < tokens.len() {
+        if punct(&tokens[k], '#')
+            && punct(&tokens[k + 1], '[')
+            && ident(&tokens[k + 2], "cfg")
+            && punct(&tokens[k + 3], '(')
+            && ident(&tokens[k + 4], "test")
+            && punct(&tokens[k + 5], ')')
+            && punct(&tokens[k + 6], ']')
+        {
+            // Attribute may be followed by more attributes, then `mod name {`.
+            let mut j = k + 7;
+            while j < tokens.len() && !ident(&tokens[j], "mod") {
+                // Stop if a non-attribute item intervenes (e.g. `#[cfg(test)] use ...`).
+                if matches!(&tokens[j].kind, TokenKind::Ident(x)
+                    if x == "fn" || x == "use" || x == "impl" || x == "struct")
+                {
+                    break;
+                }
+                j += 1;
+            }
+            if j < tokens.len() && ident(&tokens[j], "mod") {
+                // find the opening brace, then balance
+                while j < tokens.len() && !punct(&tokens[j], '{') {
+                    j += 1;
+                }
+                if j < tokens.len() {
+                    let start_line = tokens[k].line;
+                    let mut depth = 0;
+                    while j < tokens.len() {
+                        if punct(&tokens[j], '{') {
+                            depth += 1;
+                        } else if punct(&tokens[j], '}') {
+                            depth -= 1;
+                            if depth == 0 {
+                                spans.push((start_line, tokens[j].line));
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    k = j;
+                }
+            }
+        }
+        k += 1;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = r##"let x = "f64 inside string"; // f64 in comment
+/* f64 /* nested */ still comment */ let y = 1;"##;
+        assert!(!idents(src).contains(&"f64".to_string()));
+    }
+
+    #[test]
+    fn float_literals_are_classified() {
+        let floats =
+            |src: &str| scan(src).tokens.iter().filter(|t| t.kind == TokenKind::Float).count();
+        assert_eq!(floats("let a = 1.5; let b = 1e6; let c = 2.0f64; let d = 3f32;"), 4);
+        assert_eq!(floats("let a = 42; let b = 0xff; let c = 0..n; let d = 2.min(x);"), 0);
+        assert_eq!(floats("let v = x.0; let r = 1_000u64;"), 0);
+    }
+
+    #[test]
+    fn allow_markers_cover_their_line_and_the_next() {
+        let src = "// lint: allow(float)\nlet a = 1.5;\nlet b = 2.5;\n";
+        let s = scan(src);
+        assert!(s.allowed("float", 1));
+        assert!(s.allowed("float", 2));
+        assert!(!s.allowed("float", 3));
+        assert!(!s.allowed("panic", 2));
+    }
+
+    #[test]
+    fn cfg_test_mod_span_is_detected() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let s = scan(src);
+        assert_eq!(s.test_spans, vec![(2, 5)]);
+        assert!(s.in_test_code(4));
+        assert!(!s.in_test_code(6));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_do_not_derail_the_scanner() {
+        let src = r###"let s = r#"f64 " quote"#; let c = 'f'; let lt: &'static str = "x"; let esc = '\n';"###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"f64".to_string()));
+        assert!(ids.contains(&"static".to_string()));
+    }
+}

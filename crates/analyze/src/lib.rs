@@ -1,0 +1,27 @@
+//! Static analysis and exhaustive protocol verification for the workspace.
+//!
+//! Two layers, one binary (`bwfirst-analyze`):
+//!
+//! 1. **Source invariant linter** ([`rules`]) — a dependency-free Rust
+//!    token scanner ([`lexer`]) enforcing the workspace's load-bearing
+//!    conventions: exact arithmetic stays exact (R1), hot paths return
+//!    typed errors (R2), protocol message matches stay exhaustive (R3),
+//!    and dev-only shims stay out of runtime code (R4). Escape hatch:
+//!    a `lint: allow(<rule>)` comment on the same or preceding line.
+//! 2. **Protocol model checker** ([`model`]) — enumerates every rooted
+//!    tree up to N nodes ([`trees`]) with lattice-valued rational weights,
+//!    drives the *shipped* `proto::NodeMachine` under every message
+//!    interleaving, and asserts termination, deadlock freedom,
+//!    Proposition 2 (`2 × visited` messages), and agreement with the
+//!    centralized bottom-up reduction.
+//!
+//! See `docs/ANALYSIS.md` for rule-by-rule rationale and how to read
+//! model-checker counterexamples.
+
+pub mod lexer;
+pub mod model;
+pub mod rules;
+pub mod trees;
+
+pub use model::{check, ModelReport, Violation};
+pub use rules::{lint_file_unscoped, lint_source, lint_workspace, rules_for, Finding};

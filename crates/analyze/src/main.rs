@@ -1,0 +1,234 @@
+//! `bwfirst-analyze` — workspace lint + protocol model checking.
+//!
+//! ```text
+//! bwfirst-analyze [lint|model|all|fixture <path>] [flags]
+//!
+//!   lint             run the source invariant rules (R1–R4) over crates/
+//!   model            exhaustively model-check the negotiation protocol
+//!   all              both layers (default)
+//!   fixture <path>   lint one file with every rule, ignoring path scopes
+//!
+//!   --root DIR       workspace root to lint (default: .)
+//!   --max-nodes N    model-check all trees up to N nodes (default: 7)
+//!   --json           machine-readable findings on stdout
+//!   --deny-all       CI mode: also reject unknown rule names in
+//!                    `lint: allow(...)` markers
+//! ```
+//!
+//! Exit code 0 when clean, 1 on any finding or property violation, 2 on
+//! usage errors.
+
+use bwfirst_analyze::{lexer, model, rules};
+use bwfirst_obs::json::{obj, Value};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    command: String,
+    fixture: Option<PathBuf>,
+    root: PathBuf,
+    max_nodes: usize,
+    json: bool,
+    deny_all: bool,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        command: "all".to_string(),
+        fixture: None,
+        root: PathBuf::from("."),
+        max_nodes: 7,
+        json: false,
+        deny_all: false,
+    };
+    let mut it = args.iter().peekable();
+    let mut saw_command = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--deny-all" => opts.deny_all = true,
+            "--root" => {
+                opts.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--max-nodes" => {
+                let v = it.next().ok_or("--max-nodes needs a value")?;
+                opts.max_nodes = v.parse().map_err(|_| format!("bad --max-nodes `{v}`"))?;
+            }
+            "lint" | "model" | "all" if !saw_command => {
+                opts.command = a.clone();
+                saw_command = true;
+            }
+            "fixture" if !saw_command => {
+                opts.command = "fixture".to_string();
+                opts.fixture = Some(PathBuf::from(it.next().ok_or("fixture needs a path")?));
+                saw_command = true;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bwfirst-analyze: {e}");
+            eprintln!(
+                "usage: bwfirst-analyze [lint|model|all|fixture <path>] \
+                       [--root DIR] [--max-nodes N] [--json] [--deny-all]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut dirty = false;
+    match opts.command.as_str() {
+        "lint" => dirty |= run_lint(&opts),
+        "model" => dirty |= run_model(&opts),
+        "all" => {
+            dirty |= run_lint(&opts);
+            dirty |= run_model(&opts);
+        }
+        "fixture" => {
+            let path = opts.fixture.as_deref().expect("fixture path parsed");
+            match rules::lint_file_unscoped(path) {
+                Ok(findings) => {
+                    emit_findings(&findings, opts.json);
+                    dirty |= !findings.is_empty();
+                }
+                Err(e) => {
+                    eprintln!("bwfirst-analyze: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        _ => unreachable!("parse() only yields known commands"),
+    }
+
+    if dirty {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Runs the linter; returns true when findings were reported.
+fn run_lint(opts: &Options) -> bool {
+    let mut findings = match rules::lint_workspace(&opts.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bwfirst-analyze: {e}");
+            return true;
+        }
+    };
+    if opts.deny_all {
+        findings.extend(unknown_allow_markers(&opts.root));
+        findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+    emit_findings(&findings, opts.json);
+    if !opts.json {
+        if findings.is_empty() {
+            println!("lint: clean ({} rules over crates/)", rules::ALL_RULES.len());
+        } else {
+            println!("lint: {} finding(s)", findings.len());
+        }
+    }
+    !findings.is_empty()
+}
+
+/// `--deny-all` extra: an allow marker naming a rule that does not exist is
+/// itself a finding (it silently suppresses nothing — usually a typo).
+fn unknown_allow_markers(root: &std::path::Path) -> Vec<rules::Finding> {
+    let mut out = Vec::new();
+    let mut files = Vec::new();
+    collect(root.join("crates"), &mut files);
+    for path in files {
+        let Ok(src) = std::fs::read_to_string(&path) else { continue };
+        let rel = path.strip_prefix(root).unwrap_or(&path).display().to_string();
+        for (line, rule) in lexer::scan(&src).allows {
+            if !rules::ALL_RULES.contains(&rule.as_str()) {
+                out.push(rules::Finding {
+                    rule: "unknown-allow",
+                    file: rel.clone(),
+                    line,
+                    message: format!("allow marker names unknown rule `{rule}`"),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn collect(dir: PathBuf, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(&dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && name != "fixtures" {
+                collect(path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn emit_findings(findings: &[rules::Finding], json: bool) {
+    if json {
+        let arr = Value::Array(findings.iter().map(rules::Finding::to_json).collect());
+        println!("{}", obj(vec![("findings", arr)]).to_string_compact());
+    } else {
+        for f in findings {
+            println!("{f}");
+        }
+    }
+}
+
+/// Runs the model checker; returns true when violations were found.
+fn run_model(opts: &Options) -> bool {
+    let start = std::time::Instant::now();
+    let report = model::check(opts.max_nodes, 8);
+    let elapsed = start.elapsed();
+    if opts.json {
+        let violations = Value::Array(
+            report
+                .violations
+                .iter()
+                .map(|v| {
+                    obj(vec![
+                        ("message", Value::from(v.message.as_str())),
+                        ("instance", Value::from(v.instance.as_str())),
+                        (
+                            "trace",
+                            Value::Array(v.trace.iter().map(|s| Value::from(s.as_str())).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let summary = obj(vec![
+            ("max_nodes", Value::Int(opts.max_nodes as i128)),
+            ("instances", Value::Int(report.instances as i128)),
+            ("states", Value::Int(i128::from(report.states))),
+            ("millis", Value::Int(i128::from(elapsed.as_millis() as u64))),
+            ("violations", violations),
+        ]);
+        println!("{}", summary.to_string_compact());
+    } else {
+        for v in &report.violations {
+            println!("{v}");
+        }
+        println!(
+            "model: {} instances (trees up to {} nodes), {} states, {} violation(s) in {:?}",
+            report.instances,
+            opts.max_nodes,
+            report.states,
+            report.violations.len(),
+            elapsed
+        );
+    }
+    !report.violations.is_empty()
+}

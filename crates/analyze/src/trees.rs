@@ -1,0 +1,172 @@
+//! Exhaustive enumeration of rooted trees with lattice-valued weights.
+//!
+//! A rooted tree on nodes `0..n` (node 0 the root) is a **parent vector**:
+//! `parent[i] ∈ {0, .., i-1}` for `i ≥ 1`. Every labelled rooted tree whose
+//! labels respect a BFS-ish order appears exactly once, giving
+//! `(n-1)!` trees of size `n` — 874 trees for `n ≤ 7`. Compute weights and
+//! link times are drawn deterministically from small rational lattices so
+//! runs are reproducible and counterexamples replayable from their index.
+
+use bwfirst_platform::{Platform, PlatformBuilder, Weight};
+use bwfirst_rational::{rat, Rat};
+
+/// One enumerated platform instance: the tree shape plus which lattice
+/// rotation produced its weights.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// `parent[i]` is the parent of node `i+1` (node 0 is the root).
+    pub parents: Vec<usize>,
+    /// Which deterministic weight/link rotation (0..[`VARIANTS`]).
+    pub variant: usize,
+    /// The built platform.
+    pub platform: Platform,
+}
+
+/// Number of deterministic weight/link rotations tried per tree shape.
+pub const VARIANTS: usize = 3;
+
+/// Compute-weight lattice: fast, slow, medium, a switch, and unit.
+fn weight_lattice() -> [Weight; 5] {
+    [
+        Weight::Time(rat(1, 1)),
+        Weight::Time(rat(2, 1)),
+        Weight::Time(rat(1, 2)),
+        Weight::Infinite,
+        Weight::Time(rat(3, 2)),
+    ]
+}
+
+/// Link-time lattice: unit, fast, slow, medium links.
+fn link_lattice() -> [Rat; 4] {
+    [rat(1, 1), rat(1, 3), rat(2, 1), rat(1, 2)]
+}
+
+impl Instance {
+    /// Builds the platform for `parents` under rotation `variant`.
+    ///
+    /// Weight and link choices cycle through the lattices at coprime-ish
+    /// strides so different nodes of the same tree, and the same node across
+    /// variants, see different values.
+    #[must_use]
+    pub fn build(parents: &[usize], variant: usize, seed: usize) -> Instance {
+        let weights = weight_lattice();
+        let links = link_lattice();
+        let n = parents.len() + 1;
+        let w_of = |i: usize| weights[(i * 2 + variant + seed) % weights.len()];
+        let c_of = |i: usize| links[(i + variant * 2 + seed) % links.len()];
+        let mut b = PlatformBuilder::new();
+        let mut ids = Vec::with_capacity(n);
+        ids.push(b.root(w_of(0)));
+        for (k, &p) in parents.iter().enumerate() {
+            let i = k + 1;
+            ids.push(b.child(ids[p], w_of(i), c_of(i)));
+        }
+        let platform = b.build().expect("parent vectors are valid trees");
+        Instance { parents: parents.to_vec(), variant, platform }
+    }
+
+    /// Renders the tree shape for counterexample reports.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let p = &self.platform;
+        let mut s =
+            format!("tree n={} variant={} parents={:?}\n", p.len(), self.variant, self.parents);
+        for id in p.node_ids() {
+            let w = match p.weight(id) {
+                Weight::Time(t) => format!("w={t}"),
+                Weight::Infinite => "w=inf (switch)".to_string(),
+            };
+            let c = p.link_time(id).map_or("root".to_string(), |c| format!("c={c}"));
+            s.push_str(&format!("  P{}: {w}, {c}\n", id.0));
+        }
+        s
+    }
+}
+
+/// Calls `f` with every instance on at most `max_nodes` nodes. Returns the
+/// total number of instances visited.
+pub fn for_each_instance<F: FnMut(&Instance) -> bool>(max_nodes: usize, mut f: F) -> (usize, bool) {
+    let mut count = 0;
+    let mut tree_index = 0;
+    for n in 1..=max_nodes {
+        let mut parents = vec![0usize; n.saturating_sub(1)];
+        loop {
+            for variant in 0..VARIANTS {
+                let inst = Instance::build(&parents, variant, tree_index);
+                count += 1;
+                if !f(&inst) {
+                    return (count, false);
+                }
+            }
+            tree_index += 1;
+            // Odometer over parent[i] ∈ 0..=i (node i+1 may attach to any
+            // earlier node 0..=i).
+            let mut k = parents.len();
+            loop {
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+                if parents[k] < k {
+                    parents[k] += 1;
+                    for v in parents.iter_mut().skip(k + 1) {
+                        *v = 0;
+                    }
+                    break;
+                }
+                parents[k] = 0;
+                if k == 0 {
+                    break;
+                }
+            }
+            if parents.iter().all(|&v| v == 0) {
+                break; // odometer wrapped (or there are no digits): shape done
+            }
+        }
+    }
+    (count, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_counts_match_the_factorial_series() {
+        // Σ_{n=1..N} (n-1)! trees, × VARIANTS instances each.
+        let trees: usize = (1..=5).map(|n: usize| (1..n).product::<usize>()).sum();
+        let (count, done) = for_each_instance(5, |_| true);
+        assert!(done);
+        assert_eq!(count, trees * VARIANTS); // (1+1+2+6+24) × 3 = 102
+    }
+
+    #[test]
+    fn enumeration_covers_chains_and_stars() {
+        let mut saw_chain = false;
+        let mut saw_star = false;
+        for_each_instance(4, |inst| {
+            if inst.parents == [0, 1, 2] {
+                saw_chain = true;
+            }
+            if inst.parents == [0, 0, 0] {
+                saw_star = true;
+            }
+            true
+        });
+        assert!(saw_chain && saw_star);
+    }
+
+    #[test]
+    fn platforms_are_well_formed() {
+        for_each_instance(5, |inst| {
+            let p = &inst.platform;
+            assert_eq!(p.len(), inst.parents.len() + 1);
+            for id in p.node_ids() {
+                if id != p.root() {
+                    assert!(p.link_time(id).is_some());
+                }
+            }
+            true
+        });
+    }
+}

@@ -1,0 +1,52 @@
+//! The checked-in workspace must lint clean, and every checked-in fixture
+//! must trip exactly the rule it was written to violate — so the linter
+//! can neither silently rot (fixtures catch dead rules) nor silently block
+//! the build (the clean check catches over-eager rules).
+
+use bwfirst_analyze::rules::{self, RULE_FLOAT, RULE_PANIC, RULE_SHIM, RULE_WILDCARD};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let findings = rules::lint_workspace(&workspace_root()).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean; found:\n{}",
+        findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn each_fixture_trips_exactly_its_own_rule() {
+    let fixtures = [
+        ("r1_float.rs", RULE_FLOAT),
+        ("r2_panic.rs", RULE_PANIC),
+        ("r3_wildcard.rs", RULE_WILDCARD),
+        ("r4_shim.rs", RULE_SHIM),
+    ];
+    let dir = workspace_root().join("crates/analyze/fixtures");
+    for (name, rule) in fixtures {
+        let findings = rules::lint_file_unscoped(&dir.join(name)).expect(name);
+        assert!(!findings.is_empty(), "{name} must produce findings");
+        assert!(
+            findings.iter().all(|f| f.rule == rule),
+            "{name} must only trip `{rule}`, got: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn fixture_allow_markers_and_test_modules_are_honored() {
+    // r1's sanctioned() fn and r2/r4's #[cfg(test)] modules contain material
+    // that WOULD fire — the findings above staying rule-pure proves the
+    // marker and test-span escapes both work on real files.
+    let dir = workspace_root().join("crates/analyze/fixtures");
+    let r2 = rules::lint_file_unscoped(&dir.join("r2_panic.rs")).expect("r2");
+    assert_eq!(r2.len(), 3, "the test-module unwrap must not be counted: {r2:?}");
+    let r4 = rules::lint_file_unscoped(&dir.join("r4_shim.rs")).expect("r4");
+    assert_eq!(r4.len(), 2, "the test-module proptest must not be counted: {r4:?}");
+}

@@ -11,7 +11,7 @@ fn bench_negotiate(c: &mut Criterion) {
     g.sample_size(30);
     for size in [15usize, 63, 255] {
         let p = trees::supply_tree(size, 21);
-        let session = ProtocolSession::spawn(&p);
+        let session = ProtocolSession::spawn(&p).expect("spawn actor tree");
         g.bench_with_input(BenchmarkId::from_parameter(size), &session, |b, session| {
             b.iter(|| black_box(session.negotiate()));
         });

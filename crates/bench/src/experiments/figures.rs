@@ -131,7 +131,7 @@ pub fn e5_simulation() -> String {
         total_tasks: None,
         record_gantt: true,
     };
-    let rep = event_driven::simulate(&p, &ev, &cfg);
+    let rep = event_driven::simulate(&p, &ev, &cfg).expect("example tree simulates");
     let period = Rat::from_int(bwfirst_core::schedule::synchronous_period(&ss)); // 36
     let bound = startup::tree_startup_bound(&p, &ev.tree);
 

@@ -46,7 +46,7 @@ pub fn e7_protocol_comparison() -> String {
             SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
 
         let ev = EventDrivenSchedule::standard(&p, &ss);
-        let er = event_driven::simulate(&p, &ev, &cfg);
+        let er = event_driven::simulate(&p, &ev, &cfg).expect("example tree simulates");
         let dr = demand_driven::simulate(&p, DemandConfig::default(), &cfg);
         let ir = demand_driven::simulate(&p, DemandConfig::interruptible(), &cfg);
 
@@ -150,8 +150,8 @@ pub fn e11_distributed_protocol() -> String {
     ]);
     for &size in &[15usize, 63, 255] {
         let p = crate::trees::supply_tree(size, 21); // slow CPUs: wide fan-out
-        let session = ProtocolSession::spawn(&p);
-        let neg = session.negotiate();
+        let session = ProtocolSession::spawn(&p).expect("spawn actor tree");
+        let neg = session.negotiate().expect("negotiation completes");
         let check = bw_first(&p);
         assert_eq!(neg.throughput, check.throughput(), "distributed must match centralized");
         // Size the flow phase to a few thousand tasks regardless of the
@@ -160,7 +160,7 @@ pub fn e11_distributed_protocol() -> String {
         let sched = bwfirst_core::schedule::TreeSchedule::build(&p, &ss);
         let root_bunch = sched.get(p.root()).map_or(1, |s| s.bunch.max(1)) as u64;
         let bunches = (4000 / root_bunch).clamp(1, 200);
-        let flow = session.run_flow(bunches, 64);
+        let flow = session.run_flow(bunches, 64).expect("flow completes");
         let wire_bytes = bwfirst_proto::wire::negotiation_wire_bytes(&check);
         t.row([
             size.to_string(),
@@ -179,8 +179,8 @@ pub fn e11_distributed_protocol() -> String {
 
     // The same protocol over real localhost TCP sockets.
     let p_tcp = example_tree();
-    let tcp = ProtocolSession::spawn_tcp(&p_tcp);
-    let neg_tcp = tcp.negotiate();
+    let tcp = ProtocolSession::spawn_tcp(&p_tcp).expect("spawn over TCP");
+    let neg_tcp = tcp.negotiate().expect("negotiation completes");
     writeln!(
         out,
         "\nsame negotiation over real TCP sockets (example tree): throughput {}, {} messages, {:?}",
@@ -191,12 +191,12 @@ pub fn e11_distributed_protocol() -> String {
     // Dynamic adaptation: drop a link, renegotiate, recover.
     writeln!(out, "\ndynamic adaptation (example tree):").unwrap();
     let p = example_tree();
-    let mut session = ProtocolSession::spawn(&p);
-    let before = session.negotiate();
-    session.set_link(bwfirst_platform::NodeId(1), rat(12, 1));
-    let degraded = session.negotiate();
-    session.set_link(bwfirst_platform::NodeId(1), rat(1, 1));
-    let recovered = session.negotiate();
+    let mut session = ProtocolSession::spawn(&p).expect("spawn actor tree");
+    let before = session.negotiate().expect("negotiation completes");
+    session.set_link(bwfirst_platform::NodeId(1), rat(12, 1)).expect("set_link");
+    let degraded = session.negotiate().expect("negotiation completes");
+    session.set_link(bwfirst_platform::NodeId(1), rat(1, 1)).expect("set_link");
+    let recovered = session.negotiate().expect("negotiation completes");
     writeln!(out, "  initial throughput   {}", before.throughput).unwrap();
     writeln!(
         out,
@@ -274,15 +274,18 @@ pub fn e16_clocked_vs_event() -> String {
     let ts = bwfirst_core::schedule::TreeSchedule::build(&p, &ss);
     let ev = EventDrivenSchedule::standard(&p, &ss);
     let cfg = SimConfig::to_horizon(rat(216, 1));
-    let event = event_driven::simulate(&p, &ev, &cfg);
+    let event = event_driven::simulate(&p, &ev, &cfg).expect("example tree simulates");
     let traditional = event_driven::simulate_with_policy(
         &p,
         &ev,
         &cfg,
         bwfirst_sim::event_driven::StartupPolicy::Prefill,
-    );
-    let warm = clocked::simulate(&p, &ts, ClockedConfig { prefill: true }, &cfg);
-    let cold = clocked::simulate(&p, &ts, ClockedConfig { prefill: false }, &cfg);
+    )
+    .expect("example tree simulates");
+    let warm = clocked::simulate(&p, &ts, ClockedConfig { prefill: true }, &cfg)
+        .expect("example tree simulates");
+    let cold = clocked::simulate(&p, &ts, ClockedConfig { prefill: false }, &cfg)
+        .expect("example tree simulates");
 
     let mut t = Table::new([
         "executor",
@@ -368,9 +371,10 @@ pub fn e18_dynamic_adaptation() -> String {
         total_tasks: None,
         record_gantt: false,
     };
-    let (stale, _) = simulate_dynamic(&p, &changes, AdaptPolicy::Stale, &cfg);
+    let (stale, _) = simulate_dynamic(&p, &changes, AdaptPolicy::Stale, &cfg).expect("schedulable");
     let (adaptive, swaps) =
-        simulate_dynamic(&p, &changes, AdaptPolicy::Renegotiate { delay: rat(5, 1) }, &cfg);
+        simulate_dynamic(&p, &changes, AdaptPolicy::Renegotiate { delay: rat(5, 1) }, &cfg)
+            .expect("schedulable");
 
     let mut t =
         Table::new(["window", "platform state", "optimum", "stale schedule", "renegotiated"]);

@@ -147,7 +147,7 @@ pub fn e9_schedule_compactness() -> String {
             total_tasks: None,
             record_gantt: false,
         };
-        let rep = event_driven::simulate(&p, &ev, &cfg);
+        let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
         let avg = rep.buffers.iter().map(|b| b.time_avg).max().unwrap();
         let ok = rep.completions_in(rat(76, 1), rat(184, 1)) == 120; // 3 periods x 40
         t.row([
@@ -221,7 +221,7 @@ pub fn e12_startup_bounds() -> String {
         let horizon = (Rat::from_int(bound) + window * rat(6, 1)).max(rat(120, 1));
         let cfg =
             SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
-        let rep = event_driven::simulate(&p, &ev, &cfg);
+        let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
         let entry = rep.steady_state_entry(ss.throughput, window, horizon);
         let ok = entry.is_some_and(|e| e <= Rat::from_int(bound) + window);
         all_ok &= ok;

@@ -115,7 +115,7 @@ pub fn collect() -> Records {
         total_tasks: None,
         record_gantt: false,
     };
-    let rep = event_driven::simulate(&p, &ev, &cfg);
+    let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
     let figure5 = Figure5Record {
         throughput: ss.throughput.to_string(),
         period,

@@ -38,6 +38,8 @@ pub enum CliError {
     Platform(String),
     /// Writing an output file (`--trace`, `--metrics`) failed.
     Io(String),
+    /// A simulation or protocol run rejected its inputs.
+    Runtime(String),
 }
 
 impl fmt::Display for CliError {
@@ -50,6 +52,7 @@ impl fmt::Display for CliError {
             CliError::BadValue { what, value } => write!(f, "bad value for {what}: `{value}`"),
             CliError::Platform(msg) => write!(f, "platform error: {msg}"),
             CliError::Io(msg) => write!(f, "output error: {msg}"),
+            CliError::Runtime(msg) => write!(f, "runtime error: {msg}"),
         }
     }
 }

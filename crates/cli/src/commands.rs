@@ -43,6 +43,10 @@ usage:
       emit a physical-network graph JSON on stdout
   bwfirst overlay <graph.json> [--root N] [--restarts R] [--passes P]
       search for the best tree overlay on a physical network
+
+workspace checks (separate binary, see docs/ANALYSIS.md):
+  cargo run -p bwfirst-analyze [lint|model|all|fixture <path>]
+      source invariant lint rules + exhaustive protocol model checking
 "
     .to_string()
 }
@@ -238,7 +242,8 @@ fn run_protocol(
     match protocol {
         "event" => {
             let ev = EventDrivenSchedule::standard(p, ss);
-            Ok(event_driven::simulate_probed(p, &ev, cfg, probe))
+            event_driven::simulate_probed(p, &ev, cfg, probe)
+                .map_err(|e| CliError::Runtime(e.to_string()))
         }
         "demand" => Ok(demand_driven::simulate_probed(p, DemandConfig::default(), cfg, probe)),
         "demand-int" => {
@@ -323,8 +328,9 @@ fn cmd_stats(
     let mut rec = MemoryRecorder::new();
 
     // Layer 1: the live distributed protocol (β/θ messages over channels).
-    let session = bwfirst_proto::ProtocolSession::spawn(p);
-    let negotiated = session.negotiate();
+    let session =
+        bwfirst_proto::ProtocolSession::spawn(p).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let negotiated = session.negotiate().map_err(|e| CliError::Runtime(e.to_string()))?;
     negotiated.record(&mut rec);
     drop(session);
 

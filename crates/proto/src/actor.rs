@@ -1,6 +1,13 @@
 //! The per-node actor: a thread that speaks the protocol with its parent and
 //! children using only local knowledge.
+//!
+//! All negotiation logic lives in [`crate::machine::NodeMachine`]; the actor
+//! only moves the machine's required transmissions over real channels. Every
+//! failure path returns a typed [`ProtoError`] (lint rule R2): an actor
+//! thread never panics, its `run` result carries the reason it stopped.
 
+use crate::error::{Peer, ProtoError};
+use crate::machine::{NodeMachine, Outgoing};
 use crate::messages::{ControlMsg, DownMsg, Report, UpMsg};
 use bwfirst_core::schedule::{LocalSchedule, LocalScheduleKind, NodeSchedule, SlotAction};
 use bwfirst_platform::{NodeId, Weight};
@@ -9,30 +16,26 @@ use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
 use std::collections::HashMap;
 
-/// One outgoing edge of an actor.
+/// One outgoing edge of an actor. Slot order matches the machine's
+/// `children()` — link weights live in the machine.
 pub(crate) struct ChildLink {
     pub id: u32,
-    pub c: Rat,
     pub tx: Sender<DownMsg>,
     pub rx: Receiver<UpMsg>,
 }
 
-/// The actor's full state. Only local data: own weight, child links, and the
-/// routing table the *harness* uses to deliver control messages (not used by
-/// the protocol itself).
+/// The actor's full state. Only local data: the negotiation machine (own
+/// weight plus child links), the channel endpoints, and the routing table
+/// the *harness* uses to deliver control messages (not used by the protocol
+/// itself).
 pub(crate) struct Actor {
-    pub id: u32,
-    pub weight: Weight,
+    machine: NodeMachine,
     pub parent_rx: Receiver<DownMsg>,
     pub parent_tx: Sender<UpMsg>,
     pub children: Vec<ChildLink>,
     /// descendant id → child slot, for harness control routing.
     pub route: HashMap<u32, usize>,
     pub report_tx: Sender<Report>,
-    // Last negotiated rates.
-    alpha: Rat,
-    eta_in: Rat,
-    flows: Vec<Rat>,
     // Flow-phase state.
     schedule: Option<LocalSchedule>,
     cursor: usize,
@@ -48,22 +51,19 @@ impl Actor {
         weight: Weight,
         parent_rx: Receiver<DownMsg>,
         parent_tx: Sender<UpMsg>,
-        children: Vec<ChildLink>,
+        children: Vec<(ChildLink, Rat)>,
         route: HashMap<u32, usize>,
         report_tx: Sender<Report>,
     ) -> Actor {
-        let n = children.len();
+        let links: Vec<(u32, Rat)> = children.iter().map(|(l, c)| (l.id, *c)).collect();
+        let children = children.into_iter().map(|(l, _)| l).collect();
         Actor {
-            id,
-            weight,
+            machine: NodeMachine::new(id, weight, links),
             parent_rx,
             parent_tx,
             children,
             route,
             report_tx,
-            alpha: Rat::ZERO,
-            eta_in: Rat::ZERO,
-            flows: vec![Rat::ZERO; n],
             schedule: None,
             cursor: 0,
             computed: 0,
@@ -73,110 +73,110 @@ impl Actor {
         }
     }
 
-    /// Main loop: serve protocol rounds and flow phases until shutdown.
-    pub fn run(mut self) {
+    fn id(&self) -> u32 {
+        self.machine.id()
+    }
+
+    /// Main loop: serve protocol rounds and flow phases until shutdown, the
+    /// parent hanging up (clean exit), or a protocol violation (the typed
+    /// error is the thread's result).
+    pub fn run(mut self) -> Result<(), ProtoError> {
         while let Ok(msg) = self.parent_rx.recv() {
             match msg {
-                DownMsg::Proposal(lambda) => self.negotiate(lambda),
-                DownMsg::Task(payload) => self.route_task(payload),
-                DownMsg::Eof => {
-                    self.finish_flow();
-                }
+                DownMsg::Proposal(lambda) => self.negotiate(lambda)?,
+                DownMsg::Task(payload) => self.route_task(payload)?,
+                DownMsg::Eof => self.finish_flow()?,
                 DownMsg::StartFlow { bunches, payload_len } => {
-                    self.generate_flow(bunches, payload_len);
+                    self.generate_flow(bunches, payload_len)?;
                 }
-                DownMsg::Control { target, change } => self.apply_or_relay(target, change),
+                DownMsg::Control { target, change } => self.apply_or_relay(target, change)?,
                 DownMsg::Shutdown => {
                     for child in &self.children {
                         let _ = child.tx.send(DownMsg::Shutdown);
                     }
-                    return;
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One `BW-First` round: drive the machine, shuttling its transmissions
+    /// over the child channels until it closes the round with the parent
+    /// ack.
+    fn negotiate(&mut self, lambda: Rat) -> Result<(), ProtoError> {
+        let mut wire_bytes_sent = 0u64;
+        let mut out = self.machine.on_proposal(lambda)?;
+        loop {
+            match out {
+                Outgoing::ToChild { slot, child, beta } => {
+                    let msg = DownMsg::Proposal(beta);
+                    wire_bytes_sent += crate::wire::encode_down(&msg).len() as u64;
+                    self.children[slot].tx.send(msg).map_err(|_| ProtoError::ChannelClosed {
+                        node: self.id(),
+                        peer: Peer::Child(child),
+                    })?;
+                    let UpMsg::Ack(theta) = self.children[slot].rx.recv().map_err(|_| {
+                        ProtoError::ChannelClosed { node: self.id(), peer: Peer::Child(child) }
+                    })?;
+                    out = self.machine.on_ack(child, theta)?;
+                }
+                Outgoing::AckParent { theta } => {
+                    // Rates changed: any previously built schedule is stale.
+                    self.schedule = None;
+                    self.cursor = 0;
+                    let msg = UpMsg::Ack(theta);
+                    wire_bytes_sent += crate::wire::encode_up(&msg).len() as u64;
+                    self.report_tx
+                        .send(Report::Negotiation {
+                            node: self.id(),
+                            alpha: self.machine.alpha(),
+                            eta_in: self.machine.eta_in(),
+                            proposals_sent: self.machine.proposals_sent(),
+                            wire_bytes_sent,
+                        })
+                        .map_err(|_| ProtoError::ChannelClosed {
+                            node: self.id(),
+                            peer: Peer::Driver,
+                        })?;
+                    return self.parent_tx.send(msg).map_err(|_| ProtoError::ChannelClosed {
+                        node: self.id(),
+                        peer: Peer::Parent,
+                    });
                 }
             }
         }
     }
 
-    /// One `BW-First` round, exactly Algorithm 1 from the node's viewpoint.
-    fn negotiate(&mut self, lambda: Rat) {
-        let mut proposals_sent = 0u64;
-        let mut wire_bytes_sent = 0u64;
-        self.alpha = self.weight.rate().min(lambda);
-        let mut delta = lambda - self.alpha;
-        let mut tau = Rat::ONE;
-        self.flows = vec![Rat::ZERO; self.children.len()];
-        // Bandwidth-centric order over *local* link knowledge.
-        let mut order: Vec<usize> = (0..self.children.len()).collect();
-        order.sort_by(|&a, &b| {
-            self.children[a]
-                .c
-                .cmp(&self.children[b].c)
-                .then(self.children[a].id.cmp(&self.children[b].id))
-        });
-        for slot in order {
-            if !delta.is_positive() || !tau.is_positive() {
-                break;
-            }
-            let c = self.children[slot].c;
-            let beta = delta.min(tau / c);
-            wire_bytes_sent += crate::wire::encode_down(&DownMsg::Proposal(beta)).len() as u64;
-            self.children[slot].tx.send(DownMsg::Proposal(beta)).expect("child actor alive");
-            proposals_sent += 1;
-            let UpMsg::Ack(theta) = self.children[slot].rx.recv().expect("child acknowledges");
-            let consumed = beta - theta;
-            self.flows[slot] = consumed;
-            delta -= consumed;
-            tau -= consumed * c;
-        }
-        self.eta_in = lambda - delta;
-        // Rates changed: any previously built schedule is stale.
-        self.schedule = None;
-        self.cursor = 0;
-        wire_bytes_sent += crate::wire::encode_up(&UpMsg::Ack(delta)).len() as u64;
-        self.report_tx
-            .send(Report::Negotiation {
-                node: self.id,
-                alpha: self.alpha,
-                eta_in: self.eta_in,
-                proposals_sent,
-                wire_bytes_sent,
-            })
-            .expect("driver alive");
-        self.parent_tx.send(UpMsg::Ack(delta)).expect("parent alive");
-    }
-
     /// Builds the event-driven local schedule from the node's own rates —
     /// the Section 6.2 quantities need nothing but `α` and the `η_i`.
-    fn build_schedule(&self) -> Option<LocalSchedule> {
-        if !self.alpha.is_positive() && self.flows.iter().all(|f| !f.is_positive()) {
-            return None;
+    fn build_schedule(&self) -> Result<Option<LocalSchedule>, ProtoError> {
+        let alpha = self.machine.alpha();
+        let flows = self.machine.flows();
+        if !alpha.is_positive() && flows.iter().all(|f| !f.is_positive()) {
+            return Ok(None);
         }
-        let t_comp = self.alpha.denom();
-        let t_send = self
-            .flows
-            .iter()
-            .filter(|f| f.is_positive())
-            .map(|f| f.denom())
-            .fold(1i128, |a, b| lcm_i128(a, b).expect("period lcm overflow"));
-        let t_omega = lcm_i128(t_comp, t_send).expect("period lcm overflow");
+        let overflow = ProtoError::PeriodOverflow { node: self.id() };
+        let t_comp = alpha.denom();
+        let mut t_send = 1i128;
+        for f in flows.iter().filter(|f| f.is_positive()) {
+            t_send = lcm_i128(t_send, f.denom()).ok_or(overflow.clone())?;
+        }
+        let t_omega = lcm_i128(t_comp, t_send).ok_or(overflow)?;
         let to_int = |r: Rat| -> i128 {
             let v = r * Rat::from_int(t_omega);
             debug_assert!(v.is_integer());
             v.numer()
         };
-        let psi_self = to_int(self.alpha);
-        let mut slots: Vec<usize> =
-            (0..self.children.len()).filter(|&s| self.flows[s].is_positive()).collect();
-        slots.sort_by(|&a, &b| {
-            self.children[a]
-                .c
-                .cmp(&self.children[b].c)
-                .then(self.children[a].id.cmp(&self.children[b].id))
-        });
+        let psi_self = to_int(alpha);
+        let links = self.machine.children();
+        let mut slots: Vec<usize> = (0..links.len()).filter(|&s| flows[s].is_positive()).collect();
+        slots.sort_by(|&a, &b| links[a].1.cmp(&links[b].1).then(links[a].0.cmp(&links[b].0)));
         let psi_children: Vec<(NodeId, i128)> =
-            slots.iter().map(|&s| (NodeId(self.children[s].id), to_int(self.flows[s]))).collect();
+            slots.iter().map(|&s| (NodeId(links[s].0), to_int(flows[s]))).collect();
         let bunch = psi_self + psi_children.iter().map(|&(_, q)| q).sum::<i128>();
         let sched = NodeSchedule {
-            node: NodeId(self.id),
+            node: NodeId(self.id()),
             t_recv: None, // the event-driven order needs no receive period
             t_comp,
             t_send,
@@ -188,32 +188,31 @@ impl Actor {
             bunch,
             chi_in: None,
         };
-        Some(LocalSchedule::build(&sched, LocalScheduleKind::Interleaved))
+        Ok(Some(LocalSchedule::build(&sched, LocalScheduleKind::Interleaved)))
     }
 
-    fn child_slot(&self, id: u32) -> usize {
-        self.children.iter().position(|c| c.id == id).expect("child of this node")
-    }
-
-    fn route_task(&mut self, payload: Bytes) {
+    fn route_task(&mut self, payload: Bytes) -> Result<(), ProtoError> {
         if self.schedule.is_none() {
-            self.schedule = self.build_schedule();
+            self.schedule = self.build_schedule()?;
         }
         let Some(schedule) = &self.schedule else {
             // An inactive node received a task: the negotiation said it gets
             // none, so this indicates a routing bug upstream.
-            panic!("node P{} received a task but has no schedule", self.id);
+            return Err(ProtoError::NoSchedule { node: self.id() });
         };
         let action = schedule.actions[self.cursor];
         self.cursor = (self.cursor + 1) % schedule.actions.len();
         match action {
             SlotAction::Compute => self.process(payload),
             SlotAction::Send(child) => {
-                let slot = self.child_slot(child.0);
-                self.children[slot].tx.send(DownMsg::Task(payload)).expect("child actor alive");
+                let slot = self.machine.child_slot(child.0)?;
+                self.children[slot].tx.send(DownMsg::Task(payload)).map_err(|_| {
+                    ProtoError::ChannelClosed { node: self.id(), peer: Peer::Child(child.0) }
+                })?;
                 self.forwarded += 1;
             }
         }
+        Ok(())
     }
 
     /// "Computes" one task: folds the payload into a checksum, standing in
@@ -231,53 +230,56 @@ impl Actor {
     }
 
     /// Root only: generate and route the whole workload.
-    fn generate_flow(&mut self, bunches: u64, payload_len: usize) {
+    fn generate_flow(&mut self, bunches: u64, payload_len: usize) -> Result<(), ProtoError> {
         if self.schedule.is_none() {
-            self.schedule = self.build_schedule();
+            self.schedule = self.build_schedule()?;
         }
         let bunch = self.schedule.as_ref().map_or(0, |s| s.actions.len() as u64);
         let template = Bytes::from(vec![0xA5u8; payload_len]);
         for _ in 0..bunches * bunch {
-            self.route_task(template.clone());
+            self.route_task(template.clone())?;
         }
-        self.finish_flow();
+        self.finish_flow()
     }
 
     /// Propagate EOF, report counters, reset for the next phase.
-    fn finish_flow(&mut self) {
+    fn finish_flow(&mut self) -> Result<(), ProtoError> {
         for child in &self.children {
-            child.tx.send(DownMsg::Eof).expect("child actor alive");
+            child.tx.send(DownMsg::Eof).map_err(|_| ProtoError::ChannelClosed {
+                node: self.id(),
+                peer: Peer::Child(child.id),
+            })?;
         }
         self.report_tx
             .send(Report::Flow {
-                node: self.id,
+                node: self.id(),
                 computed: self.computed,
                 forwarded: self.forwarded,
                 bytes_processed: self.bytes_processed,
             })
-            .expect("driver alive");
+            .map_err(|_| ProtoError::ChannelClosed { node: self.id(), peer: Peer::Driver })?;
         self.computed = 0;
         self.forwarded = 0;
         self.bytes_processed = 0;
         self.cursor = 0;
+        Ok(())
     }
 
-    fn apply_or_relay(&mut self, target: u32, change: ControlMsg) {
-        if target == self.id {
+    fn apply_or_relay(&mut self, target: u32, change: ControlMsg) -> Result<(), ProtoError> {
+        if target == self.id() {
             match change {
-                ControlMsg::SetWeight(w) => self.weight = w,
-                ControlMsg::SetLink { child, c } => {
-                    let slot = self.child_slot(child);
-                    self.children[slot].c = c;
-                }
+                ControlMsg::SetWeight(w) => self.machine.set_weight(w),
+                ControlMsg::SetLink { child, c } => self.machine.set_link(child, c)?,
             }
             self.schedule = None;
-            return;
+            return Ok(());
         }
-        let slot = *self.route.get(&target).expect("control target in subtree");
-        self.children[slot]
-            .tx
-            .send(DownMsg::Control { target, change })
-            .expect("child actor alive");
+        let slot = *self
+            .route
+            .get(&target)
+            .ok_or(ProtoError::UnroutableControl { node: self.id(), target })?;
+        self.children[slot].tx.send(DownMsg::Control { target, change }).map_err(|_| {
+            ProtoError::ChannelClosed { node: self.id(), peer: Peer::Child(self.children[slot].id) }
+        })
     }
 }

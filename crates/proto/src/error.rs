@@ -1,0 +1,162 @@
+//! Typed errors for the protocol layer.
+//!
+//! Lint rule **R2** (see `crates/analyze`) bans `unwrap`/`expect`/`panic!`
+//! from `proto/src`: every failure an actor or the driver can hit must
+//! surface as a [`ProtoError`] instead of tearing the thread down with an
+//! unnamed panic. The variants map one-to-one onto the invariants of the
+//! Section 5 transaction protocol.
+
+use crate::wire::WireError;
+use bwfirst_rational::Rat;
+use std::fmt;
+
+/// The counterpart a node was talking to when a link failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Peer {
+    /// The node's parent in the tree (or the virtual parent for the root).
+    Parent,
+    /// A child, by node id.
+    Child(u32),
+    /// The driver's report channel.
+    Driver,
+}
+
+impl fmt::Display for Peer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Peer::Parent => write!(f, "parent"),
+            Peer::Child(id) => write!(f, "child P{id}"),
+            Peer::Driver => write!(f, "driver"),
+        }
+    }
+}
+
+/// Everything that can go wrong inside an actor or the driving session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// A channel to a peer was closed while the protocol still needed it.
+    ChannelClosed {
+        /// The node that observed the closed link.
+        node: u32,
+        /// Which peer went away.
+        peer: Peer,
+    },
+    /// A node received a proposal while a round was already in flight.
+    MidRound {
+        /// The node that was mid-round.
+        node: u32,
+    },
+    /// An acknowledgment arrived from a child the node was not awaiting.
+    UnexpectedAck {
+        /// The receiving node.
+        node: u32,
+        /// The child that acked out of turn.
+        from: u32,
+    },
+    /// An acknowledgment violated `0 ≤ θ ≤ β` for the pending proposal.
+    InvalidAck {
+        /// The receiving node.
+        node: u32,
+        /// The acking child.
+        from: u32,
+        /// The refused amount it sent.
+        theta: Rat,
+        /// The proposal it was answering.
+        beta: Rat,
+    },
+    /// A task was routed to a node whose negotiation assigned it no work.
+    NoSchedule {
+        /// The node without a schedule.
+        node: u32,
+    },
+    /// A message referenced a child id this node does not have.
+    UnknownChild {
+        /// The parent doing the lookup.
+        node: u32,
+        /// The missing child id.
+        child: u32,
+    },
+    /// A control message targeted a node outside this subtree.
+    UnroutableControl {
+        /// The node whose routing table had no entry.
+        node: u32,
+        /// The unreachable target.
+        target: u32,
+    },
+    /// The `lcm` of the local periods exceeded the `i128` range.
+    PeriodOverflow {
+        /// The node building its schedule.
+        node: u32,
+    },
+    /// The platform is missing the link weight into a child.
+    MissingLink {
+        /// The child whose incoming link has no weight.
+        child: u32,
+    },
+    /// `set_link` was asked to re-weight the (virtual) link into the root.
+    NoParent {
+        /// The root id.
+        child: u32,
+    },
+    /// An actor thread could not be spawned.
+    Spawn {
+        /// The node whose thread failed to start.
+        node: u32,
+        /// The OS error, stringified.
+        error: String,
+    },
+    /// The driver↔root link was closed or mis-wired.
+    DriverLinkClosed,
+    /// A transport (socket / framing) error from the wire layer.
+    Transport(WireError),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::ChannelClosed { node, peer } => {
+                write!(f, "P{node}: link to {peer} closed mid-protocol")
+            }
+            ProtoError::MidRound { node } => {
+                write!(f, "P{node}: proposal received while a round is in flight")
+            }
+            ProtoError::UnexpectedAck { node, from } => {
+                write!(f, "P{node}: unexpected ack from P{from}")
+            }
+            ProtoError::InvalidAck { node, from, theta, beta } => {
+                write!(f, "P{node}: ack θ={theta} from P{from} outside [0, β={beta}]")
+            }
+            ProtoError::NoSchedule { node } => {
+                write!(f, "P{node}: received a task but negotiated no work")
+            }
+            ProtoError::UnknownChild { node, child } => {
+                write!(f, "P{node}: no child P{child}")
+            }
+            ProtoError::UnroutableControl { node, target } => {
+                write!(f, "P{node}: control target P{target} not in subtree")
+            }
+            ProtoError::PeriodOverflow { node } => {
+                write!(f, "P{node}: period lcm exceeds i128 range")
+            }
+            ProtoError::MissingLink { child } => {
+                write!(f, "platform has no link weight into P{child}")
+            }
+            ProtoError::NoParent { child } => {
+                write!(f, "P{child} has no parent link to re-weight")
+            }
+            ProtoError::Spawn { node, error } => {
+                write!(f, "cannot spawn actor thread for P{node}: {error}")
+            }
+            ProtoError::DriverLinkClosed => write!(f, "driver↔root link closed"),
+            ProtoError::Transport(e) => write!(f, "transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<WireError> for ProtoError {
+    fn from(e: WireError) -> ProtoError {
+        ProtoError::Transport(e)
+    }
+}

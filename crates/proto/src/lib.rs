@@ -31,9 +31,13 @@
 #![warn(missing_docs)]
 
 mod actor;
+pub mod error;
+pub mod machine;
 pub mod messages;
 pub mod session;
 pub mod wire;
 
+pub use error::{Peer, ProtoError};
+pub use machine::NodeMachine;
 pub use messages::{ControlMsg, DownMsg, UpMsg};
 pub use session::{FlowOutcome, NegotiationOutcome, ProtocolSession};

@@ -1,6 +1,7 @@
 //! The driver: spawns the actor tree and plays the virtual parent.
 
 use crate::actor::{Actor, ChildLink};
+use crate::error::ProtoError;
 use crate::messages::{ControlMsg, DownMsg, Report, UpMsg};
 use bwfirst_obs::{Arg, Event, EventKind, Recorder, Ts};
 use bwfirst_platform::{NodeId, Platform, Weight};
@@ -77,6 +78,7 @@ impl NegotiationOutcome {
         rec.add("proto.wire_bytes", i128::from(self.wire_bytes));
         rec.add("proto.nodes_visited", self.visited_count() as i128);
         rec.add("proto.nodes_total", self.visited.len() as i128);
+        // lint: allow(float) — histogram export is the quantize boundary.
         rec.observe("proto.negotiate_micros", self.elapsed.as_secs_f64() * 1e6);
     }
 }
@@ -102,24 +104,43 @@ impl FlowOutcome {
     }
 }
 
+/// The canonical virtual-parent proposal for a platform: the root's compute
+/// rate plus its best child bandwidth — the `t_max` a round opens with. Also
+/// used by the `crates/analyze` model checker so the exhaustive exploration
+/// opens every round exactly like the live driver.
+///
+/// # Errors
+/// [`ProtoError::MissingLink`] if a root child has no link weight.
+pub fn virtual_proposal(platform: &Platform) -> Result<Rat, ProtoError> {
+    let root = platform.root();
+    let mut best = Rat::ZERO;
+    for &k in platform.children(root) {
+        let bw = platform.bandwidth(k).ok_or(ProtoError::MissingLink { child: k.0 })?;
+        best = best.max(bw);
+    }
+    Ok(platform.compute_rate(root) + best)
+}
+
 /// A live actor tree. Dropping the session shuts the actors down.
 pub struct ProtocolSession {
     platform: Platform,
     root_tx: Sender<DownMsg>,
     root_rx: Receiver<UpMsg>,
     report_rx: Receiver<Report>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Vec<JoinHandle<Result<(), ProtoError>>>,
 }
 
 impl ProtocolSession {
     /// Spawns one actor thread per platform node, wired with channels that
     /// mirror the tree's edges.
-    #[must_use]
-    pub fn spawn(platform: &Platform) -> ProtocolSession {
+    ///
+    /// # Errors
+    /// [`ProtoError::Spawn`] if an actor thread cannot be started.
+    pub fn spawn(platform: &Platform) -> Result<ProtocolSession, ProtoError> {
         Self::spawn_with_links(platform, || {
             let (dt, dr) = unbounded();
             let (ut, ur) = unbounded();
-            (dt, dr, ut, ur)
+            Ok((dt, dr, ut, ur))
         })
     }
 
@@ -129,52 +150,54 @@ impl ProtocolSession {
     /// "practical and scalable implementation" of Section 5 on an actual
     /// network stack.
     ///
-    /// # Panics
-    /// Panics if localhost sockets cannot be created.
-    #[must_use]
-    pub fn spawn_tcp(platform: &Platform) -> ProtocolSession {
+    /// # Errors
+    /// [`ProtoError::Transport`] if localhost sockets cannot be created,
+    /// [`ProtoError::Spawn`] if a thread cannot be started.
+    pub fn spawn_tcp(platform: &Platform) -> Result<ProtocolSession, ProtoError> {
         Self::spawn_with_links(platform, || {
-            crate::wire::bridge::tcp_link().expect("localhost TCP link")
+            crate::wire::bridge::tcp_link().map_err(ProtoError::Transport)
         })
     }
 
     /// Shared wiring: one actor per node; `make_link` supplies the transport
     /// of each parent→child edge (including the driver→root edge).
-    fn spawn_with_links<F>(platform: &Platform, make_link: F) -> ProtocolSession
+    fn spawn_with_links<F>(platform: &Platform, make_link: F) -> Result<ProtocolSession, ProtoError>
     where
-        F: Fn() -> crate::wire::bridge::LinkEndpoints,
+        F: Fn() -> Result<crate::wire::bridge::LinkEndpoints, ProtoError>,
     {
         let n = platform.len();
         let (report_tx, report_rx) = unbounded();
         // Per-node link endpoints for the edge *into* that node.
-        let links: Vec<crate::wire::bridge::LinkEndpoints> = (0..n).map(|_| make_link()).collect();
+        let links: Vec<crate::wire::bridge::LinkEndpoints> =
+            (0..n).map(|_| make_link()).collect::<Result<_, _>>()?;
         let mut down: Vec<Option<(Sender<DownMsg>, Receiver<DownMsg>)>> = Vec::with_capacity(n);
         let up: Vec<Option<(Sender<UpMsg>, Receiver<UpMsg>)>> =
             links.iter().map(|(_, _, ut, ur)| Some((ut.clone(), ur.clone()))).collect();
         for (dt, dr, _, _) in links {
             down.push(Some((dt, dr)));
         }
-        let root_tx = down[0].as_ref().expect("root down channel").0.clone();
-        let root_rx = up[0].as_ref().expect("root up channel").1.clone();
+        // Each endpoint below is used exactly once; a missing one means the
+        // wiring above is broken, which the typed error surfaces instead of
+        // a panic.
+        let wiring = ProtoError::DriverLinkClosed;
+        let root_tx = down.first().and_then(|o| o.as_ref()).ok_or(wiring.clone())?.0.clone();
+        let root_rx = up.first().and_then(|o| o.as_ref()).ok_or(wiring.clone())?.1.clone();
 
         let mut handles = Vec::with_capacity(n);
         for id in platform.node_ids() {
             let i = id.index();
-            let (_, parent_rx) = {
-                let pair = down[i].take().expect("down endpoint unused");
-                (pair.0, pair.1)
-            };
-            let parent_tx = up[i].as_ref().expect("up endpoint").0.clone();
-            let children: Vec<ChildLink> = platform
-                .children(id)
-                .iter()
-                .map(|&k| ChildLink {
+            let (_, parent_rx) = down[i].take().ok_or(wiring.clone())?;
+            let parent_tx = up[i].as_ref().ok_or(wiring.clone())?.0.clone();
+            let mut children = Vec::new();
+            for &k in platform.children(id) {
+                let c = platform.link_time(k).ok_or(ProtoError::MissingLink { child: k.0 })?;
+                let link = ChildLink {
                     id: k.0,
-                    c: platform.link_time(k).expect("child link"),
-                    tx: down[k.index()].as_ref().expect("child down endpoint").0.clone(),
-                    rx: up[k.index()].as_ref().expect("child up endpoint").1.clone(),
-                })
-                .collect();
+                    tx: down[k.index()].as_ref().ok_or(wiring.clone())?.0.clone(),
+                    rx: up[k.index()].as_ref().ok_or(wiring.clone())?.1.clone(),
+                };
+                children.push((link, c));
+            }
             // Harness routing table: descendant → child slot.
             let mut route = HashMap::new();
             for (slot, &k) in platform.children(id).iter().enumerate() {
@@ -195,32 +218,27 @@ impl ProtocolSession {
                 std::thread::Builder::new()
                     .name(format!("bwfirst-{id}"))
                     .spawn(move || actor.run())
-                    .expect("spawn actor thread"),
+                    .map_err(|e| ProtoError::Spawn { node: id.0, error: e.to_string() })?,
             );
         }
-        ProtocolSession { platform: platform.clone(), root_tx, root_rx, report_rx, handles }
+        Ok(ProtocolSession { platform: platform.clone(), root_tx, root_rx, report_rx, handles })
     }
 
     /// The canonical virtual-parent proposal for the current platform state.
-    fn t_max(&self) -> Rat {
-        let root = self.platform.root();
-        let best = self
-            .platform
-            .children(root)
-            .iter()
-            .map(|&k| self.platform.bandwidth(k).expect("child link"))
-            .max()
-            .unwrap_or(Rat::ZERO);
-        self.platform.compute_rate(root) + best
+    fn t_max(&self) -> Result<Rat, ProtoError> {
+        virtual_proposal(&self.platform)
     }
 
     /// Runs one `BW-First` round over the live actors.
-    #[must_use]
-    pub fn negotiate(&self) -> NegotiationOutcome {
-        let t_max = self.t_max();
+    ///
+    /// # Errors
+    /// [`ProtoError::DriverLinkClosed`] if the root actor is gone (e.g. a
+    /// protocol violation stopped it — join the thread for the cause).
+    pub fn negotiate(&self) -> Result<NegotiationOutcome, ProtoError> {
+        let t_max = self.t_max()?;
         let started = Instant::now();
-        self.root_tx.send(DownMsg::Proposal(t_max)).expect("root actor alive");
-        let UpMsg::Ack(theta) = self.root_rx.recv().expect("root acknowledges");
+        self.root_tx.send(DownMsg::Proposal(t_max)).map_err(|_| ProtoError::DriverLinkClosed)?;
+        let UpMsg::Ack(theta) = self.root_rx.recv().map_err(|_| ProtoError::DriverLinkClosed)?;
         let elapsed = started.elapsed();
         let n = self.platform.len();
         let mut alpha = vec![Rat::ZERO; n];
@@ -251,7 +269,7 @@ impl ProtocolSession {
                 wire_bytes += b;
             }
         }
-        NegotiationOutcome {
+        Ok(NegotiationOutcome {
             t_max,
             throughput: t_max - theta,
             alpha,
@@ -261,23 +279,27 @@ impl ProtocolSession {
             protocol_messages,
             wire_bytes,
             elapsed,
-        }
+        })
     }
 
     /// Streams `bunches` root bunches of `payload_len`-byte tasks through
     /// the tree under the negotiated event-driven schedules. Call after at
     /// least one [`negotiate`](Self::negotiate).
-    #[must_use]
-    pub fn run_flow(&self, bunches: u64, payload_len: usize) -> FlowOutcome {
+    ///
+    /// # Errors
+    /// [`ProtoError::DriverLinkClosed`] if the actor tree died mid-flow.
+    pub fn run_flow(&self, bunches: u64, payload_len: usize) -> Result<FlowOutcome, ProtoError> {
         let n = self.platform.len();
         let started = Instant::now();
-        self.root_tx.send(DownMsg::StartFlow { bunches, payload_len }).expect("root actor alive");
+        self.root_tx
+            .send(DownMsg::StartFlow { bunches, payload_len })
+            .map_err(|_| ProtoError::DriverLinkClosed)?;
         let mut computed = vec![0u64; n];
         let mut forwarded = vec![0u64; n];
         let mut bytes_processed = vec![0u64; n];
         let mut seen = 0usize;
         while seen < n {
-            match self.report_rx.recv().expect("actors alive") {
+            match self.report_rx.recv().map_err(|_| ProtoError::DriverLinkClosed)? {
                 Report::Flow { node, computed: c, forwarded: f, bytes_processed: b } => {
                     let i = node as usize;
                     computed[i] = c;
@@ -288,29 +310,36 @@ impl ProtocolSession {
                 Report::Negotiation { .. } => {}
             }
         }
-        FlowOutcome { computed, forwarded, bytes_processed, elapsed: started.elapsed() }
+        Ok(FlowOutcome { computed, forwarded, bytes_processed, elapsed: started.elapsed() })
     }
 
     /// Re-weights a node's processing time on the live actor (and in the
     /// driver's mirror). Takes effect for subsequent negotiations.
-    pub fn set_weight(&mut self, node: NodeId, w: Weight) {
+    ///
+    /// # Errors
+    /// [`ProtoError::DriverLinkClosed`] if the actor tree is gone.
+    pub fn set_weight(&mut self, node: NodeId, w: Weight) -> Result<(), ProtoError> {
         self.platform.set_weight(node, w);
         self.root_tx
             .send(DownMsg::Control { target: node.0, change: ControlMsg::SetWeight(w) })
-            .expect("root actor alive");
+            .map_err(|_| ProtoError::DriverLinkClosed)
     }
 
     /// Re-weights the link into `child` on the live parent actor (and in the
     /// driver's mirror).
-    pub fn set_link(&mut self, child: NodeId, c: Rat) {
-        let parent = self.platform.parent(child).expect("child has a parent");
+    ///
+    /// # Errors
+    /// [`ProtoError::NoParent`] for the root,
+    /// [`ProtoError::DriverLinkClosed`] if the actor tree is gone.
+    pub fn set_link(&mut self, child: NodeId, c: Rat) -> Result<(), ProtoError> {
+        let parent = self.platform.parent(child).ok_or(ProtoError::NoParent { child: child.0 })?;
         self.platform.set_link_time(child, c);
         self.root_tx
             .send(DownMsg::Control {
                 target: parent.0,
                 change: ControlMsg::SetLink { child: child.0, c },
             })
-            .expect("root actor alive");
+            .map_err(|_| ProtoError::DriverLinkClosed)
     }
 
     /// The driver's current view of the platform (mirrors live re-weights).
@@ -340,8 +369,8 @@ mod tests {
     #[test]
     fn distributed_negotiation_matches_centralized() {
         let p = example_tree();
-        let session = ProtocolSession::spawn(&p);
-        let out = session.negotiate();
+        let session = ProtocolSession::spawn(&p).unwrap();
+        let out = session.negotiate().unwrap();
         let reference = bw_first(&p);
         assert_eq!(out.throughput, example_throughput());
         assert_eq!(out.alpha, reference.alpha);
@@ -360,8 +389,8 @@ mod tests {
     #[test]
     fn negotiation_records_into_obs() {
         let p = example_tree();
-        let session = ProtocolSession::spawn(&p);
-        let out = session.negotiate();
+        let session = ProtocolSession::spawn(&p).unwrap();
+        let out = session.negotiate().unwrap();
         let mut rec = bwfirst_obs::MemoryRecorder::new();
         out.record(&mut rec);
         assert_eq!(rec.metrics.counter("proto.nodes_visited"), 8);
@@ -378,8 +407,8 @@ mod tests {
     #[test]
     fn unvisited_actors_stay_out_of_the_round() {
         let p = example_tree();
-        let session = ProtocolSession::spawn(&p);
-        let out = session.negotiate();
+        let session = ProtocolSession::spawn(&p).unwrap();
+        let out = session.negotiate().unwrap();
         for id in example_unvisited() {
             assert!(!out.visited[id.index()]);
             assert!(out.alpha[id.index()].is_zero());
@@ -389,10 +418,10 @@ mod tests {
     #[test]
     fn negotiation_is_repeatable() {
         let p = example_tree();
-        let session = ProtocolSession::spawn(&p);
-        let first = session.negotiate();
+        let session = ProtocolSession::spawn(&p).unwrap();
+        let first = session.negotiate().unwrap();
         for _ in 0..5 {
-            let again = session.negotiate();
+            let again = session.negotiate().unwrap();
             assert_eq!(again.throughput, first.throughput);
             assert_eq!(again.protocol_messages, first.protocol_messages);
         }
@@ -402,8 +431,8 @@ mod tests {
     fn matches_centralized_on_random_trees() {
         for seed in 0..8 {
             let p = random_tree(&RandomTreeConfig { size: 48, seed, ..Default::default() });
-            let session = ProtocolSession::spawn(&p);
-            let out = session.negotiate();
+            let session = ProtocolSession::spawn(&p).unwrap();
+            let out = session.negotiate().unwrap();
             assert_eq!(out.throughput, bw_first(&p).throughput(), "seed {seed}");
         }
     }
@@ -411,30 +440,40 @@ mod tests {
     #[test]
     fn reweighting_changes_the_next_round() {
         let p = example_tree();
-        let mut session = ProtocolSession::spawn(&p);
-        assert_eq!(session.negotiate().throughput, rat(10, 9));
+        let mut session = ProtocolSession::spawn(&p).unwrap();
+        assert_eq!(session.negotiate().unwrap().throughput, rat(10, 9));
         // Slow the root→P3 link so P3's subtree starves: the root port can
         // still feed P1 and P2 fully (2/3 busy) and spends the remaining 1/3
         // sending at bandwidth 1/10 → 1/9 + 1/3 + 1/3 + 1/30.
-        session.set_link(NodeId(3), rat(10, 1));
-        let slowed = session.negotiate();
+        session.set_link(NodeId(3), rat(10, 1)).unwrap();
+        let slowed = session.negotiate().unwrap();
         assert_eq!(slowed.throughput, rat(1, 9) + rat(2, 3) + rat(1, 30));
         // Centralized solver on the mirrored platform agrees.
         assert_eq!(slowed.throughput, bw_first(session.platform()).throughput());
         // Speeding a worker's CPU raises throughput again.
-        session.set_weight(NodeId(1), Weight::Time(rat(3, 1)));
-        let faster = session.negotiate();
+        session.set_weight(NodeId(1), Weight::Time(rat(3, 1))).unwrap();
+        let faster = session.negotiate().unwrap();
         assert_eq!(faster.throughput, bw_first(session.platform()).throughput());
         assert!(faster.throughput > slowed.throughput);
     }
 
     #[test]
+    fn reweighting_the_root_link_is_a_typed_error() {
+        let p = example_tree();
+        let mut session = ProtocolSession::spawn(&p).unwrap();
+        assert!(matches!(
+            session.set_link(NodeId(0), Rat::ONE),
+            Err(ProtoError::NoParent { child: 0 })
+        ));
+    }
+
+    #[test]
     fn flow_routes_exact_proportions() {
         let p = example_tree();
-        let session = ProtocolSession::spawn(&p);
-        let _ = session.negotiate();
+        let session = ProtocolSession::spawn(&p).unwrap();
+        let _ = session.negotiate().unwrap();
         // 12 root bunches of Ψ=10 tasks: η ratios are exact at this horizon.
-        let flow = session.run_flow(12, 64);
+        let flow = session.run_flow(12, 64).unwrap();
         assert_eq!(flow.total_computed(), 120);
         assert_eq!(flow.computed[0], 12); // ψ_self = 1 of 10
         for i in [1usize, 2, 3] {
@@ -456,10 +495,10 @@ mod tests {
     #[test]
     fn flow_can_run_repeatedly() {
         let p = example_tree();
-        let session = ProtocolSession::spawn(&p);
-        let _ = session.negotiate();
-        let a = session.run_flow(3, 16);
-        let b = session.run_flow(3, 16);
+        let session = ProtocolSession::spawn(&p).unwrap();
+        let _ = session.negotiate().unwrap();
+        let a = session.run_flow(3, 16).unwrap();
+        let b = session.run_flow(3, 16).unwrap();
         assert_eq!(a.total_computed(), 30);
         assert_eq!(b.total_computed(), 30);
         assert_eq!(a.computed, b.computed);

@@ -393,7 +393,7 @@ mod tests {
     }
 
     #[test]
-    fn all_message_kinds_roundtrip() {
+    fn all_message_kinds_roundtrip() -> Result<(), WireError> {
         use bwfirst_platform::Weight;
         let msgs = vec![
             DownMsg::Proposal(rat(355, 113)),
@@ -407,12 +407,13 @@ mod tests {
         ];
         for msg in msgs {
             let enc = encode_down(&msg);
-            let dec = decode_down(&enc).expect("decodes");
+            let dec = decode_down(&enc)?;
             assert_eq!(format!("{msg:?}"), format!("{dec:?}"));
         }
         let up = UpMsg::Ack(rat(-2, 3));
-        let UpMsg::Ack(theta) = decode_up(&encode_up(&up)).unwrap();
+        let UpMsg::Ack(theta) = decode_up(&encode_up(&up))?;
         assert_eq!(theta, rat(-2, 3));
+        Ok(())
     }
 
     #[test]
@@ -434,23 +435,21 @@ mod tests {
     }
 
     #[test]
-    fn frames_roundtrip_over_a_buffer() {
+    fn frames_roundtrip_over_a_buffer() -> Result<(), WireError> {
         let mut stream = Vec::new();
         for msg in
             [DownMsg::Proposal(rat(10, 9)), DownMsg::Eof, DownMsg::Task(Bytes::from_static(b"x"))]
         {
-            write_frame(&mut stream, &encode_down(&msg)).unwrap();
+            write_frame(&mut stream, &encode_down(&msg))?;
         }
         let mut cursor = std::io::Cursor::new(stream);
-        let a = decode_down(&read_frame(&mut cursor).unwrap()).unwrap();
+        let a = decode_down(&read_frame(&mut cursor)?)?;
         assert!(matches!(a, DownMsg::Proposal(r) if r == rat(10, 9)));
-        assert!(matches!(decode_down(&read_frame(&mut cursor).unwrap()).unwrap(), DownMsg::Eof));
-        assert!(matches!(
-            decode_down(&read_frame(&mut cursor).unwrap()).unwrap(),
-            DownMsg::Task(_)
-        ));
+        assert!(matches!(decode_down(&read_frame(&mut cursor)?)?, DownMsg::Eof));
+        assert!(matches!(decode_down(&read_frame(&mut cursor)?)?, DownMsg::Task(_)));
         // Stream exhausted.
         assert!(matches!(read_frame(&mut cursor), Err(WireError::Io(_))));
+        Ok(())
     }
 
     #[test]

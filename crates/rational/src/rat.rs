@@ -41,7 +41,16 @@ impl Rat {
         if den == 0 {
             return Err(RatError::DivisionByZero);
         }
-        let (mut num, mut den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let (mut num, mut den) = if den < 0 {
+            // `-i128::MIN` is unrepresentable: normalizing the sign of such a
+            // fraction must be an Overflow, not a wrapping negation.
+            match (num.checked_neg(), den.checked_neg()) {
+                (Some(n), Some(d)) => (n, d),
+                _ => return Err(RatError::Overflow { op: "normalize" }),
+            }
+        } else {
+            (num, den)
+        };
         let g = gcd_i128(num, den);
         if g > 1 {
             num /= g;
@@ -175,7 +184,9 @@ impl Rat {
     /// Nearest `f64` approximation (for reporting only — never used in the
     /// scheduling math).
     #[must_use]
+    // lint: allow(float) — the one sanctioned exit from exact arithmetic.
     pub fn to_f64(self) -> f64 {
+        // lint: allow(float)
         self.num as f64 / self.den as f64
     }
 

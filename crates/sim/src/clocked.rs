@@ -23,6 +23,7 @@
 //! phase) to start cleanly.
 
 use crate::engine::{BufferTracker, EventQueue, SimConfig, SimReport};
+use crate::error::SimError;
 use crate::gantt::SegmentKind;
 use crate::probe::{GanttProbe, Probe};
 use bwfirst_core::schedule::TreeSchedule;
@@ -128,10 +129,10 @@ impl<P: Probe> ClockedSim<'_, P> {
         self.queue.push(t + w, Ev::CpuEnd(node));
     }
 
-    fn try_port(&mut self, node: NodeId, t: Rat) {
+    fn try_port(&mut self, node: NodeId, t: Rat) -> Result<(), SimError> {
         let i = node.index();
         if self.nodes[i].port_busy {
-            return;
+            return Ok(());
         }
         // Serve the child with the largest remaining share of its window
         // quota (ties: the window order). Serving fastest-link-first in full
@@ -151,21 +152,22 @@ impl<P: Probe> ClockedSim<'_, P> {
                 pos_best = Some((share, pos));
             }
         }
-        let Some((_, pos)) = pos_best else { return };
+        let Some((_, pos)) = pos_best else { return Ok(()) };
         let child = self.nodes[i].send_quota[pos].0;
         if !self.try_take(node, t) {
-            return;
+            return Ok(());
         }
         self.nodes[i].send_quota[pos].1 -= 1;
         self.nodes[i].port_busy = true;
-        let c = self.platform.link_time(child).expect("child link");
+        let c = self.platform.link_time(child).ok_or(SimError::MissingLink(child))?;
         self.probe.segment(node, SegmentKind::Send(child), t, t + c);
         self.probe.segment(child, SegmentKind::Receive, t, t + c);
         self.queue.push(t + c, Ev::PortEnd(node));
         self.queue.push(t + c, Ev::Arrive(child));
+        Ok(())
     }
 
-    fn run(mut self) -> SimReport {
+    fn run(mut self) -> Result<SimReport, SimError> {
         // Arm the clocks of every scheduled node.
         for s in self.schedule.iter() {
             if self.rho[s.node.index()] > 0 {
@@ -182,7 +184,7 @@ impl<P: Probe> ClockedSim<'_, P> {
             self.probe.queue_depth(t, self.queue.len());
             match ev {
                 Ev::CpuTick(node) => {
-                    let s = self.schedule.get(node).expect("scheduled");
+                    let s = self.schedule.get(node).ok_or(SimError::NoSchedule(node))?;
                     // Quota does not accumulate across windows: what the
                     // node failed to compute is lost (Lemma 1's windows are
                     // independent).
@@ -191,10 +193,10 @@ impl<P: Probe> ClockedSim<'_, P> {
                     self.try_cpu(node, t);
                 }
                 Ev::SendTick(node) => {
-                    let s = self.schedule.get(node).expect("scheduled");
+                    let s = self.schedule.get(node).ok_or(SimError::NoSchedule(node))?;
                     self.nodes[node.index()].send_quota = self.phi[node.index()].clone();
                     self.queue.push(t + Rat::from_int(s.t_send), Ev::SendTick(node));
-                    self.try_port(node, t);
+                    self.try_port(node, t)?;
                 }
                 Ev::CpuEnd(node) => {
                     let i = node.index();
@@ -205,7 +207,7 @@ impl<P: Probe> ClockedSim<'_, P> {
                 }
                 Ev::PortEnd(node) => {
                     self.nodes[node.index()].port_busy = false;
-                    self.try_port(node, t);
+                    self.try_port(node, t)?;
                 }
                 Ev::Arrive(node) => {
                     let i = node.index();
@@ -214,7 +216,7 @@ impl<P: Probe> ClockedSim<'_, P> {
                     self.buffers.add(node, t, 1);
                     self.probe.buffer(node, t, self.buffers.size(node));
                     self.try_cpu(node, t);
-                    self.try_port(node, t);
+                    self.try_port(node, t)?;
                 }
             }
         }
@@ -225,7 +227,7 @@ impl<P: Probe> ClockedSim<'_, P> {
             self.cfg.stop_injection_at.filter(|&s| s <= self.cfg.horizon)
         };
         self.completions.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
-        SimReport {
+        Ok(SimReport {
             horizon: self.cfg.horizon,
             injection_stopped_at,
             completions: self.completions,
@@ -234,7 +236,7 @@ impl<P: Probe> ClockedSim<'_, P> {
             received: self.nodes.iter().map(|n| n.received + n.prefilled).collect(),
             buffers: self.buffers.finalize(self.cfg.horizon),
             gantt: None,
-        }
+        })
     }
 }
 
@@ -243,29 +245,33 @@ impl<P: Probe> ClockedSim<'_, P> {
 /// `received` in the report includes prefilled tasks, so the conservation
 /// identity `received = computed + forwarded` still holds per node over a
 /// fully drained run.
-#[must_use]
+///
+/// # Errors
+/// [`SimError`] if the schedule and platform disagree mid-run.
 pub fn simulate(
     platform: &Platform,
     schedule: &TreeSchedule,
     clocked: ClockedConfig,
     cfg: &SimConfig,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
     let mut probe = GanttProbe::new(cfg.record_gantt);
-    let mut rep = simulate_probed(platform, schedule, clocked, cfg, &mut probe);
+    let mut rep = simulate_probed(platform, schedule, clocked, cfg, &mut probe)?;
     rep.gantt = probe.into_gantt();
-    rep
+    Ok(rep)
 }
 
 /// Simulates the clocked schedule, driving a custom [`Probe`].
 /// The report's `gantt` is `None`; plug in a [`GanttProbe`] to collect one.
-#[must_use]
+///
+/// # Errors
+/// [`SimError`] if the schedule and platform disagree mid-run.
 pub fn simulate_probed(
     platform: &Platform,
     schedule: &TreeSchedule,
     clocked: ClockedConfig,
     cfg: &SimConfig,
     probe: &mut impl Probe,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
     let n = platform.len();
     let mut buffers = BufferTracker::new(n);
     let mut rho = vec![0i128; n];
@@ -335,7 +341,7 @@ mod tests {
     fn prefilled_run_is_steady_from_the_start() {
         let (p, ss, ts) = setup();
         let cfg = SimConfig::to_horizon(rat(144, 1)); // 4 global periods
-        let rep = simulate(&p, &ts, ClockedConfig { prefill: true }, &cfg);
+        let rep = simulate(&p, &ts, ClockedConfig { prefill: true }, &cfg).unwrap();
         // Proposition 3: with χ buffered, consumption is steady from t = 0.
         // Completions lag starts by one CPU latency per node, so the first
         // period is short by at most one task per active node (8 here) and
@@ -353,8 +359,8 @@ mod tests {
     fn unprefilled_run_starts_slower_then_converges() {
         let (p, _, ts) = setup();
         let cfg = SimConfig::to_horizon(rat(216, 1));
-        let cold = simulate(&p, &ts, ClockedConfig { prefill: false }, &cfg);
-        let warm = simulate(&p, &ts, ClockedConfig { prefill: true }, &cfg);
+        let cold = simulate(&p, &ts, ClockedConfig { prefill: false }, &cfg).unwrap();
+        let warm = simulate(&p, &ts, ClockedConfig { prefill: true }, &cfg).unwrap();
         let first_cold = cold.completions_in(rat(0, 1), rat(36, 1));
         let first_warm = warm.completions_in(rat(0, 1), rat(36, 1));
         assert!(first_cold < first_warm, "cold start {first_cold} vs warm {first_warm}");
@@ -371,7 +377,7 @@ mod tests {
             total_tasks: None,
             record_gantt: true,
         };
-        let rep = simulate(&p, &ts, ClockedConfig::default(), &cfg);
+        let rep = simulate(&p, &ts, ClockedConfig::default(), &cfg).unwrap();
         assert!(rep.gantt.as_ref().unwrap().find_overlap().is_none());
         // Drained: everything received (incl. prefill) was computed or
         // forwarded.
@@ -398,7 +404,7 @@ mod tests {
     fn clocked_matches_event_driven_steady_rate() {
         let (p, ss, ts) = setup();
         let cfg = SimConfig::to_horizon(rat(180, 1));
-        let rep = simulate(&p, &ts, ClockedConfig::default(), &cfg);
+        let rep = simulate(&p, &ts, ClockedConfig::default(), &cfg).unwrap();
         let window = bwfirst_rational::Rat::from_int(synchronous_period(&ss));
         assert_eq!(rep.throughput_in(rat(36, 1), rat(36, 1) + window), example_throughput());
     }
@@ -409,7 +415,7 @@ mod tests {
         // that is a multiple of all windows, computed counts match rate·T.
         let (p, ss, ts) = setup();
         let cfg = SimConfig::to_horizon(rat(72, 1));
-        let rep = simulate(&p, &ts, ClockedConfig::default(), &cfg);
+        let rep = simulate(&p, &ts, ClockedConfig::default(), &cfg).unwrap();
         for s in ts.iter() {
             let expect = ss.alpha[s.node.index()] * rat(72, 1);
             // Allow the tail task still on the CPU at the horizon.

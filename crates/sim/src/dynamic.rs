@@ -18,6 +18,7 @@
 //! Experiment E18 compares the two policies around a mid-run degradation.
 
 use crate::engine::{BufferTracker, EventQueue, SimConfig, SimReport};
+use crate::error::SimError;
 use crate::gantt::{Gantt, SegmentKind};
 use bwfirst_core::schedule::{EventDrivenSchedule, LocalScheduleKind, SlotAction};
 use bwfirst_core::{bw_first, SteadyState};
@@ -94,16 +95,16 @@ impl DynSim {
         self.schedule.local(node).is_some()
     }
 
-    fn assign(&mut self, node: NodeId, t: Rat) {
+    fn assign(&mut self, node: NodeId, t: Rat) -> Result<(), SimError> {
         if !self.active(node) {
             // A node the *new* schedule prunes may still hold tasks routed
             // by the old one: compute them locally rather than strand them.
             self.nodes[node.index()].pending_cpu += 1;
             self.try_cpu(node, t);
-            return;
+            return Ok(());
         }
         let i = node.index();
-        let actions = &self.schedule.local(node).expect("active").actions;
+        let actions = &self.schedule.local(node).ok_or(SimError::NoSchedule(node))?.actions;
         let len = actions.len();
         let action = actions[self.nodes[i].cursor % len];
         self.nodes[i].cursor = (self.nodes[i].cursor + 1) % len;
@@ -114,9 +115,10 @@ impl DynSim {
             }
             SlotAction::Send(child) => {
                 self.nodes[i].send_queue.push_back(child);
-                self.try_port(node, t);
+                self.try_port(node, t)?;
             }
         }
+        Ok(())
     }
 
     fn try_cpu(&mut self, node: NodeId, t: Rat) {
@@ -142,13 +144,13 @@ impl DynSim {
         self.queue.push(t + w, Ev::CpuEnd(node));
     }
 
-    fn try_port(&mut self, node: NodeId, t: Rat) {
+    fn try_port(&mut self, node: NodeId, t: Rat) -> Result<(), SimError> {
         let i = node.index();
         if self.nodes[i].port_busy {
-            return;
+            return Ok(());
         }
-        let Some(child) = self.nodes[i].send_queue.pop_front() else { return };
-        let c = self.platform.link_time(child).expect("child link");
+        let Some(child) = self.nodes[i].send_queue.pop_front() else { return Ok(()) };
+        let c = self.platform.link_time(child).ok_or(SimError::MissingLink(child))?;
         self.nodes[i].port_busy = true;
         self.buffers.add(node, t, -1);
         if let Some(g) = &mut self.gantt {
@@ -157,12 +159,13 @@ impl DynSim {
         }
         self.queue.push(t + c, Ev::PortEnd(node));
         self.queue.push(t + c, Ev::Arrive(child));
+        Ok(())
     }
 
-    fn on_arrive(&mut self, node: NodeId, t: Rat) {
+    fn on_arrive(&mut self, node: NodeId, t: Rat) -> Result<(), SimError> {
         self.nodes[node.index()].received += 1;
         self.buffers.add(node, t, 1);
-        self.assign(node, t);
+        self.assign(node, t)
     }
 
     fn schedule_next_release(&mut self, t: Rat) {
@@ -179,22 +182,24 @@ impl DynSim {
 
     /// Recomputes the optimal schedule for the platform's *current* state
     /// and swaps every node onto it.
-    fn adapt(&mut self, t: Rat) {
+    fn adapt(&mut self, t: Rat) -> Result<(), SimError> {
         let ss = SteadyState::from_solution(&bw_first(&self.platform));
         if !ss.throughput.is_positive() {
-            return; // nothing schedulable; keep the old one
+            return Ok(()); // nothing schedulable; keep the old one
         }
         self.schedule =
             EventDrivenSchedule::build(&self.platform, &ss, LocalScheduleKind::Interleaved);
         for n in &mut self.nodes {
             n.cursor = 0;
         }
-        let root_sched = self.schedule.tree.get(self.platform.root()).expect("active root");
+        let root_sched =
+            self.schedule.tree.get(self.platform.root()).ok_or(SimError::InactiveRoot)?;
         self.release_step = Rat::from_int(root_sched.t_omega) / Rat::from_int(root_sched.bunch);
         self.adaptations.push(t);
+        Ok(())
     }
 
-    fn run(mut self) -> (SimReport, Vec<Rat>) {
+    fn run(mut self) -> Result<(SimReport, Vec<Rat>), SimError> {
         self.schedule_next_release(Rat::ZERO);
         while let Some((t, ev)) = self.queue.pop() {
             if t > self.cfg.horizon {
@@ -204,11 +209,11 @@ impl DynSim {
                 Ev::Release => {
                     self.injected += 1;
                     self.last_release = Some(t);
-                    self.on_arrive(self.platform.root(), t);
+                    self.on_arrive(self.platform.root(), t)?;
                     let step = self.release_step;
                     self.schedule_next_release(t + step);
                 }
-                Ev::Arrive(node) => self.on_arrive(node, t),
+                Ev::Arrive(node) => self.on_arrive(node, t)?,
                 Ev::CpuEnd(node) => {
                     let i = node.index();
                     self.nodes[i].cpu_busy = false;
@@ -218,13 +223,13 @@ impl DynSim {
                 }
                 Ev::PortEnd(node) => {
                     self.nodes[node.index()].port_busy = false;
-                    self.try_port(node, t);
+                    self.try_port(node, t)?;
                 }
                 Ev::Change(idx) => {
                     let ch = self.changes[idx];
                     self.platform.set_link_time(ch.child, ch.new_c);
                 }
-                Ev::Adapt => self.adapt(t),
+                Ev::Adapt => self.adapt(t)?,
             }
         }
         let exhausted = self.cfg.total_tasks.is_some_and(|n| self.injected >= n);
@@ -244,24 +249,30 @@ impl DynSim {
             buffers: self.buffers.finalize(self.cfg.horizon),
             gantt: self.gantt,
         };
-        (report, self.adaptations)
+        Ok((report, self.adaptations))
     }
 }
 
 /// Simulates a dynamic run: `changes` hit the platform at their times; under
 /// [`AdaptPolicy::Renegotiate`] the schedule is re-derived after each change.
 /// Returns the report and the times at which schedules were swapped.
-#[must_use]
+///
+/// # Errors
+/// [`SimError::NotSchedulable`] if the starting platform has zero
+/// throughput; other [`SimError`]s if a schedule and the platform disagree
+/// mid-run.
 pub fn simulate_dynamic(
     platform: &Platform,
     changes: &[LinkChange],
     policy: AdaptPolicy,
     cfg: &SimConfig,
-) -> (SimReport, Vec<Rat>) {
+) -> Result<(SimReport, Vec<Rat>), SimError> {
     let ss = SteadyState::from_solution(&bw_first(platform));
-    assert!(ss.throughput.is_positive(), "platform must be schedulable");
+    if !ss.throughput.is_positive() {
+        return Err(SimError::NotSchedulable);
+    }
     let schedule = EventDrivenSchedule::standard(platform, &ss);
-    let root_sched = schedule.tree.get(platform.root()).expect("active root");
+    let root_sched = schedule.tree.get(platform.root()).ok_or(SimError::InactiveRoot)?;
     let release_step = Rat::from_int(root_sched.t_omega) / Rat::from_int(root_sched.bunch);
     let n = platform.len();
     let mut sim = DynSim {
@@ -312,7 +323,7 @@ mod tests {
     fn no_changes_matches_static_executor() {
         let p = example_tree();
         let cfg = SimConfig::to_horizon(rat(150, 1));
-        let (rep, adaptations) = simulate_dynamic(&p, &[], AdaptPolicy::Stale, &cfg);
+        let (rep, adaptations) = simulate_dynamic(&p, &[], AdaptPolicy::Stale, &cfg).unwrap();
         assert!(adaptations.is_empty());
         assert_eq!(rep.throughput_in(rat(76, 1), rat(112, 1)), rat(10, 9));
         assert!(rep.gantt.as_ref().unwrap().find_overlap().is_none());
@@ -327,7 +338,7 @@ mod tests {
             total_tasks: None,
             record_gantt: false,
         };
-        let (rep, _) = simulate_dynamic(&p, &degrade_at_120(), AdaptPolicy::Stale, &cfg);
+        let (rep, _) = simulate_dynamic(&p, &degrade_at_120(), AdaptPolicy::Stale, &cfg).unwrap();
         let before = rep.throughput_in(rat(76, 1), rat(112, 1));
         let after = rep.throughput_in(rat(300, 1), rat(500, 1));
         assert_eq!(before, rat(10, 9));
@@ -347,7 +358,7 @@ mod tests {
             record_gantt: true,
         };
         let policy = AdaptPolicy::Renegotiate { delay: rat(5, 1) };
-        let (rep, adaptations) = simulate_dynamic(&p, &degrade_at_120(), policy, &cfg);
+        let (rep, adaptations) = simulate_dynamic(&p, &degrade_at_120(), policy, &cfg).unwrap();
         assert_eq!(adaptations, vec![rat(125, 1)]);
         // New optimum for c(P1) = 12 is 21/20 (see the proto tests);
         // post-adaptation windows must reach it. Period of the new
@@ -371,7 +382,7 @@ mod tests {
             record_gantt: false,
         };
         let policy = AdaptPolicy::Renegotiate { delay: rat(2, 1) };
-        let (rep, adaptations) = simulate_dynamic(&p, &changes, policy, &cfg);
+        let (rep, adaptations) = simulate_dynamic(&p, &changes, policy, &cfg).unwrap();
         assert_eq!(adaptations.len(), 2);
         let healed = rep.throughput_in(rat(400, 1), rat(580, 1));
         assert!(healed >= rat(10, 9) - rat(1, 30), "healed rate {healed}");
@@ -387,7 +398,7 @@ mod tests {
             record_gantt: false,
         };
         let policy = AdaptPolicy::Renegotiate { delay: rat(5, 1) };
-        let (rep, _) = simulate_dynamic(&p, &degrade_at_120(), policy, &cfg);
+        let (rep, _) = simulate_dynamic(&p, &degrade_at_120(), policy, &cfg).unwrap();
         assert_eq!(rep.total_computed(), rep.received[0]);
     }
 }

@@ -71,10 +71,17 @@ impl<E> EventQueue<E> {
     }
 
     pub fn pop(&mut self) -> Option<(Rat, E)> {
-        let Reverse((time, _, idx)) = self.heap.pop()?;
-        let ev = self.payloads[idx as usize].take().expect("event present");
-        self.free.push(idx);
-        Some((time, ev))
+        // Every heap entry refers to a live arena slot (push is the only
+        // producer); skip rather than panic if that invariant ever breaks.
+        while let Some(Reverse((time, _, idx))) = self.heap.pop() {
+            let slot = self.payloads.get_mut(idx as usize).and_then(Option::take);
+            debug_assert!(slot.is_some(), "heap entry without payload");
+            if let Some(ev) = slot {
+                self.free.push(idx);
+                return Some((time, ev));
+            }
+        }
+        None
     }
 
     /// Number of pending events.

@@ -21,6 +21,7 @@
 //!   the start-up performs no useful computation.
 
 use crate::engine::{BufferTracker, EventQueue, SimConfig, SimReport};
+use crate::error::SimError;
 use crate::gantt::SegmentKind;
 use crate::probe::{GanttProbe, Probe};
 use bwfirst_core::schedule::{EventDrivenSchedule, SlotAction};
@@ -85,55 +86,57 @@ struct EvSim<'a, P: Probe> {
 }
 
 impl<P: Probe> EvSim<'_, P> {
-    fn actions(&self, node: NodeId) -> &[SlotAction] {
-        &self.schedule.local(node).expect("active node has a schedule").actions
+    fn actions(&self, node: NodeId) -> Result<&[SlotAction], SimError> {
+        Ok(&self.schedule.local(node).ok_or(SimError::NoSchedule(node))?.actions)
     }
 
     /// Routes one available task according to the local schedule.
-    fn assign(&mut self, node: NodeId, t: Rat, stamp: Rat) {
+    fn assign(&mut self, node: NodeId, t: Rat, stamp: Rat) -> Result<(), SimError> {
         let i = node.index();
         let cursor = self.nodes[i].cursor;
-        let actions = self.actions(node);
+        let actions = self.actions(node)?;
         let action = actions[cursor];
         let len = actions.len();
         self.nodes[i].cursor = (cursor + 1) % len;
         match action {
             SlotAction::Compute => {
                 self.nodes[i].pending_cpu.push_back(stamp);
-                self.try_cpu(node, t);
+                self.try_cpu(node, t)?;
             }
             SlotAction::Send(child) => {
                 self.nodes[i].send_queue.push_back((child, stamp));
-                self.try_port(node, t);
+                self.try_port(node, t)?;
             }
         }
+        Ok(())
     }
 
-    fn try_cpu(&mut self, node: NodeId, t: Rat) {
+    fn try_cpu(&mut self, node: NodeId, t: Rat) -> Result<(), SimError> {
         let i = node.index();
         if self.nodes[i].cpu_busy
             || self.nodes[i].pending_cpu.is_empty()
             || !self.nodes[i].compute_enabled
         {
-            return;
+            return Ok(());
         }
-        let w = self.platform.weight(node).time().expect("switches never receive Compute actions");
-        let stamp = self.nodes[i].pending_cpu.pop_front().expect("non-empty");
+        let w = self.platform.weight(node).time().ok_or(SimError::SwitchComputes(node))?;
+        let stamp = self.nodes[i].pending_cpu.pop_front().ok_or(SimError::EmptyQueue(node))?;
         self.nodes[i].cpu_stamp = stamp;
         self.nodes[i].cpu_busy = true;
         self.buffers.add(node, t, -1);
         self.probe.buffer(node, t, self.buffers.size(node));
         self.probe.segment(node, SegmentKind::Compute, t, t + w);
         self.queue.push(t + w, Ev::CpuEnd(node));
+        Ok(())
     }
 
-    fn try_port(&mut self, node: NodeId, t: Rat) {
+    fn try_port(&mut self, node: NodeId, t: Rat) -> Result<(), SimError> {
         let i = node.index();
         if self.nodes[i].port_busy {
-            return;
+            return Ok(());
         }
-        let Some((child, stamp)) = self.nodes[i].send_queue.pop_front() else { return };
-        let c = self.platform.link_time(child).expect("child link");
+        let Some((child, stamp)) = self.nodes[i].send_queue.pop_front() else { return Ok(()) };
+        let c = self.platform.link_time(child).ok_or(SimError::MissingLink(child))?;
         self.nodes[i].port_busy = true;
         self.buffers.add(node, t, -1);
         self.probe.buffer(node, t, self.buffers.size(node));
@@ -141,9 +144,10 @@ impl<P: Probe> EvSim<'_, P> {
         self.probe.segment(child, SegmentKind::Receive, t, t + c);
         self.queue.push(t + c, Ev::PortEnd(node));
         self.queue.push(t + c, Ev::Arrive(child, stamp));
+        Ok(())
     }
 
-    fn on_arrive(&mut self, node: NodeId, t: Rat, stamp: Rat) {
+    fn on_arrive(&mut self, node: NodeId, t: Rat, stamp: Rat) -> Result<(), SimError> {
         let i = node.index();
         self.nodes[i].received += 1;
         self.buffers.add(node, t, 1);
@@ -151,9 +155,9 @@ impl<P: Probe> EvSim<'_, P> {
         if !self.nodes[i].compute_enabled && self.nodes[i].received >= self.prefill_threshold[i] {
             self.nodes[i].compute_enabled = true;
         }
-        self.assign(node, t, stamp);
+        self.assign(node, t, stamp)?;
         // Enabling the CPU may unblock earlier compute-assigned tasks.
-        self.try_cpu(node, t);
+        self.try_cpu(node, t)
     }
 
     fn schedule_next_release(&mut self, t: Rat) {
@@ -168,7 +172,7 @@ impl<P: Probe> EvSim<'_, P> {
         self.queue.push(t, Ev::Release);
     }
 
-    fn run(mut self) -> SimReport {
+    fn run(mut self) -> Result<SimReport, SimError> {
         let root = self.platform.root();
         self.schedule_next_release(Rat::ZERO);
         while let Some((t, ev)) = self.queue.pop() {
@@ -180,21 +184,21 @@ impl<P: Probe> EvSim<'_, P> {
                 Ev::Release => {
                     self.injected += 1;
                     self.last_release = Some(t);
-                    self.on_arrive(root, t, t);
+                    self.on_arrive(root, t, t)?;
                     self.schedule_next_release(t + self.release_step);
                 }
-                Ev::Arrive(node, stamp) => self.on_arrive(node, t, stamp),
+                Ev::Arrive(node, stamp) => self.on_arrive(node, t, stamp)?,
                 Ev::CpuEnd(node) => {
                     let i = node.index();
                     self.nodes[i].cpu_busy = false;
                     self.nodes[i].computed += 1;
                     self.completions.push((t, node));
                     self.latencies.push(t - self.nodes[i].cpu_stamp);
-                    self.try_cpu(node, t);
+                    self.try_cpu(node, t)?;
                 }
                 Ev::PortEnd(node) => {
                     self.nodes[node.index()].port_busy = false;
-                    self.try_port(node, t);
+                    self.try_port(node, t)?;
                 }
             }
         }
@@ -209,7 +213,7 @@ impl<P: Probe> EvSim<'_, P> {
             self.completions.into_iter().zip(self.latencies).collect();
         joined.sort_by(|a, b| a.0 .0.cmp(&b.0 .0).then(a.0 .1.cmp(&b.0 .1)));
         let (completions, latencies): (Vec<_>, Vec<_>) = joined.into_iter().unzip();
-        SimReport {
+        Ok(SimReport {
             horizon: self.cfg.horizon,
             injection_stopped_at,
             completions,
@@ -218,56 +222,66 @@ impl<P: Probe> EvSim<'_, P> {
             received: self.nodes.iter().map(|n| n.received).collect(),
             buffers: self.buffers.finalize(self.cfg.horizon),
             gantt: None,
-        }
+        })
     }
 }
 
 /// Simulates the event-driven schedule with the paper's start-up policy.
-#[must_use]
-pub fn simulate(platform: &Platform, schedule: &EventDrivenSchedule, cfg: &SimConfig) -> SimReport {
+///
+/// # Errors
+/// [`SimError`] if the schedule and platform disagree mid-run.
+pub fn simulate(
+    platform: &Platform,
+    schedule: &EventDrivenSchedule,
+    cfg: &SimConfig,
+) -> Result<SimReport, SimError> {
     simulate_with_policy(platform, schedule, cfg, StartupPolicy::EventDriven)
 }
 
 /// Simulates the event-driven schedule under the chosen start-up policy.
 ///
-/// Panics if the root is inactive (zero-throughput platforms have nothing to
-/// simulate).
-#[must_use]
+/// # Errors
+/// [`SimError::InactiveRoot`] on a zero-throughput platform (nothing to
+/// simulate); other [`SimError`]s if the schedule and platform disagree.
 pub fn simulate_with_policy(
     platform: &Platform,
     schedule: &EventDrivenSchedule,
     cfg: &SimConfig,
     policy: StartupPolicy,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
     let mut probe = GanttProbe::new(cfg.record_gantt);
-    let mut rep = simulate_with_policy_probed(platform, schedule, cfg, policy, &mut probe);
+    let mut rep = simulate_with_policy_probed(platform, schedule, cfg, policy, &mut probe)?;
     rep.gantt = probe.into_gantt();
-    rep
+    Ok(rep)
 }
 
 /// Simulates with the paper's start-up policy, driving a custom [`Probe`].
 /// The report's `gantt` is `None`; plug in a [`GanttProbe`] to collect one.
-#[must_use]
+///
+/// # Errors
+/// [`SimError`] if the schedule and platform disagree mid-run.
 pub fn simulate_probed(
     platform: &Platform,
     schedule: &EventDrivenSchedule,
     cfg: &SimConfig,
     probe: &mut impl Probe,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
     simulate_with_policy_probed(platform, schedule, cfg, StartupPolicy::EventDriven, probe)
 }
 
 /// Simulates under the chosen start-up policy, driving a custom [`Probe`].
-#[must_use]
+///
+/// # Errors
+/// [`SimError`] if the schedule and platform disagree mid-run.
 pub fn simulate_with_policy_probed(
     platform: &Platform,
     schedule: &EventDrivenSchedule,
     cfg: &SimConfig,
     policy: StartupPolicy,
     probe: &mut impl Probe,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
     let root = platform.root();
-    let root_sched = schedule.tree.get(root).expect("root must be active");
+    let root_sched = schedule.tree.get(root).ok_or(SimError::InactiveRoot)?;
     let release_step = Rat::from_int(root_sched.t_omega) / Rat::from_int(root_sched.bunch);
     let n = platform.len();
     let prefill_threshold: Vec<u64> = platform
@@ -329,7 +343,7 @@ mod tests {
     fn reaches_predicted_throughput() {
         let (p, _, ev) = setup();
         let cfg = SimConfig::to_horizon(rat(220, 1));
-        let rep = simulate(&p, &ev, &cfg);
+        let rep = simulate(&p, &ev, &cfg).unwrap();
         // Post-startup windows of one global period (36) hold exactly 40
         // completions: the schedule is exactly periodic.
         for k in 0..4 {
@@ -343,7 +357,7 @@ mod tests {
     fn single_port_is_never_violated() {
         let (p, _, ev) = setup();
         let cfg = SimConfig::to_horizon(rat(100, 1));
-        let rep = simulate(&p, &ev, &cfg);
+        let rep = simulate(&p, &ev, &cfg).unwrap();
         assert!(rep.gantt.as_ref().unwrap().find_overlap().is_none());
     }
 
@@ -351,7 +365,7 @@ mod tests {
     fn startup_respects_proposition4_bound() {
         let (p, _, ev) = setup();
         let cfg = SimConfig::to_horizon(rat(300, 1));
-        let rep = simulate(&p, &ev, &cfg);
+        let rep = simulate(&p, &ev, &cfg).unwrap();
         let bound = tree_startup_bound(&p, &ev.tree); // 27 for the example
         let entry = rep
             .steady_state_entry(example_throughput(), rat(36, 1), rat(300, 1))
@@ -366,7 +380,7 @@ mod tests {
     fn useful_work_happens_during_startup() {
         let (p, _, ev) = setup();
         let cfg = SimConfig::to_horizon(rat(40, 1));
-        let rep = simulate(&p, &ev, &cfg);
+        let rep = simulate(&p, &ev, &cfg).unwrap();
         // The paper: ~80% of optimal during the first rootless period.
         let optimal40 = 40; // rootless throughput 1/unit over 40 units ≈ 40
         let done = rep.total_computed();
@@ -377,8 +391,8 @@ mod tests {
     fn prefill_startup_computes_nothing_early() {
         let (p, _, ev) = setup();
         let cfg = SimConfig::to_horizon(rat(40, 1));
-        let evd = simulate_with_policy(&p, &ev, &cfg, StartupPolicy::EventDriven);
-        let pre = simulate_with_policy(&p, &ev, &cfg, StartupPolicy::Prefill);
+        let evd = simulate_with_policy(&p, &ev, &cfg, StartupPolicy::EventDriven).unwrap();
+        let pre = simulate_with_policy(&p, &ev, &cfg, StartupPolicy::Prefill).unwrap();
         // Non-root nodes stay silent until their stock arrives, so the
         // prefill run completes strictly fewer tasks in the same window.
         assert!(pre.total_computed() < evd.total_computed());
@@ -396,7 +410,7 @@ mod tests {
             total_tasks: None,
             record_gantt: false,
         };
-        let rep = simulate(&p, &ev, &cfg);
+        let rep = simulate(&p, &ev, &cfg).unwrap();
         let wd = rep.wind_down().expect("injection stopped");
         // Paper: 10 time units on its tree — ours stays well under one
         // rootless period (36/40-ish scale).
@@ -413,7 +427,7 @@ mod tests {
             total_tasks: Some(50),
             record_gantt: false,
         };
-        let rep = simulate(&p, &ev, &cfg);
+        let rep = simulate(&p, &ev, &cfg).unwrap();
         assert_eq!(rep.received[0], 50);
         assert_eq!(rep.total_computed(), 50);
         assert!(rep.injection_stopped_at.is_some());
@@ -428,7 +442,7 @@ mod tests {
             total_tasks: None,
             record_gantt: false,
         };
-        let rep = simulate(&p, &ev, &cfg);
+        let rep = simulate(&p, &ev, &cfg).unwrap();
         // Everything injected is eventually computed somewhere.
         assert_eq!(rep.total_computed(), rep.received[0]);
         // Per-node: received = computed + forwarded.
@@ -441,7 +455,7 @@ mod tests {
     #[test]
     fn pruned_nodes_stay_silent() {
         let (p, _, ev) = setup();
-        let rep = simulate(&p, &ev, &SimConfig::to_horizon(rat(150, 1)));
+        let rep = simulate(&p, &ev, &SimConfig::to_horizon(rat(150, 1))).unwrap();
         for i in [5usize, 9, 10, 11] {
             assert_eq!(rep.received[i], 0);
             assert_eq!(rep.computed[i], 0);
@@ -452,7 +466,7 @@ mod tests {
     fn latencies_are_tracked_and_sane() {
         let (p, _, ev) = setup();
         let cfg = SimConfig::to_horizon(rat(150, 1));
-        let rep = simulate(&p, &ev, &cfg);
+        let rep = simulate(&p, &ev, &cfg).unwrap();
         let lats = rep.latencies.as_ref().expect("event-driven stamps tasks");
         assert_eq!(lats.len(), rep.completions.len());
         assert!(lats.iter().all(|l| l.is_positive()));
@@ -478,8 +492,8 @@ mod tests {
             total_tasks: None,
             record_gantt: false,
         };
-        let ri = simulate(&p, &inter, &cfg);
-        let rb = simulate(&p, &burst, &cfg);
+        let ri = simulate(&p, &inter, &cfg).unwrap();
+        let rb = simulate(&p, &burst, &cfg).unwrap();
         assert!(
             ri.mean_latency().unwrap() <= rb.mean_latency().unwrap(),
             "interleaved mean {} > bursty mean {}",
@@ -499,8 +513,8 @@ mod tests {
             total_tasks: None,
             record_gantt: false,
         };
-        let ri = simulate(&p, &inter, &cfg);
-        let rb = simulate(&p, &burst, &cfg);
+        let ri = simulate(&p, &inter, &cfg).unwrap();
+        let rb = simulate(&p, &burst, &cfg).unwrap();
         let peak = |r: &SimReport| r.buffers.iter().map(|b| b.max).max().unwrap();
         assert!(
             peak(&ri) <= peak(&rb),

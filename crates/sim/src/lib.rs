@@ -55,6 +55,7 @@ pub mod clocked;
 pub mod demand_driven;
 pub mod dynamic;
 mod engine;
+pub mod error;
 pub mod event_driven;
 pub mod gantt;
 pub mod gantt_svg;
@@ -64,5 +65,6 @@ pub mod result_return;
 pub mod returns;
 
 pub use engine::{BufferStats, SimConfig, SimReport};
+pub use error::SimError;
 pub use gantt::{Gantt, GanttSegment, SegmentKind};
 pub use probe::{GanttProbe, NoProbe, ObsProbe, Probe, Utilization, UtilizationProbe};

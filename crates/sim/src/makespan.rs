@@ -64,7 +64,9 @@ pub fn event_driven_makespan(
     tasks: u64,
 ) -> Rat {
     let guess = lower_bound(ss, tasks) * rat(2, 1) + rat(64, 1);
-    let rep = run_until_done(tasks, guess, |cfg| event_driven::simulate(platform, schedule, cfg));
+    let rep = run_until_done(tasks, guess, |cfg| {
+        event_driven::simulate(platform, schedule, cfg).expect("valid schedule")
+    });
     rep.last_completion().expect("tasks completed")
 }
 
@@ -128,7 +130,7 @@ mod tests {
         // A tiny first guess forces at least one horizon doubling.
         let (p, ss, ev) = setup();
         let rep = run_until_done(50, bwfirst_rational::rat(1, 1), |cfg| {
-            event_driven::simulate(&p, &ev, cfg)
+            event_driven::simulate(&p, &ev, cfg).unwrap()
         });
         assert_eq!(rep.total_computed(), 50);
         let _ = ss;

@@ -23,7 +23,7 @@ fn run_all(p: &Platform, ss: &SteadyState, horizon: Rat) -> Vec<(&'static str, R
 
     let ev = EventDrivenSchedule::standard(p, ss);
     let mut util = UtilizationProbe::new(p.len(), horizon);
-    let rep = event_driven::simulate_probed(p, &ev, &cfg, &mut util);
+    let rep = event_driven::simulate_probed(p, &ev, &cfg, &mut util).expect("simulate");
     out.push(("event-driven", rep.throughput_in(half, horizon), util.finish()));
 
     let mut util = UtilizationProbe::new(p.len(), horizon);
@@ -31,7 +31,8 @@ fn run_all(p: &Platform, ss: &SteadyState, horizon: Rat) -> Vec<(&'static str, R
     out.push(("demand-driven", rep.throughput_in(half, horizon), util.finish()));
 
     let mut util = UtilizationProbe::new(p.len(), horizon);
-    let rep = clocked::simulate_probed(p, &ev.tree, ClockedConfig::default(), &cfg, &mut util);
+    let rep = clocked::simulate_probed(p, &ev.tree, ClockedConfig::default(), &cfg, &mut util)
+        .expect("simulate");
     out.push(("clocked", rep.throughput_in(half, horizon), util.finish()));
 
     out

@@ -69,7 +69,7 @@ fn main() {
     let horizon = settle + rat(2520, 1) * rat(2, 1);
     let cfg =
         SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
-    let rep = event_driven::simulate(&p, &ev, &cfg);
+    let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
     let measured = rep.throughput_in(settle, settle + rat(2520, 1));
     println!("\nsimulated quantized schedule over one grid period:");
     println!("  predicted {:.6}", q.throughput.to_f64());

@@ -13,10 +13,10 @@ use bwfirst::rat;
 fn main() {
     let platform = example_tree();
     println!("spawning {} node actors...", platform.len());
-    let mut session = ProtocolSession::spawn(&platform);
+    let mut session = ProtocolSession::spawn(&platform).expect("spawn actor tree");
 
     // Phase 1: the negotiation. Every message carries a single rational.
-    let neg = session.negotiate();
+    let neg = session.negotiate().expect("negotiate");
     println!("\nnegotiation:");
     println!("  virtual parent proposed t_max = {}", neg.t_max);
     println!("  agreed throughput = {} tasks/time unit", neg.throughput);
@@ -32,7 +32,7 @@ fn main() {
 
     // Phase 2: move actual work units (4 KiB payloads) through the tree.
     // Each node routes bunches with the schedule derived from its own rates.
-    let flow = session.run_flow(50, 4096);
+    let flow = session.run_flow(50, 4096).expect("flow");
     println!("\nflow phase (50 root bunches of 4 KiB tasks):");
     println!("  {} tasks computed in {:?}", flow.total_computed(), flow.elapsed);
     for (i, (&done, &fwd)) in flow.computed.iter().zip(&flow.forwarded).enumerate() {
@@ -43,26 +43,26 @@ fn main() {
 
     // A link degrades; the live tree renegotiates without restarting.
     println!("\nP0->P1 link degrades to c=12; renegotiating on the live actors:");
-    session.set_link(NodeId(1), rat(12, 1));
-    let neg2 = session.negotiate();
+    session.set_link(NodeId(1), rat(12, 1)).expect("set_link");
+    let neg2 = session.negotiate().expect("negotiate");
     println!(
         "  new throughput = {} ({} messages, {:?})",
         neg2.throughput, neg2.protocol_messages, neg2.elapsed
     );
 
-    let flow2 = session.run_flow(50, 4096);
+    let flow2 = session.run_flow(50, 4096).expect("flow");
     println!("  task routing after adaptation: {} tasks computed", flow2.total_computed());
 
     // The same protocol over real localhost TCP sockets: every link becomes
     // a framed byte stream (3-byte messages via the varint codec).
     println!("\nsame tree, links over real TCP sockets:");
-    let tcp = ProtocolSession::spawn_tcp(&platform);
-    let neg_tcp = tcp.negotiate();
+    let tcp = ProtocolSession::spawn_tcp(&platform).expect("spawn over TCP");
+    let neg_tcp = tcp.negotiate().expect("negotiate");
     println!(
         "  throughput = {} ({} messages, {:?})",
         neg_tcp.throughput, neg_tcp.protocol_messages, neg_tcp.elapsed
     );
-    let flow_tcp = tcp.run_flow(10, 1024);
+    let flow_tcp = tcp.run_flow(10, 1024).expect("flow");
     println!(
         "  {} tasks of 1 KiB crossed the sockets in {:?}",
         flow_tcp.total_computed(),

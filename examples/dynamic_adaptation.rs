@@ -25,7 +25,7 @@ fn measure(platform: &bwfirst::platform::Platform, schedule: &EventDrivenSchedul
     let horizon = window * rat(8, 1);
     let cfg =
         SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
-    let rep = event_driven::simulate(platform, schedule, &cfg);
+    let rep = event_driven::simulate(platform, schedule, &cfg).expect("simulate");
     rep.throughput_in(horizon / Rat::TWO, horizon)
 }
 

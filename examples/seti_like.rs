@@ -56,7 +56,7 @@ fn main() {
         total_tasks: Some(total),
         record_gantt: false,
     };
-    let report = event_driven::simulate(&platform, &schedule, &cfg);
+    let report = event_driven::simulate(&platform, &schedule, &cfg).expect("simulate");
     assert_eq!(report.total_computed(), total, "every work unit computed");
 
     let makespan = report.last_completion().expect("work done");

@@ -41,18 +41,18 @@ fn example_tree_full_pipeline() {
 
     // Simulate: the measured steady rate is *exactly* the predicted one.
     let cfg = SimConfig::to_horizon(rat(220, 1));
-    let rep = event_driven::simulate(&p, &ev, &cfg);
+    let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
     assert_eq!(rep.throughput_in(rat(76, 1), rat(112, 1)), example_throughput());
     assert!(rep.gantt.as_ref().unwrap().find_overlap().is_none());
 
     // Distributed protocol agrees with the centralized solver.
-    let session = ProtocolSession::spawn(&p);
-    let neg = session.negotiate();
+    let session = ProtocolSession::spawn(&p).expect("spawn actor tree");
+    let neg = session.negotiate().expect("negotiation completes");
     assert_eq!(neg.throughput, sol.throughput());
     assert_eq!(neg.alpha, sol.alpha);
 
     // And the actual payload routing matches the ψ proportions.
-    let flow = session.run_flow(6, 32);
+    let flow = session.run_flow(6, 32).expect("flow completes");
     assert_eq!(flow.total_computed(), 60);
     assert_eq!(flow.computed[0], 6);
 }
@@ -78,7 +78,7 @@ fn simulator_matches_prediction_on_random_trees() {
         let ev = EventDrivenSchedule::standard(&p, &ss);
         let cfg =
             SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
-        let rep = event_driven::simulate(&p, &ev, &cfg);
+        let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
         let measured = rep.throughput_in(settle, settle + window * rat(2, 1));
         assert_eq!(measured, ss.throughput, "seed {seed}: measured {measured} vs predicted");
     }
@@ -121,7 +121,7 @@ fn wind_down_drains_completely() {
         total_tasks: None,
         record_gantt: false,
     };
-    let rep = event_driven::simulate(&p, &ev, &cfg);
+    let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
     assert_eq!(rep.total_computed(), rep.received[0]);
     // Everything finished well before the horizon.
     assert!(rep.last_completion().unwrap() < rat(200, 1));
@@ -147,7 +147,7 @@ fn quantized_pipeline_delivers_its_rate() {
     let horizon = settle + Rat::from_int(2 * grid);
     let cfg =
         SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
-    let rep = event_driven::simulate(&p, &ev, &cfg);
+    let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
     assert_eq!(rep.throughput_in(settle, settle + Rat::from_int(grid)), q.throughput);
 }
 
@@ -157,18 +157,21 @@ fn quantized_pipeline_delivers_its_rate() {
 fn live_adaptation_tracks_solver() {
     use bwfirst::platform::{NodeId, Weight};
     let p = supply_tree(15, 40);
-    let mut session = ProtocolSession::spawn(&p);
-    assert_eq!(session.negotiate().throughput, bw_first(&p).throughput());
+    let mut session = ProtocolSession::spawn(&p).expect("spawn actor tree");
+    assert_eq!(session.negotiate().expect("negotiate").throughput, bw_first(&p).throughput());
 
     for (node, c) in [(1u32, rat(9, 1)), (2, rat(5, 2)), (1, rat(1, 1))] {
         let id = NodeId(node.min(p.len() as u32 - 1).max(1));
-        session.set_link(id, c);
+        session.set_link(id, c).expect("set_link");
         assert_eq!(
-            session.negotiate().throughput,
+            session.negotiate().expect("negotiate").throughput,
             bw_first(session.platform()).throughput(),
             "after setting c({id}) = {c}"
         );
     }
-    session.set_weight(NodeId(0), Weight::Time(rat(50, 1)));
-    assert_eq!(session.negotiate().throughput, bw_first(session.platform()).throughput());
+    session.set_weight(NodeId(0), Weight::Time(rat(50, 1))).expect("set_weight");
+    assert_eq!(
+        session.negotiate().expect("negotiate").throughput,
+        bw_first(session.platform()).throughput()
+    );
 }

@@ -31,8 +31,8 @@ proptest! {
     #[test]
     fn distributed_equals_centralized(p in arb_platform()) {
         let reference = bw_first(&p);
-        let session = ProtocolSession::spawn(&p);
-        let neg = session.negotiate();
+        let session = ProtocolSession::spawn(&p).expect("spawn actor tree");
+        let neg = session.negotiate().expect("negotiate");
         prop_assert_eq!(neg.throughput, reference.throughput());
         prop_assert_eq!(&neg.alpha, &reference.alpha);
         prop_assert_eq!(&neg.eta_in, &reference.eta_in);
@@ -44,9 +44,9 @@ proptest! {
 
     #[test]
     fn negotiation_is_idempotent(p in arb_platform()) {
-        let session = ProtocolSession::spawn(&p);
-        let a = session.negotiate();
-        let b = session.negotiate();
+        let session = ProtocolSession::spawn(&p).expect("spawn actor tree");
+        let a = session.negotiate().expect("negotiate");
+        let b = session.negotiate().expect("negotiate");
         prop_assert_eq!(a.throughput, b.throughput);
         prop_assert_eq!(a.alpha, b.alpha);
         prop_assert_eq!(a.protocol_messages, b.protocol_messages);
@@ -59,9 +59,9 @@ proptest! {
         let ts = TreeSchedule::build(&p, &ss);
         let root_bunch = ts.get(p.root()).map_or(0, |s| s.bunch) as u64;
         prop_assume!(root_bunch > 0 && root_bunch * bunches <= 50_000);
-        let session = ProtocolSession::spawn(&p);
-        let _ = session.negotiate();
-        let flow = session.run_flow(bunches, 8);
+        let session = ProtocolSession::spawn(&p).expect("spawn actor tree");
+        let _ = session.negotiate().expect("negotiate");
+        let flow = session.run_flow(bunches, 8).expect("flow completes");
         // Total volume is exact.
         prop_assert_eq!(flow.total_computed(), bunches * root_bunch);
         // The root's own compute share is exact.

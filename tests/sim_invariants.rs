@@ -73,7 +73,7 @@ proptest! {
         // Period explosions make simulation pointless here.
         prop_assume!(bwfirst::core::schedule::synchronous_period(&ss) <= 20_000);
         let ev = EventDrivenSchedule::standard(&p, &ss);
-        let rep = event_driven::simulate(&p, &ev, &drain_cfg(&p, &ss));
+        let rep = event_driven::simulate(&p, &ev, &drain_cfg(&p, &ss)).expect("simulate");
         check_no_overlap(&rep)?;
         check_conservation(&p, &rep, &vec![0; p.len()])?;
         // Drained completely.
@@ -109,7 +109,8 @@ proptest! {
             .node_ids()
             .map(|id| ts.get(id).and_then(|s| s.chi_in).unwrap_or(0) as u64)
             .collect();
-        let rep = clocked::simulate(&p, &ts, ClockedConfig { prefill }, &drain_cfg(&p, &ss));
+        let rep = clocked::simulate(&p, &ts, ClockedConfig { prefill }, &drain_cfg(&p, &ss))
+            .expect("simulate");
         check_no_overlap(&rep)?;
         let prefilled = if prefill { chi } else { vec![0; p.len()] };
         check_conservation(&p, &rep, &prefilled)?;
@@ -130,8 +131,8 @@ proptest! {
         let horizon = start + window * rat(3, 1);
         let cfg = SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
         let ev = EventDrivenSchedule::standard(&p, &ss);
-        let a = event_driven::simulate(&p, &ev, &cfg);
-        let b = clocked::simulate(&p, &ts, ClockedConfig { prefill: true }, &cfg);
+        let a = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
+        let b = clocked::simulate(&p, &ts, ClockedConfig { prefill: true }, &cfg).expect("simulate");
         let ra = a.throughput_in(start, start + window * Rat::TWO);
         let rb = b.throughput_in(start, start + window * Rat::TWO);
         prop_assert_eq!(ra, ss.throughput);
