@@ -10,6 +10,8 @@
 //!
 //!   --root DIR       workspace root to lint (default: .)
 //!   --max-nodes N    model-check all trees up to N nodes (default: 7)
+//!   --threads N      worker threads for the model checker
+//!                    (default: available parallelism)
 //!   --json           machine-readable findings on stdout
 //!   --deny-all       CI mode: also reject unknown rule names in
 //!                    `lint: allow(...)` markers
@@ -28,6 +30,7 @@ struct Options {
     fixture: Option<PathBuf>,
     root: PathBuf,
     max_nodes: usize,
+    threads: usize,
     json: bool,
     deny_all: bool,
 }
@@ -38,6 +41,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         fixture: None,
         root: PathBuf::from("."),
         max_nodes: 7,
+        threads: bwfirst_parallel::available_threads(),
         json: false,
         deny_all: false,
     };
@@ -53,6 +57,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--max-nodes" => {
                 let v = it.next().ok_or("--max-nodes needs a value")?;
                 opts.max_nodes = v.parse().map_err(|_| format!("bad --max-nodes `{v}`"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                opts.threads = v.parse().map_err(|_| format!("bad --threads `{v}`"))?;
             }
             "lint" | "model" | "all" if !saw_command => {
                 opts.command = a.clone();
@@ -77,7 +85,7 @@ fn main() -> ExitCode {
             eprintln!("bwfirst-analyze: {e}");
             eprintln!(
                 "usage: bwfirst-analyze [lint|model|all|fixture <path>] \
-                       [--root DIR] [--max-nodes N] [--json] [--deny-all]"
+                       [--root DIR] [--max-nodes N] [--threads N] [--json] [--deny-all]"
             );
             return ExitCode::from(2);
         }
@@ -190,7 +198,7 @@ fn emit_findings(findings: &[rules::Finding], json: bool) {
 /// Runs the model checker; returns true when violations were found.
 fn run_model(opts: &Options) -> bool {
     let start = std::time::Instant::now();
-    let report = model::check(opts.max_nodes, 8);
+    let report = model::check(opts.max_nodes, 8, opts.threads);
     let elapsed = start.elapsed();
     if opts.json {
         let violations = Value::Array(
@@ -213,6 +221,7 @@ fn run_model(opts: &Options) -> bool {
             ("max_nodes", Value::Int(opts.max_nodes as i128)),
             ("instances", Value::Int(report.instances as i128)),
             ("states", Value::Int(i128::from(report.states))),
+            ("threads", Value::Int(opts.threads as i128)),
             ("millis", Value::Int(i128::from(elapsed.as_millis() as u64))),
             ("violations", violations),
         ]);

@@ -24,18 +24,50 @@
 
 use crate::trees::{for_each_instance, Instance};
 use bwfirst_core::bottom_up;
+use bwfirst_parallel::Pool;
 use bwfirst_platform::Weight;
 use bwfirst_proto::machine::Outgoing;
 use bwfirst_proto::session::virtual_proposal;
 use bwfirst_proto::NodeMachine;
 use bwfirst_rational::Rat;
 use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiply-xor hasher (FxHash-style) for the state memo. The DFS hashes
+/// megabytes of state-key bytes; the default SipHash is a measurable share
+/// of the whole check, and the memo needs no DoS resistance — keys are
+/// machine states, not attacker input. Collisions only cost an extra
+/// byte-compare in the set.
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        let mut h = self.0;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let word = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            h = (h.rotate_left(5) ^ word).wrapping_mul(K);
+        }
+        for &b in chunks.remainder() {
+            h = (h.rotate_left(5) ^ u64::from(b)).wrapping_mul(K);
+        }
+        self.0 = h;
+    }
+}
+
+type Memo = HashSet<Vec<u8>, BuildHasherDefault<KeyHasher>>;
 
 /// The driver (virtual parent) sits above the root.
 const DRIVER: u32 = u32::MAX;
 
 /// A message in flight.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Env {
     /// A bandwidth proposal travelling down.
     Down { to: u32, lambda: Rat },
@@ -84,12 +116,17 @@ impl Env {
     }
 }
 
+/// The immutable tree topology of one instance. Kept out of [`Net`] so the
+/// DFS branch clones copy only the mutable state, not the tree shape.
+struct Topo {
+    parent: Vec<Option<u32>>,
+    children: Vec<Vec<u32>>,
+}
+
 /// The whole network at one instant.
 #[derive(Clone)]
 struct Net {
     machines: Vec<NodeMachine>,
-    parent: Vec<Option<u32>>,
-    children: Vec<Vec<u32>>,
     shutdown: Vec<bool>,
     inflight: Vec<Env>,
     /// Negotiation messages (proposals + acks) delivered so far.
@@ -106,18 +143,26 @@ impl Net {
         for &s in &self.shutdown {
             k.push(u8::from(s));
         }
-        let mut envs: Vec<Vec<u8>> = self
-            .inflight
-            .iter()
-            .map(|e| {
-                let mut b = Vec::new();
-                e.encode(&mut b);
-                b
-            })
-            .collect();
-        envs.sort();
-        for e in envs {
-            k.extend_from_slice(&e);
+        if self.inflight.len() <= 1 {
+            // The common case: the negotiation is a strict alternation, so
+            // one message is in flight — nothing to sort, encode directly.
+            if let Some(e) = self.inflight.first() {
+                e.encode(&mut k);
+            }
+        } else {
+            let mut envs: Vec<Vec<u8>> = self
+                .inflight
+                .iter()
+                .map(|e| {
+                    let mut b = Vec::new();
+                    e.encode(&mut b);
+                    b
+                })
+                .collect();
+            envs.sort();
+            for e in envs {
+                k.extend_from_slice(&e);
+            }
         }
         k.extend_from_slice(&self.delivered.to_le_bytes());
         if let Some(t) = self.root_theta {
@@ -132,7 +177,7 @@ impl Net {
 
     /// Delivers envelope `i`; returns a protocol-level failure description
     /// if the shipped state machine rejects it.
-    fn deliver(&mut self, i: usize) -> Result<(), String> {
+    fn deliver(&mut self, i: usize, topo: &Topo) -> Result<(), String> {
         let env = self.inflight.swap_remove(i);
         match env {
             Env::Down { to, lambda } => {
@@ -140,7 +185,7 @@ impl Net {
                 let out = self.machines[to as usize]
                     .on_proposal(lambda)
                     .map_err(|e| format!("P{to} rejected proposal: {e}"))?;
-                self.route(to, out);
+                self.route(to, out, topo);
                 Ok(())
             }
             Env::Up { to, from, theta } => {
@@ -154,7 +199,7 @@ impl Net {
                 let out = self.machines[to as usize]
                     .on_ack(from, theta)
                     .map_err(|e| format!("P{to} rejected ack from P{from}: {e}"))?;
-                self.route(to, out);
+                self.route(to, out, topo);
                 Ok(())
             }
             Env::Shutdown { to } => {
@@ -165,7 +210,7 @@ impl Net {
                     return Err(format!("P{to} received Shutdown twice"));
                 }
                 self.shutdown[to as usize] = true;
-                for &k in &self.children[to as usize] {
+                for &k in &topo.children[to as usize] {
                     self.inflight.push(Env::Shutdown { to: k });
                 }
                 Ok(())
@@ -173,13 +218,13 @@ impl Net {
         }
     }
 
-    fn route(&mut self, node: u32, out: Outgoing) {
+    fn route(&mut self, node: u32, out: Outgoing, topo: &Topo) {
         match out {
             Outgoing::ToChild { child, beta, .. } => {
                 self.inflight.push(Env::Down { to: child, lambda: beta });
             }
             Outgoing::AckParent { theta } => {
-                let to = self.parent[node as usize].unwrap_or(DRIVER);
+                let to = topo.parent[node as usize].unwrap_or(DRIVER);
                 self.inflight.push(Env::Up { to, from: node, theta });
             }
         }
@@ -231,17 +276,33 @@ pub struct ModelReport {
 /// Checks every instance with at most `max_nodes` nodes, stopping an
 /// instance at its first violation (other instances still run, so the
 /// report shows the smallest trees that fail). `max_violations` caps the
-/// total collected.
+/// violations collected in the report; `threads` fans the independent
+/// instances out over a [`Pool`].
+///
+/// Instances are fully independent (each gets its own state memo), so the
+/// report is identical for every thread count: per-instance state counts sum
+/// commutatively and violations are collected in instance order.
 #[must_use]
-pub fn check(max_nodes: usize, max_violations: usize) -> ModelReport {
-    let mut report = ModelReport::default();
-    let (instances, _) = for_each_instance(max_nodes, |inst| {
-        if let Err(v) = check_instance(inst, &mut report.states) {
-            report.violations.push(*v);
-        }
-        report.violations.len() < max_violations
+pub fn check(max_nodes: usize, max_violations: usize, threads: usize) -> ModelReport {
+    let mut instances: Vec<Instance> = Vec::new();
+    let (count, _) = for_each_instance(max_nodes, |inst| {
+        instances.push(inst.clone());
+        true
     });
-    report.instances = instances;
+    let results = Pool::new(threads).map(instances, |inst| {
+        let mut states = 0u64;
+        let violation = check_instance(&inst, &mut states).err();
+        (states, violation)
+    });
+    let mut report = ModelReport { instances: count, ..ModelReport::default() };
+    for (states, violation) in results {
+        report.states += states;
+        if let Some(v) = violation {
+            if report.violations.len() < max_violations {
+                report.violations.push(*v);
+            }
+        }
+    }
     report
 }
 
@@ -260,9 +321,10 @@ fn check_instance(inst: &Instance, states: &mut u64) -> Result<(), Box<Violation
             NodeMachine::new(id.0, p.weight(id), children)
         })
         .collect();
-    let parent: Vec<Option<u32>> = p.node_ids().map(|id| p.parent(id).map(|q| q.0)).collect();
-    let children: Vec<Vec<u32>> =
-        p.node_ids().map(|id| p.children(id).iter().map(|k| k.0).collect()).collect();
+    let topo = Topo {
+        parent: p.node_ids().map(|id| p.parent(id).map(|q| q.0)).collect(),
+        children: p.node_ids().map(|id| p.children(id).iter().map(|k| k.0).collect()).collect(),
+    };
 
     let t_max = virtual_proposal(p).map_err(|e| {
         Box::new(Violation {
@@ -275,8 +337,6 @@ fn check_instance(inst: &Instance, states: &mut u64) -> Result<(), Box<Violation
 
     let net = Net {
         machines,
-        parent,
-        children,
         shutdown: vec![false; n],
         inflight: vec![Env::Down { to: p.root().0, lambda: t_max }],
         delivered: 0,
@@ -285,49 +345,65 @@ fn check_instance(inst: &Instance, states: &mut u64) -> Result<(), Box<Violation
 
     let mut ctx = Ctx {
         inst,
+        topo: &topo,
         t_max,
         expected,
-        seen: HashSet::new(),
+        seen: Memo::default(),
         trace: Vec::new(),
         first_terminal: None,
         states,
     };
-    dfs(&net, &mut ctx)
+    dfs(net, &mut ctx)
 }
 
 struct Ctx<'a> {
     inst: &'a Instance,
+    topo: &'a Topo,
     t_max: Rat,
     expected: Rat,
-    seen: HashSet<Vec<u8>>,
-    trace: Vec<String>,
+    seen: Memo,
+    /// Envelopes delivered along the current DFS path; rendered to strings
+    /// only when a violation is reported, so the hot path never formats.
+    trace: Vec<Env>,
     first_terminal: Option<TerminalOutcome>,
     states: &'a mut u64,
 }
 
 impl Ctx<'_> {
     fn fail(&self, message: String) -> Box<Violation> {
-        Box::new(Violation { instance: self.inst.describe(), trace: self.trace.clone(), message })
+        Box::new(Violation {
+            instance: self.inst.describe(),
+            trace: self.trace.iter().map(Env::describe).collect(),
+            message,
+        })
     }
 }
 
-fn dfs(net: &Net, ctx: &mut Ctx<'_>) -> Result<(), Box<Violation>> {
+fn dfs(net: Net, ctx: &mut Ctx<'_>) -> Result<(), Box<Violation>> {
     if !ctx.seen.insert(net.key()) {
         return Ok(());
     }
     *ctx.states += 1;
     if net.inflight.is_empty() {
-        return check_terminal(net, ctx);
+        return check_terminal(&net, ctx);
     }
-    for i in 0..net.inflight.len() {
-        let mut next = net.clone();
-        ctx.trace.push(next.inflight[i].describe());
-        let step = next.deliver(i).map_err(|m| ctx.fail(m));
-        let result = step.and_then(|()| dfs(&next, ctx));
-        ctx.trace.pop();
-        result?;
+    // The last branch consumes `net` itself; only the earlier siblings pay
+    // for a clone. During the negotiation exactly one message is in flight
+    // (strict alternation), so the common chain recurses clone-free.
+    let last = net.inflight.len() - 1;
+    for i in 0..last {
+        branch(net.clone(), i, ctx)?;
     }
-    Ok(())
+    branch(net, last, ctx)
+}
+
+/// Delivers envelope `i` of `next` and explores the resulting subtree.
+fn branch(mut next: Net, i: usize, ctx: &mut Ctx<'_>) -> Result<(), Box<Violation>> {
+    ctx.trace.push(next.inflight[i]);
+    let step = next.deliver(i, ctx.topo).map_err(|m| ctx.fail(m));
+    let result = step.and_then(|()| dfs(next, ctx));
+    ctx.trace.pop();
+    result
 }
 
 fn check_terminal(net: &Net, ctx: &mut Ctx<'_>) -> Result<(), Box<Violation>> {
@@ -399,10 +475,19 @@ mod tests {
 
     #[test]
     fn all_trees_up_to_five_nodes_verify() {
-        let report = check(5, 8);
+        let report = check(5, 8, 1);
         assert_eq!(report.instances, 102); // (1+1+2+6+24) shapes × 3 variants
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert!(report.states > report.instances as u64);
+    }
+
+    #[test]
+    fn parallel_check_reports_exactly_what_serial_does() {
+        let serial = check(4, 8, 1);
+        let parallel = check(4, 8, 4);
+        assert_eq!(serial.instances, parallel.instances);
+        assert_eq!(serial.states, parallel.states);
+        assert_eq!(serial.violations.len(), parallel.violations.len());
     }
 
     #[test]

@@ -17,13 +17,14 @@ use std::hint::black_box;
 fn bench_obs_overhead(c: &mut Criterion) {
     let p = example_tree();
     let ss = SteadyState::from_solution(&bw_first(&p));
-    let ev = EventDrivenSchedule::standard(&p, &ss);
+    let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
     // 100 steady-state periods: long enough that per-event costs dominate.
     let cfg = SimConfig {
         horizon: rat(3600, 1),
         stop_injection_at: None,
         total_tasks: None,
         record_gantt: false,
+        exact_queue: false,
     };
     let mut g = c.benchmark_group("obs_overhead");
     g.bench_function("baseline_simulate", |b| {

@@ -13,12 +13,13 @@ use std::hint::black_box;
 fn bench_protocols(c: &mut Criterion) {
     let p = example_tree();
     let ss = SteadyState::from_solution(&bw_first(&p));
-    let ev = EventDrivenSchedule::standard(&p, &ss);
+    let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
     let cfg = SimConfig {
         horizon: rat(360, 1),
         stop_injection_at: None,
         total_tasks: None,
         record_gantt: false,
+        exact_queue: false,
     };
     let mut g = c.benchmark_group("protocol_compare");
     g.bench_function("event_driven/360u", |b| {

@@ -28,7 +28,7 @@ fn bench_quantize(c: &mut Criterion) {
             BenchmarkId::new("schedule_after_2520", size),
             &(&p, &q),
             |b, (p, q)| {
-                b.iter(|| TreeSchedule::build(black_box(p), black_box(q)));
+                b.iter(|| TreeSchedule::build(black_box(p), black_box(q)).unwrap());
             },
         );
     }

@@ -13,7 +13,7 @@ fn bench_schedule_build(c: &mut Criterion) {
         let p = trees::supply_tree(size, 5);
         let ss = SteadyState::from_solution(&bw_first(&p));
         g.bench_with_input(BenchmarkId::new("periods", size), &(&p, &ss), |b, (p, ss)| {
-            b.iter(|| TreeSchedule::build(black_box(p), black_box(ss)));
+            b.iter(|| TreeSchedule::build(black_box(p), black_box(ss)).unwrap());
         });
         for (kind, label) in [
             (LocalScheduleKind::Interleaved, "interleaved"),
@@ -21,7 +21,7 @@ fn bench_schedule_build(c: &mut Criterion) {
             (LocalScheduleKind::RoundRobin, "round_robin"),
         ] {
             g.bench_with_input(BenchmarkId::new(label, size), &(&p, &ss), |b, (p, ss)| {
-                b.iter(|| EventDrivenSchedule::build(black_box(p), black_box(ss), kind));
+                b.iter(|| EventDrivenSchedule::build(black_box(p), black_box(ss), kind).unwrap());
             });
         }
     }

@@ -12,7 +12,7 @@ use std::hint::black_box;
 fn bench_simulate(c: &mut Criterion) {
     let p = example_tree();
     let ss = SteadyState::from_solution(&bw_first(&p));
-    let ev = EventDrivenSchedule::standard(&p, &ss);
+    let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
     let mut g = c.benchmark_group("simulate_example");
     for periods in [1i128, 10, 100] {
         let cfg = SimConfig {
@@ -20,6 +20,7 @@ fn bench_simulate(c: &mut Criterion) {
             stop_injection_at: None,
             total_tasks: None,
             record_gantt: false,
+            exact_queue: false,
         };
         g.bench_with_input(BenchmarkId::new("event_driven", periods), &cfg, |b, cfg| {
             b.iter(|| event_driven::simulate(black_box(&p), black_box(&ev), cfg));

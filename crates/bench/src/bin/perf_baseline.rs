@@ -1,0 +1,386 @@
+//! Measures the committed perf baselines (`BENCH_core.json`,
+//! `BENCH_sim.json`) and checks them in CI.
+//!
+//! ```text
+//! perf_baseline [--threads N] [--smoke] [--out-dir DIR]
+//!     measure every benchmark and (re)write the two BENCH files
+//! perf_baseline --check [--smoke]
+//!     validate the committed files against the records schema, re-run the
+//!     quick benches, and fail on a >2x wall-time regression (loose on
+//!     purpose: shared CI hosts are noisy)
+//! ```
+//!
+//! Every point pairs a current measurement (`after_ns`) with a comparison
+//! point (`before_ns`): either the same measurement taken at the seed commit
+//! on the same host (recorded in [`SEED`]), or a runtime toggle re-measured
+//! in this very process — the reference `Rat` lanes, the exact `Rat`-keyed
+//! event queue, or the serial model checker. Toggled pairs are
+//! host-independent; seed pairs are only meaningful on a comparable host,
+//! which is why `host_threads` is recorded alongside.
+
+use bwfirst_bench::records::{bench_from_json, bench_to_json, BenchPoint, BenchReport};
+use bwfirst_bench::trees;
+use bwfirst_core::schedule::EventDrivenSchedule;
+use bwfirst_core::{bottom_up, bw_first, SteadyState};
+use bwfirst_obs::Metrics;
+use bwfirst_parallel::{available_threads, Pool};
+use bwfirst_platform::examples::example_tree;
+use bwfirst_rational::{rat, reference, Rat};
+use bwfirst_sim::{event_driven, SimConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Seed-commit measurements (release build, best of 5, this repo's reference
+/// host) — the "before" of every point whose baseline names the seed.
+const SEED_COMMIT: &str = "seed d221d19 (same host, release)";
+const SEED: &[(&str, f64)] = &[
+    ("deep_tree_scaling_sweep", 3_582_367.0),
+    ("bw_first_open_1023", 29_607.0),
+    ("bottom_up_open_1023", 491_944.0),
+    ("model_check_7", 389_736_000.0),
+    ("simulate_example_100", 14_037_000.0),
+    ("simulate_example_10", 1_306_000.0),
+    ("simulate_example_gantt_10", 791_000.0),
+];
+
+fn seed_ns(id: &str) -> f64 {
+    SEED.iter().find(|(k, _)| *k == id).map_or(f64::NAN, |(_, v)| *v)
+}
+
+/// Best-of-`iters` wall time of `f`, in nanoseconds.
+fn best_of<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+struct Opts {
+    threads: usize,
+    smoke: bool,
+    check: bool,
+    out_dir: String,
+}
+
+fn parse() -> Opts {
+    let mut opts =
+        Opts { threads: available_threads(), smoke: false, check: false, out_dir: ".".to_string() };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--check" => opts.check = true,
+            "--threads" => {
+                let v = args.next().unwrap_or_default();
+                opts.threads = v.parse().unwrap_or_else(|_| {
+                    eprintln!("perf_baseline: bad --threads `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            "--out-dir" => opts.out_dir = args.next().unwrap_or_else(|| ".".to_string()),
+            other => {
+                eprintln!("perf_baseline: unknown argument `{other}`");
+                eprintln!("usage: perf_baseline [--threads N] [--smoke] [--check] [--out-dir DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// The full E6-style solver sweep: both solvers over every (size, slowdown)
+/// grid point. Returns per-point work so the pooled variant can fan it out.
+fn scaling_grid() -> Vec<(usize, i128)> {
+    let mut grid = Vec::new();
+    for &size in &trees::SIZES {
+        for slow in [1i128, 4, 16, 64] {
+            grid.push((size, slow));
+        }
+    }
+    grid
+}
+
+fn solve_point(metrics: &mut Metrics, size: usize, slow: i128) {
+    let p = trees::bottleneck(size, 42, slow);
+    black_box(bw_first(&p));
+    black_box(bottom_up(&p));
+    metrics.add("sweep.trees_solved", 1);
+    metrics.add("sweep.nodes_solved", 2 * size as i128);
+}
+
+fn measure_core(opts: &Opts, iters: u32) -> BenchReport {
+    let mut points = Vec::new();
+    let mut metrics = Metrics::new();
+
+    // Serial sweep: the seed-vs-now pair the acceptance bar names.
+    let serial_ns = best_of(iters, || {
+        let mut m = Metrics::new();
+        for (size, slow) in scaling_grid() {
+            solve_point(&mut m, size, slow);
+        }
+    });
+    points.push(BenchPoint {
+        id: "deep_tree_scaling_sweep".to_string(),
+        before_ns: seed_ns("deep_tree_scaling_sweep"),
+        after_ns: serial_ns,
+        baseline: SEED_COMMIT.to_string(),
+        iters,
+    });
+
+    // Pooled sweep: same work fanned out over the worker pool, with the
+    // per-worker obs counters merged back in. On a single-core host this is
+    // expected to be ~1x; `host_threads` records the context.
+    let pool = Pool::new(opts.threads);
+    let mut pooled_metrics = Metrics::new();
+    let pooled_ns = best_of(iters, || {
+        let (_, worker_metrics) = pool.map_with(scaling_grid(), Metrics::new, |m, (size, slow)| {
+            solve_point(m, size, slow);
+        });
+        let mut merged = Metrics::new();
+        for m in &worker_metrics {
+            merged.merge(m);
+        }
+        pooled_metrics = merged;
+    });
+    metrics.merge(&pooled_metrics);
+    points.push(BenchPoint {
+        id: "deep_tree_scaling_sweep_pooled".to_string(),
+        before_ns: serial_ns,
+        after_ns: pooled_ns,
+        baseline: format!("runtime toggle: serial sweep in this run, pool of {}", pool.threads()),
+        iters,
+    });
+
+    // Rat fast lanes vs the reference normalize-always implementation on the
+    // η-accumulation shape (many additions with clustered denominators).
+    let terms: Vec<Rat> = (1..=400i128).map(|k| rat(k, 1 + k % 7)).collect();
+    let fast_ns = best_of(iters.max(3), || {
+        let mut acc = Rat::ZERO;
+        for &t in &terms {
+            acc += t;
+        }
+        black_box(acc);
+    });
+    let reference_ns = best_of(iters.max(3), || {
+        let mut acc = Rat::ZERO;
+        for &t in &terms {
+            acc = reference::add(acc, t).expect("reference add");
+        }
+        black_box(acc);
+    });
+    points.push(BenchPoint {
+        id: "rat_accumulate_400".to_string(),
+        before_ns: reference_ns,
+        after_ns: fast_ns,
+        baseline: "runtime toggle: reference normalize-always Rat lanes".to_string(),
+        iters: iters.max(3),
+    });
+
+    // Solver kernels on the largest open tree, against the seed numbers.
+    let p = trees::bottleneck(1023, 42, 1);
+    let bw_ns = best_of(iters.max(5), || {
+        black_box(bw_first(&p));
+    });
+    let bu_ns = best_of(iters.max(5), || {
+        black_box(bottom_up(&p));
+    });
+    points.push(BenchPoint {
+        id: "bw_first_open_1023".to_string(),
+        before_ns: seed_ns("bw_first_open_1023"),
+        after_ns: bw_ns,
+        baseline: SEED_COMMIT.to_string(),
+        iters: iters.max(5),
+    });
+    points.push(BenchPoint {
+        id: "bottom_up_open_1023".to_string(),
+        before_ns: seed_ns("bottom_up_open_1023"),
+        after_ns: bu_ns,
+        baseline: SEED_COMMIT.to_string(),
+        iters: iters.max(5),
+    });
+
+    // The protocol model checker: seed serial run vs the pooled run at the
+    // requested width (≥4 workers in the committed baseline). The smoke run
+    // shrinks max_nodes so CI stays fast.
+    let max_nodes = if opts.smoke { 5 } else { 7 };
+    let check_threads = opts.threads.max(4);
+    let pooled_check_ns = best_of(iters, || {
+        let report = bwfirst_analyze::model::check(max_nodes, 8, check_threads);
+        assert!(report.violations.is_empty(), "model checker found violations during bench");
+        black_box(report.states);
+    });
+    if !opts.smoke {
+        points.push(BenchPoint {
+            id: "model_check_7".to_string(),
+            before_ns: seed_ns("model_check_7"),
+            after_ns: pooled_check_ns,
+            baseline: format!("{SEED_COMMIT}, serial; after: pool of {check_threads}"),
+            iters,
+        });
+    }
+    let serial_check_ns = best_of(iters, || {
+        let report = bwfirst_analyze::model::check(max_nodes, 8, 1);
+        black_box(report.states);
+    });
+    points.push(BenchPoint {
+        id: format!("model_check_{max_nodes}_parallel"),
+        before_ns: serial_check_ns,
+        after_ns: pooled_check_ns,
+        baseline: format!("runtime toggle: serial model check, pool of {check_threads}"),
+        iters,
+    });
+
+    BenchReport {
+        suite: "core".to_string(),
+        host_threads: available_threads(),
+        threads: opts.threads,
+        smoke: opts.smoke,
+        metrics: metrics.counters.into_iter().collect(),
+        points,
+    }
+}
+
+fn measure_sim(opts: &Opts, iters: u32) -> BenchReport {
+    let p = example_tree();
+    let ss = SteadyState::from_solution(&bw_first(&p));
+    let ev = EventDrivenSchedule::standard(&p, &ss).expect("example schedule");
+    let cfg = |periods: i128, exact_queue: bool, gantt: bool| SimConfig {
+        horizon: rat(36 * periods, 1),
+        stop_injection_at: None,
+        total_tasks: None,
+        record_gantt: gantt,
+        exact_queue,
+    };
+    let run = |cfg: &SimConfig| {
+        black_box(event_driven::simulate(&p, &ev, cfg).expect("simulate"));
+    };
+
+    let mut points = Vec::new();
+    let tick_100 = best_of(iters, || run(&cfg(100, false, false)));
+    let exact_100 = best_of(iters, || run(&cfg(100, true, false)));
+    points.push(BenchPoint {
+        id: "simulate_example_100".to_string(),
+        before_ns: seed_ns("simulate_example_100"),
+        after_ns: tick_100,
+        baseline: SEED_COMMIT.to_string(),
+        iters,
+    });
+    points.push(BenchPoint {
+        id: "simulate_example_100_tick_vs_exact".to_string(),
+        before_ns: exact_100,
+        after_ns: tick_100,
+        baseline: "runtime toggle: exact Rat-keyed queue (`exact_queue: true`)".to_string(),
+        iters,
+    });
+    points.push(BenchPoint {
+        id: "simulate_example_10".to_string(),
+        before_ns: seed_ns("simulate_example_10"),
+        after_ns: best_of(iters.max(5), || run(&cfg(10, false, false))),
+        baseline: SEED_COMMIT.to_string(),
+        iters: iters.max(5),
+    });
+    points.push(BenchPoint {
+        id: "simulate_example_gantt_10".to_string(),
+        before_ns: seed_ns("simulate_example_gantt_10"),
+        after_ns: best_of(iters.max(5), || run(&cfg(10, false, true))),
+        baseline: SEED_COMMIT.to_string(),
+        iters: iters.max(5),
+    });
+
+    BenchReport {
+        suite: "sim".to_string(),
+        host_threads: available_threads(),
+        threads: opts.threads,
+        smoke: opts.smoke,
+        metrics: Vec::new(),
+        points,
+    }
+}
+
+fn print_report(report: &BenchReport) {
+    println!(
+        "suite {} (host_threads {}, pool {}):",
+        report.suite, report.host_threads, report.threads
+    );
+    for p in &report.points {
+        println!(
+            "  {:<38} {:>12.0} ns -> {:>12.0} ns  ({:.2}x)  [{}]",
+            p.id,
+            p.before_ns,
+            p.after_ns,
+            p.speedup(),
+            p.baseline
+        );
+    }
+}
+
+/// `--check`: schema-validate the committed files; re-run the quick benches
+/// and fail when any is more than 2x slower than the committed `after_ns`.
+/// The budget is deliberately loose: CI hosts share cores with noisy
+/// neighbours, so the gate only catches gross regressions — the committed
+/// numbers are the precise record.
+fn check(opts: &Opts) -> i32 {
+    let mut failed = false;
+    // Quick subset: cheap enough for CI, sensitive to the three fast paths.
+    let quick = ["deep_tree_scaling_sweep", "simulate_example_10", "rat_accumulate_400"];
+    let iters = 3;
+    let fresh_core = measure_core(opts, iters);
+    let fresh_sim = measure_sim(opts, iters);
+    for path in ["BENCH_core.json", "BENCH_sim.json"] {
+        let full = format!("{}/{path}", opts.out_dir);
+        let text = match std::fs::read_to_string(&full) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {path}: unreadable ({e})");
+                failed = true;
+                continue;
+            }
+        };
+        let committed = match bench_from_json(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("FAIL {path}: schema violation: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        println!("ok   {path}: schema valid ({} points)", committed.points.len());
+        let fresh = if committed.suite == "core" { &fresh_core } else { &fresh_sim };
+        for id in quick {
+            let (Some(base), Some(now)) = (committed.point(id), fresh.point(id)) else { continue };
+            let ratio = now.after_ns / base.after_ns;
+            if ratio > 2.0 {
+                eprintln!(
+                    "FAIL {path}: `{id}` regressed {:.0}% ({:.0} ns -> {:.0} ns)",
+                    100.0 * (ratio - 1.0),
+                    base.after_ns,
+                    now.after_ns
+                );
+                failed = true;
+            } else {
+                println!("ok   {path}: `{id}` at {:.2}x of committed baseline", ratio);
+            }
+        }
+    }
+    i32::from(failed)
+}
+
+fn main() {
+    let opts = parse();
+    if opts.check {
+        std::process::exit(check(&opts));
+    }
+    let iters = if opts.smoke { 1 } else { 5 };
+    let core = measure_core(&opts, iters);
+    let sim = measure_sim(&opts, iters);
+    print_report(&core);
+    print_report(&sim);
+    for (name, report) in [("BENCH_core.json", &core), ("BENCH_sim.json", &sim)] {
+        let path = format!("{}/{name}", opts.out_dir);
+        std::fs::write(&path, bench_to_json(report)).expect("write BENCH file");
+        println!("wrote {path}");
+    }
+}

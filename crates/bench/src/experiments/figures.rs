@@ -85,7 +85,7 @@ fn action_str(a: SlotAction) -> String {
 pub fn e4_local_schedules() -> String {
     let p = example_tree();
     let ss = SteadyState::from_solution(&bw_first(&p));
-    let ev = EventDrivenSchedule::standard(&p, &ss);
+    let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
     let mut t = Table::new(["node", "T^r", "T^c", "T^s", "T^w", "psi", "bunch order (one period)"]);
     for s in ev.tree.iter() {
         let psis: Vec<String> = std::iter::once(format!("self:{}", s.psi_self))
@@ -103,7 +103,7 @@ pub fn e4_local_schedules() -> String {
             order.join(" "),
         ]);
     }
-    let sync = bwfirst_core::schedule::synchronous_period(&ss);
+    let sync = bwfirst_core::schedule::synchronous_period(&ss).unwrap();
     let mut out = String::new();
     writeln!(out, "E4  Figure 4(d): compact local schedules (interleaved order)\n").unwrap();
     out.push_str(&t.render());
@@ -123,16 +123,17 @@ pub fn e4_local_schedules() -> String {
 pub fn e5_simulation() -> String {
     let p = example_tree();
     let ss = SteadyState::from_solution(&bw_first(&p));
-    let ev = EventDrivenSchedule::standard(&p, &ss);
+    let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
     let stop = rat(115, 1);
     let cfg = SimConfig {
         horizon: rat(220, 1),
         stop_injection_at: Some(stop),
         total_tasks: None,
         record_gantt: true,
+        exact_queue: false,
     };
     let rep = event_driven::simulate(&p, &ev, &cfg).expect("example tree simulates");
-    let period = Rat::from_int(bwfirst_core::schedule::synchronous_period(&ss)); // 36
+    let period = Rat::from_int(bwfirst_core::schedule::synchronous_period(&ss).unwrap()); // 36
     let bound = startup::tree_startup_bound(&p, &ev.tree);
 
     let mut out = String::new();

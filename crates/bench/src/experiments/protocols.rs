@@ -40,12 +40,17 @@ pub fn e7_protocol_comparison() -> String {
         if !ss.throughput.is_positive() {
             continue;
         }
-        let window = Rat::from_int(synchronous_period(&ss));
+        let window = Rat::from_int(synchronous_period(&ss).unwrap());
         let horizon = (window * rat(8, 1)).max(rat(240, 1));
-        let cfg =
-            SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+        let cfg = SimConfig {
+            horizon,
+            stop_injection_at: None,
+            total_tasks: None,
+            record_gantt: false,
+            exact_queue: false,
+        };
 
-        let ev = EventDrivenSchedule::standard(&p, &ss);
+        let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
         let er = event_driven::simulate(&p, &ev, &cfg).expect("example tree simulates");
         let dr = demand_driven::simulate(&p, DemandConfig::default(), &cfg);
         let ir = demand_driven::simulate(&p, DemandConfig::interruptible(), &cfg);
@@ -107,6 +112,7 @@ pub fn e8_result_return() -> String {
         stop_injection_at: None,
         total_tasks: None,
         record_gantt: false,
+        exact_queue: false,
     };
     let sep = result_return::simulate(&rr, &cfg);
     let merged = result_return::simulate_merged(&rr, &cfg);
@@ -157,7 +163,7 @@ pub fn e11_distributed_protocol() -> String {
         // Size the flow phase to a few thousand tasks regardless of the
         // root's bunch length Ψ (which grows with the rate denominators).
         let ss = SteadyState::from_solution(&check);
-        let sched = bwfirst_core::schedule::TreeSchedule::build(&p, &ss);
+        let sched = bwfirst_core::schedule::TreeSchedule::build(&p, &ss).unwrap();
         let root_bunch = sched.get(p.root()).map_or(1, |s| s.bunch.max(1)) as u64;
         let bunches = (4000 / root_bunch).clamp(1, 200);
         let flow = session.run_flow(bunches, 64).expect("flow completes");
@@ -234,7 +240,7 @@ pub fn e13_makespan() -> String {
             .collect();
     for (name, p) in cases {
         let ss = SteadyState::from_solution(&bw_first(&p));
-        let ev = EventDrivenSchedule::standard(&p, &ss);
+        let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
         for n in [50u64, 200, 1000] {
             let lb = lower_bound(&ss, n);
             let emk = event_driven_makespan(&p, &ss, &ev, n);
@@ -271,8 +277,8 @@ pub fn e16_clocked_vs_event() -> String {
     use bwfirst_sim::clocked::{self, ClockedConfig};
     let p = example_tree();
     let ss = SteadyState::from_solution(&bw_first(&p));
-    let ts = bwfirst_core::schedule::TreeSchedule::build(&p, &ss);
-    let ev = EventDrivenSchedule::standard(&p, &ss);
+    let ts = bwfirst_core::schedule::TreeSchedule::build(&p, &ss).unwrap();
+    let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
     let cfg = SimConfig::to_horizon(rat(216, 1));
     let event = event_driven::simulate(&p, &ev, &cfg).expect("example tree simulates");
     let traditional = event_driven::simulate_with_policy(
@@ -370,6 +376,7 @@ pub fn e18_dynamic_adaptation() -> String {
         stop_injection_at: None,
         total_tasks: None,
         record_gantt: false,
+        exact_queue: false,
     };
     let (stale, _) = simulate_dynamic(&p, &changes, AdaptPolicy::Stale, &cfg).expect("schedulable");
     let (adaptive, swaps) =
@@ -432,16 +439,21 @@ pub fn e19_returns_on_trees() -> String {
         let ss = SteadyState::from_solution(&bw_first(&p));
         // Quantize lcm-exploded rates so the schedule (and the simulated
         // window) stays compact; loss is < 0.2% at this grid (E15).
-        let ss = if synchronous_period(&ss) > 10_000 {
+        let ss = if synchronous_period(&ss).unwrap() > 10_000 {
             bwfirst_core::quantize::quantize(&p, &ss, 2520)
         } else {
             ss
         };
-        let ev = EventDrivenSchedule::standard(&p, &ss);
+        let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
         let start = rat(200, 1);
         let horizon = rat(600, 1);
-        let cfg =
-            SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+        let cfg = SimConfig {
+            horizon,
+            stop_injection_at: None,
+            total_tasks: None,
+            record_gantt: false,
+            exact_queue: false,
+        };
         let mut row = vec![name];
         for (num, den) in [(0i128, 1i128), (1, 8), (1, 4), (1, 2), (1, 1)] {
             let rep =

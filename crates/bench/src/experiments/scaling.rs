@@ -105,8 +105,8 @@ pub fn e9_schedule_compactness() -> String {
         // with wide fan-out but bounded lcm blow-up.
         let p = crate::trees::supply_tree(63, seed);
         let ss = SteadyState::from_solution(&bw_first(&p));
-        let sched = bwfirst_core::schedule::TreeSchedule::build(&p, &ss);
-        let sync = synchronous_period(&ss);
+        let sched = bwfirst_core::schedule::TreeSchedule::build(&p, &ss).unwrap();
+        let sync = synchronous_period(&ss).unwrap();
         let max_omega = sched.iter().map(|s| s.t_omega).max().unwrap_or(1);
         let max_bunch = sched.iter().map(|s| s.bunch).max().unwrap_or(0);
         t.row([
@@ -140,12 +140,13 @@ pub fn e9_schedule_compactness() -> String {
         (LocalScheduleKind::RoundRobin, "round-robin"),
         (LocalScheduleKind::AllAtOnce, "all-at-once"),
     ] {
-        let ev = EventDrivenSchedule::build(&p, &ss, kind);
+        let ev = EventDrivenSchedule::build(&p, &ss, kind).unwrap();
         let cfg = SimConfig {
             horizon: rat(300, 1),
             stop_injection_at: Some(rat(200, 1)),
             total_tasks: None,
             record_gantt: false,
+            exact_queue: false,
         };
         let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
         let avg = rep.buffers.iter().map(|b| b.time_avg).max().unwrap();
@@ -215,12 +216,17 @@ pub fn e12_startup_bounds() -> String {
         if !ss.throughput.is_positive() {
             continue;
         }
-        let ev = EventDrivenSchedule::standard(&p, &ss);
+        let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
         let bound = startup::tree_startup_bound(&p, &ev.tree);
-        let window = Rat::from_int(synchronous_period(&ss));
+        let window = Rat::from_int(synchronous_period(&ss).unwrap());
         let horizon = (Rat::from_int(bound) + window * rat(6, 1)).max(rat(120, 1));
-        let cfg =
-            SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+        let cfg = SimConfig {
+            horizon,
+            stop_injection_at: None,
+            total_tasks: None,
+            record_gantt: false,
+            exact_queue: false,
+        };
         let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
         let entry = rep.steady_state_entry(ss.throughput, window, horizon);
         let ok = entry.is_some_and(|e| e <= Rat::from_int(bound) + window);
@@ -264,7 +270,7 @@ pub fn e15_quantization() -> String {
         if !ss.throughput.is_positive() {
             continue;
         }
-        let exact_sched = bwfirst_core::schedule::TreeSchedule::build(&p, &ss);
+        let exact_sched = bwfirst_core::schedule::TreeSchedule::build(&p, &ss).unwrap();
         let max_omega = exact_sched.iter().map(|s| s.t_omega).max().unwrap_or(1);
         let max_bunch = exact_sched.iter().map(|s| s.bunch).max().unwrap_or(0);
         t.row([
@@ -279,7 +285,7 @@ pub fn e15_quantization() -> String {
         for grid in [60i128, 360, 2520] {
             let q = quantize(&p, &ss, grid);
             q.verify(&p).expect("quantized schedule feasible");
-            let sched = bwfirst_core::schedule::TreeSchedule::build(&p, &q);
+            let sched = bwfirst_core::schedule::TreeSchedule::build(&p, &q).unwrap();
             let max_omega = sched.iter().map(|s| s.t_omega).max().unwrap_or(1);
             let max_bunch = sched.iter().map(|s| s.bunch).max().unwrap_or(0);
             let loss = ss.throughput - q.throughput;

@@ -99,14 +99,22 @@ pub struct Records {
     pub quantization: Vec<QuantizeRecord>,
 }
 
-/// Recomputes the record set (exact library calls, no text parsing).
+/// Recomputes the record set serially (exact library calls, no parsing).
 #[must_use]
 pub fn collect() -> Records {
+    collect_pooled(bwfirst_parallel::Pool::new(1))
+}
+
+/// Recomputes the record set, fanning the E6 sweep (the only grid big
+/// enough to matter — 16 independent solver runs on up-to-1023-node trees)
+/// out over `pool`. Records come back in grid order for any thread count.
+#[must_use]
+pub fn collect_pooled(pool: bwfirst_parallel::Pool) -> Records {
     // E5.
     let p = example_tree();
     let ss = SteadyState::from_solution(&bw_first(&p));
-    let ev = EventDrivenSchedule::standard(&p, &ss);
-    let period = synchronous_period(&ss);
+    let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
+    let period = synchronous_period(&ss).unwrap();
     let bound = startup::tree_startup_bound(&p, &ev.tree);
     let stop = rat(115, 1);
     let cfg = SimConfig {
@@ -114,6 +122,7 @@ pub fn collect() -> Records {
         stop_injection_at: Some(stop),
         total_tasks: None,
         record_gantt: false,
+        exact_queue: false,
     };
     let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
     let figure5 = Figure5Record {
@@ -129,22 +138,25 @@ pub fn collect() -> Records {
     };
 
     // E6.
-    let mut visits = Vec::new();
+    let mut grid = Vec::new();
     for &size in &crate::trees::SIZES {
         for slow in [1i64, 4, 16, 64] {
-            let p = bottleneck(size, 42, slow as i128);
-            let sol = bw_first(&p);
-            let bu = bottom_up(&p);
-            visits.push(VisitRecord {
-                nodes: size,
-                slowdown: slow,
-                throughput: sol.throughput().to_string(),
-                throughput_f64: sol.throughput().to_f64(),
-                bwfirst_visits: sol.visit_count(),
-                bottom_up_edges: bu.children_processed,
-            });
+            grid.push((size, slow));
         }
     }
+    let visits = pool.map(grid, |(size, slow)| {
+        let p = bottleneck(size, 42, slow as i128);
+        let sol = bw_first(&p);
+        let bu = bottom_up(&p);
+        VisitRecord {
+            nodes: size,
+            slowdown: slow,
+            throughput: sol.throughput().to_string(),
+            throughput_f64: sol.throughput().to_f64(),
+            bwfirst_visits: sol.visit_count(),
+            bottom_up_edges: bu.children_processed,
+        }
+    });
 
     // E8.
     let rr = section9_counterexample();
@@ -153,6 +165,7 @@ pub fn collect() -> Records {
         stop_injection_at: None,
         total_tasks: None,
         record_gantt: false,
+        exact_queue: false,
     };
     let sep = result_return::simulate(&rr, &cfg);
     let merged = result_return::simulate_merged(&rr, &cfg);
@@ -164,7 +177,7 @@ pub fn collect() -> Records {
     // E13.
     let p = example_tree();
     let ss = SteadyState::from_solution(&bw_first(&p));
-    let ev = EventDrivenSchedule::standard(&p, &ss);
+    let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
     let makespan = [50u64, 200, 1000]
         .into_iter()
         .map(|n| MakespanRecord {
@@ -180,7 +193,7 @@ pub fn collect() -> Records {
     let p = supply_tree(63, 1);
     let exact = SteadyState::from_solution(&bw_first(&p));
     let mut quantization = Vec::new();
-    let exact_sched = TreeSchedule::build(&p, &exact);
+    let exact_sched = TreeSchedule::build(&p, &exact).unwrap();
     quantization.push(QuantizeRecord {
         grid: 0,
         throughput_f64: exact.throughput.to_f64(),
@@ -189,7 +202,7 @@ pub fn collect() -> Records {
     });
     for grid in [60i64, 360, 2520] {
         let q = quantize::quantize(&p, &exact, grid as i128);
-        let sched = TreeSchedule::build(&p, &q);
+        let sched = TreeSchedule::build(&p, &q).unwrap();
         quantization.push(QuantizeRecord {
             grid,
             throughput_f64: q.throughput.to_f64(),
@@ -266,9 +279,201 @@ pub fn to_json(records: &Records) -> String {
     .to_string_pretty()
 }
 
+// ---------------------------------------------------------------------------
+// Perf-baseline records (`BENCH_core.json` / `BENCH_sim.json`).
+//
+// Written by the `perf_baseline` binary and committed at the repo root so
+// every PR carries a before/after perf trajectory. `before_ns` is the
+// comparison point named by `baseline` — either a measurement taken at the
+// seed commit on the same host, or a runtime toggle (reference `Rat` lane,
+// exact `Rat`-keyed event queue, serial model checking) re-measured in the
+// same process.
+
+/// One measured benchmark with its comparison point.
+#[derive(Debug, Clone)]
+pub struct BenchPoint {
+    /// Stable benchmark id, e.g. `deep_tree_scaling_sweep`.
+    pub id: String,
+    /// Comparison-point wall time per iteration, nanoseconds.
+    pub before_ns: f64,
+    /// Current wall time per iteration, nanoseconds.
+    pub after_ns: f64,
+    /// What `before_ns` is: `seed <commit>` or `runtime toggle: <what>`.
+    pub baseline: String,
+    /// Iterations the reported time is the best of.
+    pub iters: u32,
+}
+
+impl BenchPoint {
+    /// `before/after` — above 1.0 means the current code is faster.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.after_ns > 0.0 {
+            self.before_ns / self.after_ns
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// One committed benchmark suite (`core` or `sim`).
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Suite name: `core` (arithmetic, solvers, model checker) or `sim`.
+    pub suite: String,
+    /// `std::thread::available_parallelism()` on the measuring host — the
+    /// honest context for any worker-pool numbers.
+    pub host_threads: usize,
+    /// Worker threads the pooled measurements ran with.
+    pub threads: usize,
+    /// True when produced by the CI smoke run (few iterations; timings are
+    /// indicative only and not meant to be committed).
+    pub smoke: bool,
+    /// Merged per-worker `obs` counters from the pooled sweeps.
+    pub metrics: Vec<(String, i128)>,
+    /// The measurements.
+    pub points: Vec<BenchPoint>,
+}
+
+impl BenchReport {
+    /// The point with the given id, if measured.
+    #[must_use]
+    pub fn point(&self, id: &str) -> Option<&BenchPoint> {
+        self.points.iter().find(|p| p.id == id)
+    }
+}
+
+/// Serializes a [`BenchReport`] as pretty JSON.
+#[must_use]
+pub fn bench_to_json(report: &BenchReport) -> String {
+    let points: Vec<Value> = report
+        .points
+        .iter()
+        .map(|p| {
+            obj(vec![
+                ("id", p.id.as_str().into()),
+                ("before_ns", p.before_ns.into()),
+                ("after_ns", p.after_ns.into()),
+                ("speedup", p.speedup().into()),
+                ("baseline", p.baseline.as_str().into()),
+                ("iters", i128::from(p.iters).into()),
+            ])
+        })
+        .collect();
+    let metrics: Vec<Value> = report
+        .metrics
+        .iter()
+        .map(|(name, v)| obj(vec![("name", name.as_str().into()), ("value", (*v).into())]))
+        .collect();
+    obj(vec![
+        ("suite", report.suite.as_str().into()),
+        ("host_threads", (report.host_threads as i128).into()),
+        ("threads", (report.threads as i128).into()),
+        ("smoke", Value::Bool(report.smoke)),
+        ("metrics", Value::Array(metrics)),
+        ("points", Value::Array(points)),
+    ])
+    .to_string_pretty()
+}
+
+/// Parses and schema-checks a committed `BENCH_*.json` file. Every field the
+/// writer emits must be present and well-typed; CI calls this to reject
+/// hand-edited or truncated baselines.
+pub fn bench_from_json(text: &str) -> Result<BenchReport, String> {
+    let v = bwfirst_obs::json::parse(text).map_err(|e| e.to_string())?;
+    let str_field = |v: &Value, key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing or non-string field `{key}`"))
+    };
+    let num_field = |v: &Value, key: &str| -> Result<f64, String> {
+        v.get(key).and_then(Value::as_f64).ok_or_else(|| format!("missing numeric field `{key}`"))
+    };
+    let suite = str_field(&v, "suite")?;
+    if suite != "core" && suite != "sim" {
+        return Err(format!("unknown suite `{suite}`"));
+    }
+    let smoke = match v.get("smoke") {
+        Some(Value::Bool(b)) => *b,
+        _ => return Err("missing boolean field `smoke`".to_string()),
+    };
+    let metrics = v
+        .get("metrics")
+        .and_then(Value::as_array)
+        .ok_or("missing array field `metrics`")?
+        .iter()
+        .map(|m| {
+            Ok((
+                str_field(m, "name")?,
+                m.get("value").and_then(Value::as_i128).ok_or("metric value must be an integer")?,
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let points = v
+        .get("points")
+        .and_then(Value::as_array)
+        .ok_or("missing array field `points`")?
+        .iter()
+        .map(|p| {
+            let point = BenchPoint {
+                id: str_field(p, "id")?,
+                before_ns: num_field(p, "before_ns")?,
+                after_ns: num_field(p, "after_ns")?,
+                baseline: str_field(p, "baseline")?,
+                iters: num_field(p, "iters")? as u32,
+            };
+            if point.before_ns <= 0.0 || point.after_ns <= 0.0 {
+                return Err(format!("point `{}` has non-positive timings", point.id));
+            }
+            num_field(p, "speedup")?; // present and numeric, even if derived
+            Ok(point)
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    if points.is_empty() {
+        return Err("bench report has no points".to_string());
+    }
+    Ok(BenchReport {
+        suite,
+        host_threads: num_field(&v, "host_threads")? as usize,
+        threads: num_field(&v, "threads")? as usize,
+        smoke,
+        metrics,
+        points,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_reports_round_trip_through_json() {
+        let report = BenchReport {
+            suite: "core".to_string(),
+            host_threads: 8,
+            threads: 4,
+            smoke: false,
+            metrics: vec![("sweep.trees_solved".to_string(), 32)],
+            points: vec![BenchPoint {
+                id: "deep_tree_scaling_sweep".to_string(),
+                before_ns: 3_000_000.0,
+                after_ns: 1_000_000.0,
+                baseline: "seed d221d19".to_string(),
+                iters: 5,
+            }],
+        };
+        let json = bench_to_json(&report);
+        let back = bench_from_json(&json).expect("schema round-trip");
+        assert_eq!(back.suite, "core");
+        assert_eq!(back.host_threads, 8);
+        assert_eq!(back.metrics, report.metrics);
+        let p = back.point("deep_tree_scaling_sweep").expect("point survives");
+        assert!((p.speedup() - 3.0).abs() < 1e-9);
+        // Schema violations are rejected, not silently defaulted.
+        assert!(bench_from_json("{}").is_err());
+        assert!(bench_from_json(&json.replace("\"suite\": \"core\"", "\"suite\": \"x\"")).is_err());
+    }
 
     #[test]
     fn records_capture_the_headlines() {

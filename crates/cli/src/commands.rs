@@ -29,9 +29,11 @@ usage:
                    [--trace out.json] [--metrics out.json]
       discrete-event simulation with throughput/buffer/wind-down metrics
   bwfirst stats <platform.json> [--horizon H] [--protocol event|demand|demand-int]
-                [--trace out.json] [--metrics out.json]
+                [--threads N] [--trace out.json] [--metrics out.json]
       negotiate, solve, schedule and simulate with full instrumentation:
-      protocol message/byte counters, solver spans, per-node utilization
+      protocol message/byte counters, solver spans, per-node utilization,
+      plus a cross-protocol comparison fanned out over N worker threads
+      (default: available parallelism)
   bwfirst generate <random|star|chain|kary|example> [--size N] [--seed S]
                    [--arity K] [--depth D]
       emit a platform JSON on stdout
@@ -96,7 +98,7 @@ where
         "schedule" => {
             let p = read(args.pos(0, "platform file")?)?;
             let grid = args.flag_opt::<i128>("grid", "--grid")?;
-            Ok(cmd_schedule(&p, grid))
+            cmd_schedule(&p, grid)
         }
         "simulate" => {
             let p = read(args.pos(0, "platform file")?)?;
@@ -116,7 +118,10 @@ where
             let p = read(args.pos(0, "platform file")?)?;
             let horizon = args.flag_opt::<i128>("horizon", "--horizon")?;
             let protocol = args.flags.get("protocol").map_or("event", String::as_str);
-            let (out, rec) = cmd_stats(&p, horizon, protocol)?;
+            let threads = args
+                .flag_opt::<usize>("threads", "--threads")?
+                .unwrap_or_else(bwfirst_parallel::available_threads);
+            let (out, rec) = cmd_stats(&p, horizon, protocol, threads)?;
             export(args, &rec)?;
             Ok(out)
         }
@@ -124,7 +129,7 @@ where
         "validate" => {
             let p = read(args.pos(0, "platform file")?)?;
             let grid = args.flag_opt::<i128>("grid", "--grid")?;
-            Ok(cmd_validate(&p, grid))
+            cmd_validate(&p, grid)
         }
         "dot" => {
             let p = read(args.pos(0, "platform file")?)?;
@@ -138,6 +143,10 @@ where
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
+}
+
+fn sched(e: bwfirst_core::ScheduleError) -> CliError {
+    CliError::Runtime(e.to_string())
 }
 
 fn cmd_solve(p: &Platform) -> String {
@@ -176,7 +185,7 @@ fn cmd_solve(p: &Platform) -> String {
     out
 }
 
-fn cmd_schedule(p: &Platform, grid: Option<i128>) -> String {
+fn cmd_schedule(p: &Platform, grid: Option<i128>) -> Result<String, CliError> {
     let sol = bw_first(p);
     let mut ss = SteadyState::from_solution(&sol);
     let mut out = String::new();
@@ -194,10 +203,10 @@ fn cmd_schedule(p: &Platform, grid: Option<i128>) -> String {
     }
     if !ss.throughput.is_positive() {
         writeln!(out, "platform has zero throughput; nothing to schedule").unwrap();
-        return out;
+        return Ok(out);
     }
-    let ev = EventDrivenSchedule::standard(p, &ss);
-    writeln!(out, "synchronous period T = {}", synchronous_period(&ss)).unwrap();
+    let ev = EventDrivenSchedule::standard(p, &ss).map_err(sched)?;
+    writeln!(out, "synchronous period T = {}", synchronous_period(&ss).map_err(sched)?).unwrap();
     writeln!(out, "tree start-up bound  = {}", startup::tree_startup_bound(p, &ev.tree)).unwrap();
     writeln!(out, "\nnode   T^r     T^c     T^s     T^w     bunch  order").unwrap();
     for s in ev.tree.iter() {
@@ -228,7 +237,7 @@ fn cmd_schedule(p: &Platform, grid: Option<i128>) -> String {
         )
         .unwrap();
     }
-    out
+    Ok(out)
 }
 
 /// Runs one simulation under `protocol`, optionally driving extra probes.
@@ -241,7 +250,7 @@ fn run_protocol(
 ) -> Result<bwfirst_sim::SimReport, CliError> {
     match protocol {
         "event" => {
-            let ev = EventDrivenSchedule::standard(p, ss);
+            let ev = EventDrivenSchedule::standard(p, ss).map_err(sched)?;
             event_driven::simulate_probed(p, &ev, cfg, probe)
                 .map_err(|e| CliError::Runtime(e.to_string()))
         }
@@ -267,13 +276,14 @@ fn cmd_simulate(
     if !ss.throughput.is_positive() {
         return Ok(("platform has zero throughput; nothing to simulate\n".to_string(), None));
     }
-    let period = synchronous_period(&ss);
+    let period = synchronous_period(&ss).map_err(sched)?;
     let horizon = Rat::from_int(horizon.unwrap_or_else(|| (period * 8).clamp(200, 100_000)));
     let cfg = SimConfig {
         horizon,
         stop_injection_at: stop.map(Rat::from_int),
         total_tasks: tasks,
         record_gantt: gantt.is_some(),
+        exact_queue: false,
     };
     let mut rec = instrument.then(MemoryRecorder::new);
     let mut gantt_probe = GanttProbe::new(cfg.record_gantt);
@@ -316,14 +326,35 @@ fn cmd_simulate(
     Ok((out, rec))
 }
 
+/// Runs one simulation under `protocol` with no probes attached — the cheap
+/// form the pooled cross-protocol comparison fans out.
+fn run_protocol_quiet(
+    p: &Platform,
+    ss: &SteadyState,
+    cfg: &SimConfig,
+    protocol: &str,
+) -> Result<bwfirst_sim::SimReport, CliError> {
+    match protocol {
+        "event" => {
+            let ev = EventDrivenSchedule::standard(p, ss).map_err(sched)?;
+            event_driven::simulate(p, &ev, cfg).map_err(|e| CliError::Runtime(e.to_string()))
+        }
+        "demand" => Ok(demand_driven::simulate(p, DemandConfig::default(), cfg)),
+        "demand-int" => Ok(demand_driven::simulate(p, DemandConfig::interruptible(), cfg)),
+        other => Err(CliError::BadValue { what: "--protocol", value: other.to_string() }),
+    }
+}
+
 /// The `stats` command: one fully instrumented pass over all three layers —
 /// live protocol negotiation, centralized solver + schedule construction,
-/// and a probed simulation — reported as summary tables. The recorder comes
-/// back so `--trace` / `--metrics` can export it.
+/// and a probed simulation — reported as summary tables, plus a
+/// cross-protocol comparison fanned out over `threads` workers. The
+/// recorder comes back so `--trace` / `--metrics` can export it.
 fn cmd_stats(
     p: &Platform,
     horizon: Option<i128>,
     protocol: &str,
+    threads: usize,
 ) -> Result<(String, MemoryRecorder), CliError> {
     let mut rec = MemoryRecorder::new();
 
@@ -357,14 +388,19 @@ fn cmd_stats(
     .unwrap();
 
     if ss.throughput.is_positive() {
-        let ev = EventDrivenSchedule::standard(p, &ss);
+        let ev = EventDrivenSchedule::standard(p, &ss).map_err(sched)?;
         observe::record_schedule(&ev.tree, &mut rec);
 
         // Layer 3: a probed simulation with per-activity accounting.
-        let period = synchronous_period(&ss);
+        let period = synchronous_period(&ss).map_err(sched)?;
         let horizon = Rat::from_int(horizon.unwrap_or_else(|| (period * 8).clamp(200, 100_000)));
-        let cfg =
-            SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+        let cfg = SimConfig {
+            horizon,
+            stop_injection_at: None,
+            total_tasks: None,
+            record_gantt: false,
+            exact_queue: false,
+        };
         let mut util = UtilizationProbe::new(p.len(), horizon);
         {
             let mut probe = (ObsProbe::new(&mut rec), &mut util);
@@ -378,6 +414,27 @@ fn cmd_stats(
         }
         writeln!(out, "\nper-node utilization (busy fraction of the horizon):").unwrap();
         out.push_str(&summary::table(&util.finish().rows()));
+
+        // Cross-protocol comparison: the three executors are independent
+        // runs over the same platform and horizon, so they fan out over the
+        // worker pool; results return in fixed protocol order.
+        let pool = bwfirst_parallel::Pool::new(threads);
+        let half = horizon / Rat::TWO;
+        let rows = pool.map(vec!["event", "demand", "demand-int"], |proto| {
+            run_protocol_quiet(p, &ss, &cfg, proto)
+                .map(|rep| (proto, rep.total_computed(), rep.throughput_in(half, horizon)))
+        });
+        writeln!(
+            out,
+            "\nprotocol comparison over the same horizon ({} worker thread(s)):",
+            pool.threads()
+        )
+        .unwrap();
+        for row in rows {
+            let (proto, tasks, rate) = row?;
+            writeln!(out, "  {proto:<11} {tasks:>6} tasks   measured rate {:.4}", rate.to_f64())
+                .unwrap();
+        }
     } else {
         writeln!(out, "simulated  : skipped (zero throughput)").unwrap();
     }
@@ -387,7 +444,7 @@ fn cmd_stats(
     Ok((out, rec))
 }
 
-fn cmd_validate(p: &Platform, grid: Option<i128>) -> String {
+fn cmd_validate(p: &Platform, grid: Option<i128>) -> Result<String, CliError> {
     let mut ss = SteadyState::from_solution(&bw_first(p));
     let mut out = String::new();
     if let Some(g) = grid {
@@ -396,9 +453,9 @@ fn cmd_validate(p: &Platform, grid: Option<i128>) -> String {
     }
     if !ss.throughput.is_positive() {
         writeln!(out, "platform has zero throughput; nothing to validate").unwrap();
-        return out;
+        return Ok(out);
     }
-    let ev = EventDrivenSchedule::standard(p, &ss);
+    let ev = EventDrivenSchedule::standard(p, &ss).map_err(sched)?;
     let violations = bwfirst_core::validate_schedule(p, &ss, &ev);
     writeln!(out, "throughput : {}", ss.throughput).unwrap();
     writeln!(out, "active     : {} of {} nodes", ev.tree.active_count(), p.len()).unwrap();
@@ -411,7 +468,7 @@ fn cmd_validate(p: &Platform, grid: Option<i128>) -> String {
             writeln!(out, "  - {v}").unwrap();
         }
     }
-    out
+    Ok(out)
 }
 
 fn cmd_graph(args: &Args) -> Result<String, CliError> {

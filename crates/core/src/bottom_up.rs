@@ -11,7 +11,7 @@
 //! [`BottomUpOutcome`] (reductions and children processed) substantiate that
 //! comparison in experiment E6.
 
-use crate::fork::{fork_equivalent_rate, ForkChild};
+use crate::fork::{fork_equivalent_rate_in_place, ForkChild};
 use bwfirst_platform::{NodeId, Platform};
 use bwfirst_rational::Rat;
 
@@ -39,22 +39,24 @@ pub fn bottom_up(platform: &Platform) -> BottomUpOutcome {
     let mut rate: Vec<Rat> = (0..n).map(|i| platform.compute_rate(NodeId(i as u32))).collect();
     let mut reductions = 0;
     let mut children_processed = 0;
+    // One scratch buffer reused across every fork: the reduction sorts it in
+    // place, so the inner loop allocates nothing.
+    let mut scratch: Vec<ForkChild> = Vec::new();
     for id in post_order(platform) {
         if platform.is_leaf(id) {
             continue;
         }
-        let children: Vec<ForkChild> = platform
-            .children(id)
-            .iter()
-            .map(|&k| ForkChild {
-                c: platform.link_time(k).expect("child has link"),
-                rate: rate[k.index()],
-            })
-            .collect();
-        let red = fork_equivalent_rate(platform.compute_rate(id), &children);
+        scratch.clear();
+        scratch.extend(platform.children(id).iter().map(|&k| ForkChild {
+            c: platform.link_time(k).expect("child has link"),
+            rate: rate[k.index()],
+        }));
+        // `rate[id]` still holds the node's own compute rate: post-order
+        // visits every node before its parent, so it has not been reduced.
+        let red = fork_equivalent_rate_in_place(rate[id.index()], &mut scratch);
         rate[id.index()] = red.rate;
         reductions += 1;
-        children_processed += children.len();
+        children_processed += scratch.len();
     }
     BottomUpOutcome {
         throughput: rate[platform.root().index()],

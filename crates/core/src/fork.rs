@@ -72,13 +72,26 @@ impl ForkReduction {
 #[must_use]
 pub fn fork_equivalent_rate(parent_rate: Rat, children: &[ForkChild]) -> ForkReduction {
     assert!(children.iter().all(|ch| ch.c.is_positive()), "fork link times must be positive");
-    let mut sorted: Vec<&ForkChild> = children.iter().collect();
-    sorted.sort_by_key(|ch| ch.c); // stable: ties keep index order
+    let mut sorted = children.to_vec();
+    fork_equivalent_rate_in_place(parent_rate, &mut sorted)
+}
+
+/// [`fork_equivalent_rate`] on a caller-owned scratch slice: sorts the
+/// children in place (stable, so ties on `c` keep index order) and performs
+/// no allocation — the form the bottom-up reduction's inner loop uses once
+/// per internal node. Link times must be positive (the public wrapper
+/// asserts; platform-sourced children are valid by construction).
+pub fn fork_equivalent_rate_in_place(
+    parent_rate: Rat,
+    children: &mut [ForkChild],
+) -> ForkReduction {
+    debug_assert!(children.iter().all(|ch| ch.c.is_positive()), "fork link times must be positive");
+    children.sort_by_key(|ch| ch.c); // stable: ties keep index order
     let mut rate = parent_rate;
     let mut budget = Rat::ONE; // the unit-interval sending-port time
     let mut fully_fed = 0;
     let mut epsilon = Rat::ZERO;
-    for ch in &sorted {
+    for ch in &*children {
         let need = ch.c * ch.rate; // port time to feed this child at full rate
         if need <= budget {
             rate += ch.rate;

@@ -56,7 +56,8 @@ pub use bottom_up::{bottom_up, BottomUpOutcome};
 pub use bwfirst::{bw_first, bw_first_with_lambda, BwFirstSolution, TraceEvent, Transaction};
 pub use fork::{fork_equivalent_rate, ForkChild, ForkReduction};
 pub use schedule::{
-    EventDrivenSchedule, LocalSchedule, LocalScheduleKind, NodeSchedule, SlotAction, TreeSchedule,
+    EventDrivenSchedule, LocalSchedule, LocalScheduleKind, NodeSchedule, ScheduleError, SlotAction,
+    TreeSchedule,
 };
 pub use startup::startup_bounds;
 pub use steady_state::SteadyState;

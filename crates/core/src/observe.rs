@@ -134,7 +134,7 @@ mod tests {
     fn schedule_periods_and_bunches() {
         let p = example_tree();
         let ss = SteadyState::from_solution(&bw_first(&p));
-        let sched = TreeSchedule::build(&p, &ss);
+        let sched = TreeSchedule::build(&p, &ss).unwrap();
         let mut rec = MemoryRecorder::new();
         record_schedule(&sched, &mut rec);
         assert_eq!(rec.metrics.counter("core.schedule.active_nodes"), 8);

@@ -148,7 +148,7 @@ mod tests {
         if !q.throughput.is_positive() {
             return;
         }
-        let ts = TreeSchedule::build(&p, &q);
+        let ts = TreeSchedule::build(&p, &q).unwrap();
         for s in ts.iter() {
             assert_eq!(grid % s.t_omega, 0, "T^w of {} must divide the grid", s.node);
             assert!(s.bunch <= grid * 4, "bunch of {} unexpectedly large", s.node);

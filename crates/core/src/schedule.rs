@@ -30,14 +30,38 @@
 use crate::steady_state::SteadyState;
 use bwfirst_platform::{NodeId, Platform};
 use bwfirst_rational::{lcm_i128, Rat};
+use std::fmt;
+
+/// Errors from schedule reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// An lcm of period denominators exceeded `i128`. Carries the name of
+    /// the period being built (`"T^s"`, `"T^ω"`, `"T_0"`, or `"T"`).
+    PeriodOverflow {
+        /// Which period computation overflowed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::PeriodOverflow { what } => {
+                write!(f, "period {what} overflows i128 (lcm of rate denominators too large)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 fn as_int(r: Rat, what: &str) -> i128 {
     assert!(r.is_integer(), "{what} must be an integer, got {r}");
     r.numer()
 }
 
-fn lcm(a: i128, b: i128) -> i128 {
-    lcm_i128(a, b).expect("period lcm overflows i128")
+fn lcm(a: i128, b: i128, what: &'static str) -> Result<i128, ScheduleError> {
+    lcm_i128(a, b).ok_or(ScheduleError::PeriodOverflow { what })
 }
 
 /// The per-node periods and integer quantities of Lemma 1 / Section 6.2.
@@ -79,11 +103,10 @@ pub struct TreeSchedule {
 impl TreeSchedule {
     /// Derives all periods and `ψ` quantities from the steady-state rates.
     ///
-    /// Inactive nodes (no inflow, no compute) get no schedule. Panics if the
-    /// rates violate conservation (use [`SteadyState::verify`] first when in
-    /// doubt).
-    #[must_use]
-    pub fn build(platform: &Platform, ss: &SteadyState) -> TreeSchedule {
+    /// Inactive nodes (no inflow, no compute) get no schedule. Errors when a
+    /// period lcm overflows `i128`; panics if the rates violate conservation
+    /// (use [`SteadyState::verify`] first when in doubt).
+    pub fn build(platform: &Platform, ss: &SteadyState) -> Result<TreeSchedule, ScheduleError> {
         let n = platform.len();
         let mut schedules: Vec<Option<NodeSchedule>> = vec![None; n];
         // Parents precede children in no particular id order, so walk the
@@ -96,19 +119,24 @@ impl TreeSchedule {
             let alpha = ss.alpha[i];
             let t_comp = alpha.denom();
             let kids = platform.children_bandwidth_centric(id);
-            let t_send = kids.iter().map(|&k| ss.eta_in[k.index()].denom()).fold(1i128, lcm);
-            let t_omega = lcm(t_comp, t_send);
+            let t_send = kids
+                .iter()
+                .map(|&k| ss.eta_in[k.index()].denom())
+                .try_fold(1i128, |acc, d| lcm(acc, d, "T^s"))?;
+            let t_omega = lcm(t_comp, t_send, "T^ω")?;
             let (t_recv, phi_recv) = match platform.parent(id) {
                 None => (None, None),
                 Some(parent) => {
-                    let pt = schedules[parent.index()]
-                        .as_ref()
-                        .expect("active node's parent is active")
-                        .t_send;
+                    let pt = match schedules[parent.index()].as_ref() {
+                        Some(s) => s.t_send,
+                        // Conservation makes an active node's parent active,
+                        // and the preorder walk scheduled it already.
+                        None => unreachable!("active node's parent is active"),
+                    };
                     (Some(pt), Some(as_int(ss.eta_in[i] * Rat::from_int(pt), "phi")))
                 }
             };
-            let t_full = lcm(t_omega, t_recv.unwrap_or(1));
+            let t_full = lcm(t_omega, t_recv.unwrap_or(1), "T_0")?;
             let psi_self = as_int(alpha * Rat::from_int(t_omega), "psi_self");
             let psi_children: Vec<(NodeId, i128)> = kids
                 .iter()
@@ -131,7 +159,7 @@ impl TreeSchedule {
                 chi_in,
             });
         }
-        TreeSchedule { schedules }
+        Ok(TreeSchedule { schedules })
     }
 
     /// The schedule of `id`, if the node is active.
@@ -154,18 +182,18 @@ impl TreeSchedule {
 
 /// The naive global synchronous period `T` of Section 6: the lcm of every
 /// active rate denominator in the tree. Contrast with the per-node `T^ω`.
-#[must_use]
-pub fn synchronous_period(ss: &SteadyState) -> i128 {
+/// Errors when the lcm overflows `i128`.
+pub fn synchronous_period(ss: &SteadyState) -> Result<i128, ScheduleError> {
     let mut t = 1i128;
     for (eta, alpha) in ss.eta_in.iter().zip(&ss.alpha) {
         if eta.is_positive() {
-            t = lcm(t, eta.denom());
+            t = lcm(t, eta.denom(), "T")?;
         }
         if alpha.is_positive() {
-            t = lcm(t, alpha.denom());
+            t = lcm(t, alpha.denom(), "T")?;
         }
     }
-    t
+    Ok(t)
 }
 
 /// What a node does with one incoming (or generated) task of a bunch.
@@ -291,29 +319,30 @@ impl EventDrivenSchedule {
     ///
     /// let p = example_tree();
     /// let ss = SteadyState::from_solution(&bw_first(&p));
-    /// let ev = EventDrivenSchedule::standard(&p, &ss);
+    /// let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
     /// // The root handles bunches of 10 tasks — "10 tasks every 9 units".
     /// let root = ev.tree.get(NodeId(0)).unwrap();
     /// assert_eq!((root.bunch, root.t_omega), (10, 9));
     /// assert_eq!(ev.local(NodeId(0)).unwrap().actions.len(), 10);
     /// ```
-    #[must_use]
     pub fn build(
         platform: &Platform,
         ss: &SteadyState,
         kind: LocalScheduleKind,
-    ) -> EventDrivenSchedule {
-        let tree = TreeSchedule::build(platform, ss);
+    ) -> Result<EventDrivenSchedule, ScheduleError> {
+        let tree = TreeSchedule::build(platform, ss)?;
         let locals = platform
             .node_ids()
             .map(|id| tree.get(id).map(|s| LocalSchedule::build(s, kind)))
             .collect();
-        EventDrivenSchedule { tree, locals, kind }
+        Ok(EventDrivenSchedule { tree, locals, kind })
     }
 
     /// The paper's schedule: interleaved intra-bunch order.
-    #[must_use]
-    pub fn standard(platform: &Platform, ss: &SteadyState) -> EventDrivenSchedule {
+    pub fn standard(
+        platform: &Platform,
+        ss: &SteadyState,
+    ) -> Result<EventDrivenSchedule, ScheduleError> {
         EventDrivenSchedule::build(platform, ss, LocalScheduleKind::Interleaved)
     }
 
@@ -334,8 +363,23 @@ mod tests {
     fn example_schedule() -> (Platform, SteadyState, TreeSchedule) {
         let p = example_tree();
         let ss = SteadyState::from_solution(&bw_first(&p));
-        let ts = TreeSchedule::build(&p, &ss);
+        let ts = TreeSchedule::build(&p, &ss).unwrap();
         (p, ss, ts)
+    }
+
+    #[test]
+    fn period_overflow_is_a_typed_error() {
+        let p = example_tree();
+        let mut ss = SteadyState::from_solution(&bw_first(&p));
+        // Two coprime near-2^126 denominators: any common period overflows.
+        ss.alpha[0] = rat(1, (1 << 126) + 1);
+        ss.alpha[1] = rat(1, (1 << 126) - 1);
+        assert_eq!(synchronous_period(&ss), Err(ScheduleError::PeriodOverflow { what: "T" }));
+        let err = TreeSchedule::build(&p, &ss).unwrap_err();
+        let ScheduleError::PeriodOverflow { what } = err;
+        assert!(!what.is_empty());
+        assert!(err.to_string().contains("overflows i128"), "{err}");
+        assert!(EventDrivenSchedule::standard(&p, &ss).is_err());
     }
 
     #[test]
@@ -388,7 +432,7 @@ mod tests {
     #[test]
     fn synchronous_period_is_much_longer_than_bunch_periods() {
         let (_, ss, ts) = example_schedule();
-        let t = synchronous_period(&ss);
+        let t = synchronous_period(&ss).unwrap();
         assert_eq!(t, 36);
         // Every per-node consuming period is a small divisor of it.
         for s in ts.iter() {
@@ -479,7 +523,7 @@ mod tests {
             LocalScheduleKind::AllAtOnce,
             LocalScheduleKind::RoundRobin,
         ] {
-            let ev = EventDrivenSchedule::build(&p, &ss, kind);
+            let ev = EventDrivenSchedule::build(&p, &ss, kind).unwrap();
             for s in ts.iter() {
                 let ls = ev.local(s.node).unwrap();
                 assert_eq!(ls.actions.len() as i128, s.bunch);
@@ -494,7 +538,7 @@ mod tests {
     #[test]
     fn all_at_once_is_blocky() {
         let (p, ss, _) = example_schedule();
-        let ev = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::AllAtOnce);
+        let ev = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::AllAtOnce).unwrap();
         let root = ev.local(NodeId(0)).unwrap();
         use SlotAction::{Compute as C, Send};
         let expect: Vec<SlotAction> = [Send(NodeId(1)); 3]
@@ -509,7 +553,7 @@ mod tests {
     #[test]
     fn round_robin_cycles() {
         let (p, ss, _) = example_schedule();
-        let ev = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::RoundRobin);
+        let ev = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::RoundRobin).unwrap();
         let root = ev.local(NodeId(0)).unwrap();
         use SlotAction::{Compute as C, Send};
         let (s1, s2, s3) = (Send(NodeId(1)), Send(NodeId(2)), Send(NodeId(3)));
@@ -532,8 +576,8 @@ mod tests {
                 .max()
                 .unwrap()
         };
-        let inter = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::Interleaved);
-        let burst = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::AllAtOnce);
+        let inter = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::Interleaved).unwrap();
+        let burst = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::AllAtOnce).unwrap();
         let t = SlotAction::Send(NodeId(1));
         assert!(
             gap(&inter.local(NodeId(0)).unwrap().actions, t)

@@ -63,7 +63,7 @@ mod tests {
     fn schedule() -> (Platform, TreeSchedule) {
         let p = example_tree();
         let ss = SteadyState::from_solution(&bw_first(&p));
-        let ts = TreeSchedule::build(&p, &ss);
+        let ts = TreeSchedule::build(&p, &ss).unwrap();
         (p, ts)
     }
 
@@ -105,7 +105,7 @@ mod tests {
             bwfirst_rational::rat(1, 1),
         );
         let ss = SteadyState::from_solution(&bw_first(&p));
-        let ts = TreeSchedule::build(&p, &ss);
+        let ts = TreeSchedule::build(&p, &ss).unwrap();
         assert_eq!(tree_startup_bound(&p, &ts), 0);
     }
 }

@@ -154,7 +154,7 @@ mod tests {
     fn valid_setup() -> (Platform, SteadyState, EventDrivenSchedule) {
         let p = example_tree();
         let ss = SteadyState::from_solution(&bw_first(&p));
-        let ev = EventDrivenSchedule::standard(&p, &ss);
+        let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
         (p, ss, ev)
     }
 
@@ -164,7 +164,7 @@ mod tests {
         assert!(validate_schedule(&p, &ss, &ev).is_empty());
         // All local-order kinds validate.
         for kind in [LocalScheduleKind::AllAtOnce, LocalScheduleKind::RoundRobin] {
-            let ev = EventDrivenSchedule::build(&p, &ss, kind);
+            let ev = EventDrivenSchedule::build(&p, &ss, kind).unwrap();
             assert!(validate_schedule(&p, &ss, &ev).is_empty());
         }
     }
@@ -181,7 +181,7 @@ mod tests {
             if !q.throughput.is_positive() {
                 continue;
             }
-            let ev = EventDrivenSchedule::standard(&p, &q);
+            let ev = EventDrivenSchedule::standard(&p, &q).unwrap();
             assert!(validate_schedule(&p, &q, &ev).is_empty(), "seed {seed}");
         }
     }

@@ -144,6 +144,14 @@ fn sample_rat(rng: &mut StdRng, num: (i128, i128), den: (i128, i128)) -> Rat {
 /// A seeded random tree per [`RandomTreeConfig`].
 #[must_use]
 pub fn random_tree(cfg: &RandomTreeConfig) -> Platform {
+    random_tree_scaled(cfg, None)
+}
+
+/// The shared generation pass. When `slow_root_links` is set, links hanging
+/// directly off the root are multiplied by that factor *as they are
+/// sampled* — the RNG sequence is untouched, so the result is the exact
+/// tree [`random_tree`] would build, with only the root links rescaled.
+fn random_tree_scaled(cfg: &RandomTreeConfig, slow_root_links: Option<Rat>) -> Platform {
     assert!(cfg.size >= 1, "random tree needs at least one node");
     assert!(cfg.max_children >= 1, "max_children must be at least 1");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -159,7 +167,12 @@ pub fn random_tree(cfg: &RandomTreeConfig) -> Platform {
         } else {
             Weight::Time(sample_rat(&mut rng, cfg.weight_num, cfg.weight_den))
         };
-        let c = sample_rat(&mut rng, cfg.link_num, cfg.link_den);
+        let mut c = sample_rat(&mut rng, cfg.link_num, cfg.link_den);
+        if parent == root {
+            if let Some(slow) = slow_root_links {
+                c *= slow;
+            }
+        }
         let id = b.child(parent, w, c);
         if cap == 1 {
             open.swap_remove(slot);
@@ -181,21 +194,7 @@ pub fn random_tree(cfg: &RandomTreeConfig) -> Platform {
 #[must_use]
 pub fn bottlenecked_tree(cfg: &RandomTreeConfig, slow_factor: Rat) -> Platform {
     assert!(slow_factor.is_positive(), "slow factor must be positive");
-    let base = random_tree(cfg);
-    let mut b = PlatformBuilder::new();
-    let mut map = vec![NodeId(0); base.len()];
-    map[0] = b.root(base.weight(base.root()));
-    // Arena ids are assigned in insertion order and parents precede children,
-    // so a single index-order pass re-creates the tree.
-    for id in base.node_ids().skip(1) {
-        let parent = map[base.parent(id).expect("non-root").index()];
-        let mut c = base.link_time(id).expect("non-root");
-        if base.parent(id) == Some(base.root()) {
-            c *= slow_factor;
-        }
-        map[id.index()] = b.child(parent, base.weight(id), c);
-    }
-    b.build().expect("bottleneck generator produces valid platforms")
+    random_tree_scaled(cfg, Some(slow_factor))
 }
 
 #[cfg(test)]

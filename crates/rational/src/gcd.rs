@@ -4,9 +4,39 @@
 //! the workhorses of fraction normalization and of the Lemma 1 period
 //! computations (lcm of rate denominators).
 
+/// Binary (Stein) GCD for `u64` — the same loop as [`gcd_u128`] on native
+/// registers. Normalized [`crate::Rat`] values almost always fit in 64 bits,
+/// and the half-width loop runs at roughly twice the speed, so this is the
+/// lane the wrappers take whenever they can.
+#[must_use]
+pub fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
 /// Binary (Stein) GCD for `u128`. `gcd(0, 0) == 0` by convention.
+/// Operands that both fit in 64 bits take the half-width [`gcd_u64`] loop.
 #[must_use]
 pub fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    if a <= u128::from(u64::MAX) && b <= u128::from(u64::MAX) {
+        return u128::from(gcd_u64(a as u64, b as u64));
+    }
     if a == 0 {
         return b;
     }
@@ -67,6 +97,22 @@ mod tests {
         assert_eq!(gcd_u128(12, 18), 6);
         assert_eq!(gcd_u128(17, 13), 1);
         assert_eq!(gcd_u128(1 << 40, 1 << 20), 1 << 20);
+    }
+
+    #[test]
+    fn wide_and_narrow_lanes_agree() {
+        assert_eq!(gcd_u64(0, 0), 0);
+        assert_eq!(gcd_u64(0, 9), 9);
+        assert_eq!(gcd_u64(9, 0), 9);
+        let pairs: [(u128, u128); 5] =
+            [(12, 18), (360, 48), (u128::from(u64::MAX), 3), (1 << 63, 1 << 20), (97, 89)];
+        for (a, b) in pairs {
+            assert_eq!(gcd_u128(a, b), u128::from(gcd_u64(a as u64, b as u64)));
+        }
+        // Operands past 64 bits still resolve on the wide loop.
+        let big = (1u128 << 80) * 3;
+        assert_eq!(gcd_u128(big, 1u128 << 80), 1u128 << 80);
+        assert_eq!(gcd_u128(big, 6), 6);
     }
 
     #[test]

@@ -34,9 +34,10 @@ mod error;
 mod gcd;
 mod json_impl;
 mod rat;
+pub mod reference;
 
 pub use error::RatError;
-pub use gcd::{gcd_i128, gcd_u128, lcm_i128, lcm_u128};
+pub use gcd::{gcd_i128, gcd_u128, gcd_u64, lcm_i128, lcm_u128};
 pub use rat::Rat;
 
 /// Convenience constructor: `rat(10, 9)` is `Rat::new(10, 9)`.

@@ -123,12 +123,51 @@ impl Rat {
     }
 
     /// Checked addition.
+    ///
+    /// Dispatches through fast lanes that skip redundant gcd passes where the
+    /// normalization invariant already guarantees a reduced result; every lane
+    /// produces the same bits as the normalize-always reference
+    /// ([`crate::reference::add`]) because the canonical form is unique.
     pub fn checked_add(self, rhs: Rat) -> Result<Rat, RatError> {
-        // a/b + c/d = (a*(d/g) + c*(b/g)) / (b/g*d) with g = gcd(b, d).
+        let ov = || RatError::Overflow { op: "add" };
+        if rhs.den == 1 {
+            // a/b + c = (a + c*b)/b, and gcd(a + c*b, b) = gcd(a, b) = 1:
+            // already reduced, no gcd needed (covers integer + integer too).
+            let num = rhs
+                .num
+                .checked_mul(self.den)
+                .and_then(|t| self.num.checked_add(t))
+                .ok_or_else(ov)?;
+            return Ok(Rat { num, den: self.den });
+        }
+        if self.den == 1 {
+            let num = self
+                .num
+                .checked_mul(rhs.den)
+                .and_then(|t| t.checked_add(rhs.num))
+                .ok_or_else(ov)?;
+            return Ok(Rat { num, den: rhs.den });
+        }
+        if self.den == rhs.den {
+            // Same denominator: one gcd pass on the summed numerator.
+            let num = self.num.checked_add(rhs.num).ok_or_else(ov)?;
+            let g = gcd_i128(num, self.den);
+            return Ok(Rat { num: num / g, den: self.den / g });
+        }
+        if self.is_small() && rhs.is_small() {
+            // Small-word lane: with all four halves in i64, each cross
+            // product is below 2^126 and their sum below 2^127, so no
+            // overflow branch can fire — multiply straight through and
+            // normalize once at the end.
+            let num = self.num * rhs.den + rhs.num * self.den;
+            let den = self.den * rhs.den;
+            let g = gcd_i128(num, den);
+            return Ok(Rat { num: num / g, den: den / g });
+        }
+        // General path: a/b + c/d = (a*(d/g) + c*(b/g)) / (b/g*d), g = gcd(b, d).
         let g = gcd_i128(self.den, rhs.den);
         let db = self.den / g;
         let dd = rhs.den / g;
-        let ov = || RatError::Overflow { op: "add" };
         let lhs_term = self.num.checked_mul(dd).ok_or_else(ov)?;
         let rhs_term = rhs.num.checked_mul(db).ok_or_else(ov)?;
         let num = lhs_term.checked_add(rhs_term).ok_or_else(ov)?;
@@ -147,12 +186,44 @@ impl Rat {
 
     /// Checked multiplication (cross-reduces before multiplying to delay
     /// overflow as long as mathematically possible).
+    ///
+    /// Like [`Rat::checked_add`], integer and small-word fast lanes skip gcd
+    /// work the normalization invariant makes redundant; all lanes agree
+    /// bit-for-bit with [`crate::reference::mul`].
     pub fn checked_mul(self, rhs: Rat) -> Result<Rat, RatError> {
+        let ov = || RatError::Overflow { op: "mul" };
+        if self.num == 0 || rhs.num == 0 {
+            return Ok(Rat::ZERO);
+        }
+        if self.den == 1 && rhs.den == 1 {
+            let num = self.num.checked_mul(rhs.num).ok_or_else(ov)?;
+            return Ok(Rat { num, den: 1 });
+        }
+        if rhs.den == 1 {
+            // a/b * c = (a * (c/g)) / (b/g) with g = gcd(c, b): one gcd,
+            // and reduced because gcd(a, b/g) | gcd(a, b) = 1 and
+            // gcd(c/g, b/g) = 1.
+            let g = gcd_i128(rhs.num, self.den);
+            let num = self.num.checked_mul(rhs.num / g).ok_or_else(ov)?;
+            return Ok(Rat { num, den: self.den / g });
+        }
+        if self.den == 1 {
+            let g = gcd_i128(self.num, rhs.den);
+            let num = (self.num / g).checked_mul(rhs.num).ok_or_else(ov)?;
+            return Ok(Rat { num, den: rhs.den / g });
+        }
+        if self.is_small() && rhs.is_small() {
+            // Small-word lane: raw products fit i128, so one normalize of
+            // the product replaces the two cross-gcds plus overflow checks.
+            let num = self.num * rhs.num;
+            let den = self.den * rhs.den;
+            let g = gcd_i128(num, den);
+            return Ok(Rat { num: num / g, den: den / g });
+        }
         let g1 = gcd_i128(self.num, rhs.den);
         let g2 = gcd_i128(rhs.num, self.den);
         let (an, ad) = (self.num / g1, self.den / g2);
         let (bn, bd) = (rhs.num / g2, rhs.den / g1);
-        let ov = || RatError::Overflow { op: "mul" };
         let num = an.checked_mul(bn).ok_or_else(ov)?;
         let den = ad.checked_mul(bd).ok_or_else(ov)?;
         Ok(Rat { num, den }) // already reduced by construction
@@ -336,6 +407,70 @@ impl Rat {
             Err(_) => false,
         }
     }
+
+    /// Both halves fit in `i64`, so cross products cannot overflow `i128`.
+    #[inline]
+    const fn is_small(self) -> bool {
+        fits_i64(self.num) & fits_i64(self.den)
+    }
+
+    /// Sums an iterator over a running common denominator, normalizing once
+    /// at the end instead of re-reducing after every addition.
+    ///
+    /// The accumulator holds an *unreduced* fraction whose denominator grows
+    /// to the lcm of the denominators seen so far; an addend whose
+    /// denominator already divides the accumulator's (the common case in the
+    /// η/ψ accumulations, where all rates share the platform period) costs
+    /// one multiply and one add — no gcd at all. If the raw accumulator
+    /// would overflow, it is reduced to lowest terms and the element is
+    /// re-added through [`Rat::checked_add`], so the helper errors only
+    /// where element-wise normalized summation would too.
+    ///
+    /// The result is bit-for-bit the fold of [`Rat::checked_add`]
+    /// ([`crate::reference::sum`]): both produce the unique canonical form.
+    pub fn sum_with_common_denom<I: IntoIterator<Item = Rat>>(items: I) -> Result<Rat, RatError> {
+        let mut num: i128 = 0;
+        let mut den: i128 = 1;
+        for x in items {
+            if let Some((n, d)) = raw_add(num, den, x.num, x.den) {
+                (num, den) = (n, d);
+            } else {
+                // Reduce the accumulator and retry with full normalization.
+                let acc = Rat::checked_new(num, den)?.checked_add(x)?;
+                (num, den) = (acc.num, acc.den);
+            }
+        }
+        Rat::checked_new(num, den)
+    }
+}
+
+/// `x` is representable in an `i64` half-word.
+#[inline]
+const fn fits_i64(x: i128) -> bool {
+    x as i64 as i128 == x
+}
+
+/// Unreduced `an/ad + bn/bd` over a common denominator; `None` on overflow.
+/// Divisibility lanes (one denominator divides the other) skip the gcd.
+#[inline]
+fn raw_add(an: i128, ad: i128, bn: i128, bd: i128) -> Option<(i128, i128)> {
+    if ad == bd {
+        return Some((an.checked_add(bn)?, ad));
+    }
+    if ad % bd == 0 {
+        let num = bn.checked_mul(ad / bd)?.checked_add(an)?;
+        return Some((num, ad));
+    }
+    if bd % ad == 0 {
+        let num = an.checked_mul(bd / ad)?.checked_add(bn)?;
+        return Some((num, bd));
+    }
+    let g = gcd_i128(ad, bd);
+    let da = ad / g;
+    let db = bd / g;
+    let num = an.checked_mul(db)?.checked_add(bn.checked_mul(da)?)?;
+    let den = da.checked_mul(bd)?;
+    Some((num, den))
 }
 
 impl Default for Rat {
@@ -408,18 +543,18 @@ impl Neg for Rat {
 
 impl Sum for Rat {
     fn sum<I: Iterator<Item = Rat>>(iter: I) -> Rat {
-        iter.fold(Rat::ZERO, |acc, x| acc + x)
+        Rat::sum_with_common_denom(iter).unwrap_or_else(|e| panic!("Rat sum failed: {e}"))
     }
 }
 
 impl<'a> Sum<&'a Rat> for Rat {
     fn sum<I: Iterator<Item = &'a Rat>>(iter: I) -> Rat {
-        iter.fold(Rat::ZERO, |acc, x| acc + *x)
+        Rat::sum_with_common_denom(iter.copied()).unwrap_or_else(|e| panic!("Rat sum failed: {e}"))
     }
 }
 
 /// Full 128x128 -> 256-bit unsigned multiplication, as (hi, lo).
-fn widening_mul_u128(a: u128, b: u128) -> (u128, u128) {
+pub(crate) fn widening_mul_u128(a: u128, b: u128) -> (u128, u128) {
     const MASK: u128 = (1u128 << 64) - 1;
     let (a_hi, a_lo) = (a >> 64, a & MASK);
     let (b_hi, b_lo) = (b >> 64, b & MASK);
@@ -435,12 +570,20 @@ fn widening_mul_u128(a: u128, b: u128) -> (u128, u128) {
 
 impl Ord for Rat {
     fn cmp(&self, other: &Rat) -> Ordering {
-        // Compare a/b and c/d via a*d <=> c*b with exact 256-bit products
-        // (cross products of normalized i128 fractions can exceed i128).
+        // Compare a/b and c/d via a*d <=> c*b. Equal denominators (which
+        // includes all integer pairs) compare numerators directly; small
+        // operands use exact i128 cross products; only fractions with a
+        // half beyond i64 pay for 256-bit widening products.
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
         match (self.num.signum(), other.num.signum()) {
             (s1, s2) if s1 != s2 => return s1.cmp(&s2),
             (0, 0) => return Ordering::Equal,
             _ => {}
+        }
+        if self.is_small() && other.is_small() {
+            return (self.num * other.den).cmp(&(other.num * self.den));
         }
         let lhs = widening_mul_u128(self.num.unsigned_abs(), other.den as u128);
         let rhs = widening_mul_u128(other.num.unsigned_abs(), self.den as u128);

@@ -1,0 +1,98 @@
+//! Normalize-always reference arithmetic.
+//!
+//! These are the pre-fast-path implementations of `Rat` addition,
+//! multiplication, comparison and summation, kept verbatim so that
+//!
+//! * property tests can assert the fast lanes in [`crate::Rat`] agree
+//!   **bit-for-bit** with full normalization on every input, and
+//! * the benchmark suite has a reproducible "before" lane to measure the
+//!   fast path against (see `docs/PERFORMANCE.md`).
+//!
+//! They are correct but deliberately naive: every operation runs the full
+//! gcd machinery and every comparison takes the 256-bit widening route.
+
+use crate::gcd::gcd_i128;
+use crate::rat::widening_mul_u128;
+use crate::{Rat, RatError};
+use std::cmp::Ordering;
+
+/// Reference addition: split-gcd cross multiplication, then a full
+/// normalizing constructor.
+pub fn add(lhs: Rat, rhs: Rat) -> Result<Rat, RatError> {
+    // a/b + c/d = (a*(d/g) + c*(b/g)) / (b/g*d) with g = gcd(b, d).
+    let g = gcd_i128(lhs.denom(), rhs.denom());
+    let db = lhs.denom() / g;
+    let dd = rhs.denom() / g;
+    let ov = || RatError::Overflow { op: "add" };
+    let lhs_term = lhs.numer().checked_mul(dd).ok_or_else(ov)?;
+    let rhs_term = rhs.numer().checked_mul(db).ok_or_else(ov)?;
+    let num = lhs_term.checked_add(rhs_term).ok_or_else(ov)?;
+    let den = db.checked_mul(rhs.denom()).ok_or_else(ov)?;
+    Rat::checked_new(num, den)
+}
+
+/// Reference subtraction: negate and add.
+pub fn sub(lhs: Rat, rhs: Rat) -> Result<Rat, RatError> {
+    if rhs.numer() == i128::MIN {
+        return Err(RatError::Overflow { op: "sub" });
+    }
+    add(lhs, -rhs)
+}
+
+/// Reference multiplication: both cross-gcds, always.
+pub fn mul(lhs: Rat, rhs: Rat) -> Result<Rat, RatError> {
+    let g1 = gcd_i128(lhs.numer(), rhs.denom());
+    let g2 = gcd_i128(rhs.numer(), lhs.denom());
+    let (an, ad) = (lhs.numer() / g1, lhs.denom() / g2);
+    let (bn, bd) = (rhs.numer() / g2, rhs.denom() / g1);
+    let ov = || RatError::Overflow { op: "mul" };
+    let num = an.checked_mul(bn).ok_or_else(ov)?;
+    let den = ad.checked_mul(bd).ok_or_else(ov)?;
+    Rat::checked_new(num, den)
+}
+
+/// Reference division: multiply by the reciprocal.
+pub fn div(lhs: Rat, rhs: Rat) -> Result<Rat, RatError> {
+    mul(lhs, rhs.checked_recip()?)
+}
+
+/// Reference comparison: sign split, then 256-bit cross products.
+#[must_use]
+pub fn cmp(lhs: Rat, rhs: Rat) -> Ordering {
+    match (lhs.numer().signum(), rhs.numer().signum()) {
+        (s1, s2) if s1 != s2 => return s1.cmp(&s2),
+        (0, 0) => return Ordering::Equal,
+        _ => {}
+    }
+    let l = widening_mul_u128(lhs.numer().unsigned_abs(), rhs.denom() as u128);
+    let r = widening_mul_u128(rhs.numer().unsigned_abs(), lhs.denom() as u128);
+    let mag = l.cmp(&r);
+    if lhs.numer() > 0 {
+        mag
+    } else {
+        mag.reverse()
+    }
+}
+
+/// Reference summation: a plain fold of [`add`], normalizing on every step.
+pub fn sum<I: IntoIterator<Item = Rat>>(items: I) -> Result<Rat, RatError> {
+    items.into_iter().try_fold(Rat::ZERO, add)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat;
+
+    #[test]
+    fn reference_matches_basic_identities() {
+        let a = rat(1, 3);
+        let b = rat(1, 6);
+        assert_eq!(add(a, b).unwrap(), rat(1, 2));
+        assert_eq!(sub(a, b).unwrap(), rat(1, 6));
+        assert_eq!(mul(a, b).unwrap(), rat(1, 18));
+        assert_eq!(div(a, b).unwrap(), rat(2, 1));
+        assert_eq!(cmp(a, b), Ordering::Greater);
+        assert_eq!(sum([a, b, b]).unwrap(), rat(2, 3));
+    }
+}

@@ -1,0 +1,117 @@
+//! The fast-path lanes in `Rat` (integer/same-denominator/small-word
+//! short-circuits that skip gcd passes and overflow branches) must be
+//! observationally identical to the normalize-always reference
+//! implementations preserved in `bwfirst_rational::reference`. Canonical
+//! forms are unique, so "identical" here means bit-for-bit: same numerator,
+//! same denominator, same `Ok`/`Err` outcome, same ordering.
+//!
+//! Operands are drawn from every lane's trigger region: small fractions,
+//! exact integers, shared denominators, values at the `i64` half-word
+//! boundary, and near-`i128` magnitudes where only the widening/general
+//! paths remain legal.
+
+use bwfirst_rational::{reference, Rat};
+use proptest::prelude::*;
+
+/// One operand from each fast-lane trigger region, uniformly mixed.
+fn any_rat() -> impl Strategy<Value = Rat> {
+    prop_oneof![
+        // Small fractions: the common scheduling regime.
+        (-10_000i128..=10_000, 1i128..=10_000).prop_map(|(n, d)| Rat::new(n, d)),
+        // Exact integers (den == 1 lanes).
+        (-1_000_000i128..=1_000_000).prop_map(Rat::from_int),
+        // Shared denominators (same-den lanes): a few fixed dens.
+        ((-100_000i128..=100_000), prop_oneof![Just(7i128), Just(60), Just(2520)])
+            .prop_map(|(n, d)| Rat::new(n, d)),
+        // Straddling the i64 half-word boundary: the small-word lane must
+        // hand off to the checked paths exactly here.
+        (
+            (i64::MAX as i128 - 4)..=(i64::MAX as i128 + 4),
+            prop_oneof![Just(1i128), Just(3), Just((i64::MAX as i128) + 2)],
+        )
+            .prop_map(|(n, d)| Rat::new(n, d)),
+        // Near-i128 magnitudes: only general/widening paths are legal.
+        (
+            prop_oneof![
+                Just(i128::MAX),
+                Just(i128::MAX - 1),
+                Just(-(i128::MAX)),
+                Just(1i128 << 100),
+                Just(-(1i128 << 100) + 7),
+            ],
+            prop_oneof![Just(1i128), Just(2), Just(3), Just((1i128 << 90) + 1)],
+        )
+            .prop_map(|(n, d)| Rat::new(n, d)),
+    ]
+}
+
+/// Compares a fast-path result with the reference result bit-for-bit.
+fn same(
+    fast: Result<Rat, bwfirst_rational::RatError>,
+    slow: Result<Rat, bwfirst_rational::RatError>,
+) -> bool {
+    match (fast, slow) {
+        (Ok(f), Ok(s)) => f.numer() == s.numer() && f.denom() == s.denom(),
+        (Err(_), Err(_)) => true, // both overflow; payload op-name may differ
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn add_agrees_with_reference(a in any_rat(), b in any_rat()) {
+        prop_assert!(same(a.checked_add(b), reference::add(a, b)), "{a} + {b}");
+    }
+
+    #[test]
+    fn sub_agrees_with_reference(a in any_rat(), b in any_rat()) {
+        prop_assert!(same(a.checked_sub(b), reference::sub(a, b)), "{a} - {b}");
+    }
+
+    #[test]
+    fn mul_agrees_with_reference(a in any_rat(), b in any_rat()) {
+        prop_assert!(same(a.checked_mul(b), reference::mul(a, b)), "{a} * {b}");
+    }
+
+    #[test]
+    fn div_agrees_with_reference(a in any_rat(), b in any_rat()) {
+        if !b.is_zero() {
+            prop_assert!(same(a.checked_div(b), reference::div(a, b)), "{a} / {b}");
+        }
+    }
+
+    #[test]
+    fn cmp_agrees_with_reference(a in any_rat(), b in any_rat()) {
+        prop_assert_eq!(a.cmp(&b), reference::cmp(a, b), "{} <=> {}", a, b);
+        // And with itself: equality must be Ordering::Equal through every lane.
+        prop_assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn sum_agrees_with_reference(xs in prop::collection::vec(any_rat(), 0..12)) {
+        let fast = Rat::sum_with_common_denom(xs.iter().copied());
+        let slow = reference::sum(xs.iter().copied());
+        // The batch accumulator reduces and retries on raw overflow, so it
+        // succeeds at least wherever the element-wise fold does; when both
+        // succeed the canonical results must match exactly.
+        if let Ok(s) = slow {
+            let f = fast.expect("batch sum must not fail where fold succeeds");
+            prop_assert_eq!(f.numer(), s.numer());
+            prop_assert_eq!(f.denom(), s.denom());
+        }
+    }
+
+    #[test]
+    fn sum_iterator_matches_batch_helper(
+        nums in prop::collection::vec((-10_000i128..=10_000, 1i128..=120), 1..20)
+    ) {
+        let xs: Vec<Rat> = nums.into_iter().map(|(n, d)| Rat::new(n, d)).collect();
+        let via_iter: Rat = xs.iter().sum();
+        let via_helper = Rat::sum_with_common_denom(xs.iter().copied()).unwrap();
+        let via_fold = reference::sum(xs.iter().copied()).unwrap();
+        prop_assert_eq!(via_iter, via_helper);
+        prop_assert_eq!(via_iter, via_fold);
+    }
+}

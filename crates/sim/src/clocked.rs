@@ -22,7 +22,7 @@
 //! schedule needs the χ prefill (extra memory and a dead distribution
 //! phase) to start cleanly.
 
-use crate::engine::{BufferTracker, EventQueue, SimConfig, SimReport};
+use crate::engine::{tick_scale_hint, BufferTracker, EventQueue, SimConfig, SimReport};
 use crate::error::SimError;
 use crate::gantt::SegmentKind;
 use crate::probe::{GanttProbe, Probe};
@@ -309,7 +309,9 @@ pub fn simulate_probed(
         platform,
         schedule,
         cfg,
-        queue: EventQueue::new(),
+        // Window ticks land at integer multiples of T^c/T^s, so the only
+        // fractional times come from compute/link durations.
+        queue: EventQueue::with_scale(cfg.queue_scale(tick_scale_hint(platform, &[]))),
         nodes,
         rho,
         phi,
@@ -333,7 +335,7 @@ mod tests {
     fn setup() -> (Platform, SteadyState, TreeSchedule) {
         let p = example_tree();
         let ss = SteadyState::from_solution(&bw_first(&p));
-        let ts = TreeSchedule::build(&p, &ss);
+        let ts = TreeSchedule::build(&p, &ss).unwrap();
         (p, ss, ts)
     }
 
@@ -376,6 +378,7 @@ mod tests {
             stop_injection_at: Some(rat(150, 1)),
             total_tasks: None,
             record_gantt: true,
+            exact_queue: false,
         };
         let rep = simulate(&p, &ts, ClockedConfig::default(), &cfg).unwrap();
         assert!(rep.gantt.as_ref().unwrap().find_overlap().is_none());
@@ -405,7 +408,7 @@ mod tests {
         let (p, ss, ts) = setup();
         let cfg = SimConfig::to_horizon(rat(180, 1));
         let rep = simulate(&p, &ts, ClockedConfig::default(), &cfg).unwrap();
-        let window = bwfirst_rational::Rat::from_int(synchronous_period(&ss));
+        let window = bwfirst_rational::Rat::from_int(synchronous_period(&ss).unwrap());
         assert_eq!(rep.throughput_in(rat(36, 1), rat(36, 1) + window), example_throughput());
     }
 

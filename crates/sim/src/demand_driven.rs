@@ -24,7 +24,7 @@
 //! greedy and can be non-optimal: start-up phases stretch and buffers grow
 //! compared with the event-driven schedule (experiment E7).
 
-use crate::engine::{BufferTracker, EventQueue, SimConfig, SimReport};
+use crate::engine::{tick_scale_hint, BufferTracker, EventQueue, SimConfig, SimReport};
 use crate::gantt::SegmentKind;
 use crate::probe::{GanttProbe, Probe};
 use bwfirst_platform::{NodeId, Platform};
@@ -396,7 +396,10 @@ pub fn simulate_probed(
         platform,
         cfg,
         demand,
-        queue: EventQueue::new(),
+        // Requests are instantaneous: every event time is a sum of compute
+        // and link durations (interruption remainders are differences of
+        // the same sums, so their denominators divide the same scale).
+        queue: EventQueue::with_scale(cfg.queue_scale(tick_scale_hint(platform, &[]))),
         nodes,
         serve_order,
         buffers: BufferTracker::new(n),
@@ -445,6 +448,7 @@ mod tests {
                 stop_injection_at: Some(rat(150, 1)),
                 total_tasks: None,
                 record_gantt: false,
+                exact_queue: false,
             };
             let rep = simulate(&p, demand, &cfg);
             assert_eq!(rep.total_computed(), rep.received[0]);
@@ -525,6 +529,7 @@ mod tests {
             stop_injection_at: Some(rat(100, 1)),
             total_tasks: None,
             record_gantt: true,
+            exact_queue: false,
         };
         let rep = simulate(&p, DemandConfig::interruptible(), &cfg);
         let g = rep.gantt.as_ref().unwrap();

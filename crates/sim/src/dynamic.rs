@@ -17,7 +17,7 @@
 //!
 //! Experiment E18 compares the two policies around a mid-run degradation.
 
-use crate::engine::{BufferTracker, EventQueue, SimConfig, SimReport};
+use crate::engine::{tick_scale_hint, BufferTracker, EventQueue, SimConfig, SimReport};
 use crate::error::SimError;
 use crate::gantt::{Gantt, SegmentKind};
 use bwfirst_core::schedule::{EventDrivenSchedule, LocalScheduleKind, SlotAction};
@@ -188,7 +188,7 @@ impl DynSim {
             return Ok(()); // nothing schedulable; keep the old one
         }
         self.schedule =
-            EventDrivenSchedule::build(&self.platform, &ss, LocalScheduleKind::Interleaved);
+            EventDrivenSchedule::build(&self.platform, &ss, LocalScheduleKind::Interleaved)?;
         for n in &mut self.nodes {
             n.cursor = 0;
         }
@@ -271,16 +271,28 @@ pub fn simulate_dynamic(
     if !ss.throughput.is_positive() {
         return Err(SimError::NotSchedulable);
     }
-    let schedule = EventDrivenSchedule::standard(platform, &ss);
+    let schedule = EventDrivenSchedule::standard(platform, &ss)?;
     let root_sched = schedule.tree.get(platform.root()).ok_or(SimError::InactiveRoot)?;
     let release_step = Rat::from_int(root_sched.t_omega) / Rat::from_int(root_sched.bunch);
+    // Scale hint: the initial platform durations plus the announced change
+    // times, their new link costs, and the adaptation delay. A re-derived
+    // schedule's release step may still miss this scale — such events simply
+    // demote to the exact lane one by one.
+    let mut extras = vec![release_step];
+    for ch in changes {
+        extras.push(ch.at);
+        extras.push(ch.new_c);
+    }
+    if let AdaptPolicy::Renegotiate { delay } = policy {
+        extras.push(delay);
+    }
     let n = platform.len();
     let mut sim = DynSim {
         platform: platform.clone(),
         schedule,
         cfg: cfg.clone(),
         changes: changes.to_vec(),
-        queue: EventQueue::new(),
+        queue: EventQueue::with_scale(cfg.queue_scale(tick_scale_hint(platform, &extras))),
         nodes: (0..n)
             .map(|_| NodeState {
                 cursor: 0,
@@ -337,6 +349,7 @@ mod tests {
             stop_injection_at: None,
             total_tasks: None,
             record_gantt: false,
+            exact_queue: false,
         };
         let (rep, _) = simulate_dynamic(&p, &degrade_at_120(), AdaptPolicy::Stale, &cfg).unwrap();
         let before = rep.throughput_in(rat(76, 1), rat(112, 1));
@@ -356,6 +369,7 @@ mod tests {
             stop_injection_at: None,
             total_tasks: None,
             record_gantt: true,
+            exact_queue: false,
         };
         let policy = AdaptPolicy::Renegotiate { delay: rat(5, 1) };
         let (rep, adaptations) = simulate_dynamic(&p, &degrade_at_120(), policy, &cfg).unwrap();
@@ -380,6 +394,7 @@ mod tests {
             stop_injection_at: None,
             total_tasks: None,
             record_gantt: false,
+            exact_queue: false,
         };
         let policy = AdaptPolicy::Renegotiate { delay: rat(2, 1) };
         let (rep, adaptations) = simulate_dynamic(&p, &changes, policy, &cfg).unwrap();
@@ -396,6 +411,7 @@ mod tests {
             stop_injection_at: Some(rat(400, 1)),
             total_tasks: None,
             record_gantt: false,
+            exact_queue: false,
         };
         let policy = AdaptPolicy::Renegotiate { delay: rat(5, 1) };
         let (rep, _) = simulate_dynamic(&p, &degrade_at_120(), policy, &cfg).unwrap();

@@ -5,12 +5,15 @@
 //! surfaces as a [`SimError`] from `simulate*` instead of a panic deep in
 //! the event loop.
 
+use bwfirst_core::ScheduleError;
 use bwfirst_platform::NodeId;
 use std::fmt;
 
 /// Everything an executor can reject about its inputs mid-run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimError {
+    /// Rebuilding a schedule failed (period lcm overflow).
+    Schedule(ScheduleError),
     /// The root has no schedule: a zero-throughput platform has nothing to
     /// simulate.
     InactiveRoot,
@@ -31,6 +34,7 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            SimError::Schedule(e) => write!(f, "schedule reconstruction failed: {e}"),
             SimError::InactiveRoot => write!(f, "root is inactive: nothing to simulate"),
             SimError::NoSchedule(n) => write!(f, "{n} received a task but has no schedule"),
             SimError::MissingLink(n) => write!(f, "platform has no link weight into {n}"),
@@ -42,3 +46,9 @@ impl fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+impl From<ScheduleError> for SimError {
+    fn from(e: ScheduleError) -> SimError {
+        SimError::Schedule(e)
+    }
+}

@@ -20,7 +20,7 @@
 //!   stays off until it has received its steady-state stock `χ_{-1}`, so
 //!   the start-up performs no useful computation.
 
-use crate::engine::{BufferTracker, EventQueue, SimConfig, SimReport};
+use crate::engine::{tick_scale_hint, BufferTracker, EventQueue, SimConfig, SimReport};
 use crate::error::SimError;
 use crate::gantt::SegmentKind;
 use crate::probe::{GanttProbe, Probe};
@@ -310,7 +310,7 @@ pub fn simulate_with_policy_probed(
         platform,
         schedule,
         cfg,
-        queue: EventQueue::new(),
+        queue: EventQueue::with_scale(cfg.queue_scale(tick_scale_hint(platform, &[release_step]))),
         nodes,
         buffers: BufferTracker::new(n),
         probe,
@@ -335,7 +335,7 @@ mod tests {
     fn setup() -> (Platform, SteadyState, EventDrivenSchedule) {
         let p = example_tree();
         let ss = SteadyState::from_solution(&bw_first(&p));
-        let ev = EventDrivenSchedule::standard(&p, &ss);
+        let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
         (p, ss, ev)
     }
 
@@ -409,6 +409,7 @@ mod tests {
             stop_injection_at: Some(rat(115, 1)),
             total_tasks: None,
             record_gantt: false,
+            exact_queue: false,
         };
         let rep = simulate(&p, &ev, &cfg).unwrap();
         let wd = rep.wind_down().expect("injection stopped");
@@ -426,6 +427,7 @@ mod tests {
             stop_injection_at: None,
             total_tasks: Some(50),
             record_gantt: false,
+            exact_queue: false,
         };
         let rep = simulate(&p, &ev, &cfg).unwrap();
         assert_eq!(rep.received[0], 50);
@@ -441,6 +443,7 @@ mod tests {
             stop_injection_at: Some(rat(200, 1)),
             total_tasks: None,
             record_gantt: false,
+            exact_queue: false,
         };
         let rep = simulate(&p, &ev, &cfg).unwrap();
         // Everything injected is eventually computed somewhere.
@@ -484,13 +487,14 @@ mod tests {
         // as fast as they receive them" — visible as lower sojourn times
         // than the bursty all-at-once order.
         let (p, ss, _) = setup();
-        let inter = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::Interleaved);
-        let burst = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::AllAtOnce);
+        let inter = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::Interleaved).unwrap();
+        let burst = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::AllAtOnce).unwrap();
         let cfg = SimConfig {
             horizon: rat(400, 1),
             stop_injection_at: None,
             total_tasks: None,
             record_gantt: false,
+            exact_queue: false,
         };
         let ri = simulate(&p, &inter, &cfg).unwrap();
         let rb = simulate(&p, &burst, &cfg).unwrap();
@@ -505,13 +509,14 @@ mod tests {
     #[test]
     fn interleaved_buffers_no_worse_than_all_at_once() {
         let (p, ss, _) = setup();
-        let inter = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::Interleaved);
-        let burst = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::AllAtOnce);
+        let inter = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::Interleaved).unwrap();
+        let burst = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::AllAtOnce).unwrap();
         let cfg = SimConfig {
             horizon: rat(300, 1),
             stop_injection_at: None,
             total_tasks: None,
             record_gantt: false,
+            exact_queue: false,
         };
         let ri = simulate(&p, &inter, &cfg).unwrap();
         let rb = simulate(&p, &burst, &cfg).unwrap();

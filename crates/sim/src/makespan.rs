@@ -46,6 +46,7 @@ where
             stop_injection_at: None,
             total_tasks: Some(tasks),
             record_gantt: false,
+            exact_queue: false,
         };
         let rep = run(&cfg);
         if rep.total_computed() >= tasks {
@@ -92,7 +93,7 @@ mod tests {
     fn setup() -> (Platform, SteadyState, EventDrivenSchedule) {
         let p = example_tree();
         let ss = SteadyState::from_solution(&bw_first(&p));
-        let ev = EventDrivenSchedule::standard(&p, &ss);
+        let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
         (p, ss, ev)
     }
 

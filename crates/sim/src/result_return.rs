@@ -322,6 +322,7 @@ mod tests {
             stop_injection_at: None,
             total_tasks: Some(40),
             record_gantt: false,
+            exact_queue: false,
         };
         let rep = simulate(&rr, &cfg);
         assert_eq!(rep.completions.len(), 40);

@@ -316,7 +316,7 @@ mod tests {
     fn setup() -> (Platform, SteadyState, EventDrivenSchedule) {
         let p = example_tree();
         let ss = SteadyState::from_solution(&bw_first(&p));
-        let ev = EventDrivenSchedule::standard(&p, &ss);
+        let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
         (p, ss, ev)
     }
 
@@ -327,6 +327,7 @@ mod tests {
             stop_injection_at: None,
             total_tasks: None,
             record_gantt: false,
+            exact_queue: false,
         };
         let rep = simulate_with_returns(&p, &ev, ReturnConfig { return_ratio: ratio }, &cfg);
         // Period-aligned window (4 x 36) well past start-up.
@@ -367,6 +368,7 @@ mod tests {
             stop_injection_at: None,
             total_tasks: Some(60),
             record_gantt: false,
+            exact_queue: false,
         };
         let rep = simulate_with_returns(&p, &ev, ReturnConfig { return_ratio: rat(1, 2) }, &cfg);
         // Every computed task's result eventually reached the root.

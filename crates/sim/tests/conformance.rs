@@ -16,12 +16,17 @@ use bwfirst_sim::{event_driven, SimConfig, Utilization, UtilizationProbe};
 /// Runs all three executors over `horizon` and returns, per executor, the
 /// measured second-half throughput and the utilization report.
 fn run_all(p: &Platform, ss: &SteadyState, horizon: Rat) -> Vec<(&'static str, Rat, Utilization)> {
-    let cfg =
-        SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+    let cfg = SimConfig {
+        horizon,
+        stop_injection_at: None,
+        total_tasks: None,
+        record_gantt: false,
+        exact_queue: false,
+    };
     let half = horizon / Rat::TWO;
     let mut out = Vec::new();
 
-    let ev = EventDrivenSchedule::standard(p, ss);
+    let ev = EventDrivenSchedule::standard(p, ss).unwrap();
     let mut util = UtilizationProbe::new(p.len(), horizon);
     let rep = event_driven::simulate_probed(p, &ev, &cfg, &mut util).expect("simulate");
     out.push(("event-driven", rep.throughput_in(half, horizon), util.finish()));
@@ -49,7 +54,7 @@ fn executors_agree_on_steady_throughput_across_seeds() {
         }
         // Long horizon: measurement windows are not period-aligned, so allow
         // one bunch of slack either way (a rational, not float, tolerance).
-        let period = bwfirst_core::schedule::synchronous_period(&ss);
+        let period = bwfirst_core::schedule::synchronous_period(&ss).unwrap();
         let horizon = Rat::from_int((period * 16).clamp(400, 60_000));
         let half = horizon / Rat::TWO;
         let tol = Rat::from_int(2 * period) / half; // ≤ 2 periods of drift
@@ -74,7 +79,7 @@ fn executors_agree_with_each_other_tightly() {
         if !ss.throughput.is_positive() {
             continue;
         }
-        let period = bwfirst_core::schedule::synchronous_period(&ss);
+        let period = bwfirst_core::schedule::synchronous_period(&ss).unwrap();
         let horizon = Rat::from_int((period * 16).clamp(400, 60_000));
         let runs = run_all(&p, &ss, horizon);
         let (base_name, base, _) = &runs[0];

@@ -23,13 +23,13 @@ use bwfirst::sim::{event_driven, SimConfig};
 use bwfirst::Rat;
 
 fn describe(label: &str, p: &bwfirst::platform::Platform, ss: &SteadyState) {
-    let ts = TreeSchedule::build(p, ss);
+    let ts = TreeSchedule::build(p, ss).unwrap();
     let max_omega = ts.iter().map(|s| s.t_omega).max().unwrap_or(1);
     let max_bunch = ts.iter().map(|s| s.bunch).max().unwrap_or(0);
     println!(
         "{label:<12} rate {:>9.6}  sync T {:>12}  max T^w {:>12}  max bunch {:>12}",
         ss.throughput.to_f64(),
-        synchronous_period(ss),
+        synchronous_period(ss).unwrap(),
         max_omega,
         max_bunch
     );
@@ -64,11 +64,16 @@ fn main() {
 
     // Run the quantized schedule for a few periods: it must deliver its own
     // predicted rate exactly.
-    let ev = EventDrivenSchedule::standard(&p, &q);
+    let ev = EventDrivenSchedule::standard(&p, &q).unwrap();
     let settle = Rat::from_int(startup::tree_startup_bound(&p, &ev.tree)) + rat(2520, 1);
     let horizon = settle + rat(2520, 1) * rat(2, 1);
-    let cfg =
-        SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+    let cfg = SimConfig {
+        horizon,
+        stop_injection_at: None,
+        total_tasks: None,
+        record_gantt: false,
+        exact_queue: false,
+    };
     let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
     let measured = rep.throughput_in(settle, settle + rat(2520, 1));
     println!("\nsimulated quantized schedule over one grid period:");

@@ -21,10 +21,15 @@ use bwfirst::Rat;
 
 fn measure(platform: &bwfirst::platform::Platform, schedule: &EventDrivenSchedule) -> Rat {
     let ss = SteadyState::from_solution(&bw_first(platform));
-    let window = Rat::from_int(synchronous_period(&ss));
+    let window = Rat::from_int(synchronous_period(&ss).unwrap());
     let horizon = window * rat(8, 1);
-    let cfg =
-        SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+    let cfg = SimConfig {
+        horizon,
+        stop_injection_at: None,
+        total_tasks: None,
+        record_gantt: false,
+        exact_queue: false,
+    };
     let rep = event_driven::simulate(platform, schedule, &cfg).expect("simulate");
     rep.throughput_in(horizon / Rat::TWO, horizon)
 }
@@ -33,7 +38,7 @@ fn main() {
     let healthy = example_tree();
     let sol = bw_first(&healthy);
     let ss = SteadyState::from_solution(&sol);
-    let schedule = EventDrivenSchedule::standard(&healthy, &ss);
+    let schedule = EventDrivenSchedule::standard(&healthy, &ss).unwrap();
     println!("phase 1: healthy platform");
     println!("  negotiated optimum : {}", sol.throughput());
     println!("  simulated rate     : {}", measure(&healthy, &schedule));
@@ -56,7 +61,7 @@ fn main() {
     // adaptation loop) — a few dozen single-number messages.
     let sol2 = bw_first(&degraded);
     let ss2 = SteadyState::from_solution(&sol2);
-    let schedule2 = EventDrivenSchedule::standard(&degraded, &ss2);
+    let schedule2 = EventDrivenSchedule::standard(&degraded, &ss2).unwrap();
     println!("\nphase 3: root re-initiates BW-First on the degraded platform");
     println!("  renegotiated rate  : {}", sol2.throughput());
     println!("  protocol messages  : {}", sol2.message_count() + 2);
@@ -65,7 +70,8 @@ fn main() {
     // The link heals; renegotiate once more.
     let healed = healthy;
     let sol3 = bw_first(&healed);
-    let schedule3 = EventDrivenSchedule::standard(&healed, &SteadyState::from_solution(&sol3));
+    let schedule3 =
+        EventDrivenSchedule::standard(&healed, &SteadyState::from_solution(&sol3)).unwrap();
     println!("\nphase 4: link heals, renegotiate again");
     println!("  renegotiated rate  : {}", sol3.throughput());
     println!("  simulated rate     : {}", measure(&healed, &schedule3));

@@ -42,7 +42,7 @@ fn main() {
     }
 
     // 3. The clockless event-driven schedule (the Figure 4(d) view).
-    let schedule = EventDrivenSchedule::standard(&platform, &ss);
+    let schedule = EventDrivenSchedule::standard(&platform, &ss).unwrap();
     println!();
     for s in schedule.tree.iter() {
         let order: Vec<String> = schedule

@@ -43,7 +43,7 @@ fn main() {
         platform.len() - solution.visit_count()
     );
 
-    let schedule = EventDrivenSchedule::standard(&platform, &ss);
+    let schedule = EventDrivenSchedule::standard(&platform, &ss).unwrap();
     let bound = startup::tree_startup_bound(&platform, &schedule.tree);
     println!("Proposition 4 start-up bound: {bound} time units");
 
@@ -55,12 +55,13 @@ fn main() {
         stop_injection_at: None,
         total_tasks: Some(total),
         record_gantt: false,
+        exact_queue: false,
     };
     let report = event_driven::simulate(&platform, &schedule, &cfg).expect("simulate");
     assert_eq!(report.total_computed(), total, "every work unit computed");
 
     let makespan = report.last_completion().expect("work done");
-    let window = Rat::from_int(synchronous_period(&ss));
+    let window = Rat::from_int(synchronous_period(&ss).unwrap());
     println!("\ncampaign of {total} work units:");
     println!("  makespan            : {:.2} time units", makespan.to_f64());
     println!("  ideal (rate-limited): {:.2}", (Rat::from(total as usize) / ss.throughput).to_f64());

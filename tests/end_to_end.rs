@@ -35,7 +35,7 @@ fn example_tree_full_pipeline() {
     // Rates → schedule → Proposition 4 bound.
     let ss = SteadyState::from_solution(&sol);
     ss.verify(&p).unwrap();
-    let ev = EventDrivenSchedule::standard(&p, &ss);
+    let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
     let bound = startup::tree_startup_bound(&p, &ev.tree);
     assert_eq!(bound, 27);
 
@@ -67,17 +67,22 @@ fn simulator_matches_prediction_on_random_trees() {
         if !ss.throughput.is_positive() {
             continue;
         }
-        let window = Rat::from_int(synchronous_period(&ss));
+        let window = Rat::from_int(synchronous_period(&ss).unwrap());
         // Skip degenerate lcm blow-ups (they are exercised elsewhere).
         if window > rat(5_000, 1) {
             continue;
         }
-        let ts = TreeSchedule::build(&p, &ss);
+        let ts = TreeSchedule::build(&p, &ss).unwrap();
         let settle = Rat::from_int(startup::tree_startup_bound(&p, &ts)) + window;
         let horizon = settle + window * rat(3, 1);
-        let ev = EventDrivenSchedule::standard(&p, &ss);
-        let cfg =
-            SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+        let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
+        let cfg = SimConfig {
+            horizon,
+            stop_injection_at: None,
+            total_tasks: None,
+            record_gantt: false,
+            exact_queue: false,
+        };
         let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
         let measured = rep.throughput_in(settle, settle + window * rat(2, 1));
         assert_eq!(measured, ss.throughput, "seed {seed}: measured {measured} vs predicted");
@@ -92,8 +97,13 @@ fn demand_driven_bounded_by_optimum() {
         let p = supply_tree(31, seed);
         let ss = SteadyState::from_solution(&bw_first(&p));
         let horizon = rat(600, 1);
-        let cfg =
-            SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+        let cfg = SimConfig {
+            horizon,
+            stop_injection_at: None,
+            total_tasks: None,
+            record_gantt: false,
+            exact_queue: false,
+        };
         let rep = demand_driven::simulate(&p, DemandConfig::default(), &cfg);
         let measured = rep.throughput_in(horizon / Rat::TWO, horizon);
         // A finite window can beat the steady rate by draining the backlog
@@ -114,12 +124,13 @@ fn demand_driven_bounded_by_optimum() {
 fn wind_down_drains_completely() {
     let p = example_tree();
     let ss = SteadyState::from_solution(&bw_first(&p));
-    let ev = EventDrivenSchedule::standard(&p, &ss);
+    let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
     let cfg = SimConfig {
         horizon: rat(400, 1),
         stop_injection_at: Some(rat(150, 1)),
         total_tasks: None,
         record_gantt: false,
+        exact_queue: false,
     };
     let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
     assert_eq!(rep.total_computed(), rep.received[0]);
@@ -138,15 +149,20 @@ fn quantized_pipeline_delivers_its_rate() {
     let q = quantize(&p, &exact, grid);
     q.verify(&p).unwrap();
     assert!(exact.throughput - q.throughput <= loss_bound(&p, &exact, grid));
-    let ts = TreeSchedule::build(&p, &q);
+    let ts = TreeSchedule::build(&p, &q).unwrap();
     for s in ts.iter() {
         assert_eq!(grid % s.t_omega, 0);
     }
-    let ev = EventDrivenSchedule::standard(&p, &q);
+    let ev = EventDrivenSchedule::standard(&p, &q).unwrap();
     let settle = Rat::from_int(startup::tree_startup_bound(&p, &ts)) + Rat::from_int(grid);
     let horizon = settle + Rat::from_int(2 * grid);
-    let cfg =
-        SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
+    let cfg = SimConfig {
+        horizon,
+        stop_injection_at: None,
+        total_tasks: None,
+        record_gantt: false,
+        exact_queue: false,
+    };
     let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
     assert_eq!(rep.throughput_in(settle, settle + Rat::from_int(grid)), q.throughput);
 }

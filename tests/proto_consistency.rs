@@ -56,7 +56,7 @@ proptest! {
     fn flow_routes_psi_proportions(p in arb_platform(), bunches in 1u64..6) {
         let ss = SteadyState::from_solution(&bw_first(&p));
         prop_assume!(ss.throughput.is_positive());
-        let ts = TreeSchedule::build(&p, &ss);
+        let ts = TreeSchedule::build(&p, &ss).unwrap();
         let root_bunch = ts.get(p.root()).map_or(0, |s| s.bunch) as u64;
         prop_assume!(root_bunch > 0 && root_bunch * bunches <= 50_000);
         let session = ProtocolSession::spawn(&p).expect("spawn actor tree");

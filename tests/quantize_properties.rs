@@ -55,9 +55,9 @@ proptest! {
 
         // 5. The derived schedule validates and has periods dividing G.
         if q.throughput.is_positive() {
-            let ev = EventDrivenSchedule::standard(&p, &q);
+            let ev = EventDrivenSchedule::standard(&p, &q).unwrap();
             prop_assert!(validate_schedule(&p, &q, &ev).is_empty());
-            let ts = TreeSchedule::build(&p, &q);
+            let ts = TreeSchedule::build(&p, &q).unwrap();
             for s in ts.iter() {
                 prop_assert_eq!(grid % s.t_omega, 0, "T^w at {}", s.node);
             }

@@ -29,7 +29,7 @@ fn arb_platform() -> impl Strategy<Value = Platform> {
 
 fn build(p: &Platform) -> (SteadyState, TreeSchedule) {
     let ss = SteadyState::from_solution(&bw_first(p));
-    let ts = TreeSchedule::build(p, &ss);
+    let ts = TreeSchedule::build(p, &ss).unwrap();
     (ss, ts)
 }
 
@@ -39,7 +39,7 @@ proptest! {
     #[test]
     fn periods_divide_each_other(p in arb_platform()) {
         let (ss, ts) = build(&p);
-        let sync = synchronous_period(&ss);
+        let sync = synchronous_period(&ss).unwrap();
         for s in ts.iter() {
             prop_assert_eq!(s.t_omega % s.t_comp, 0);
             prop_assert_eq!(s.t_omega % s.t_send, 0);
@@ -117,7 +117,7 @@ proptest! {
     fn local_orders_preserve_counts(p in arb_platform()) {
         let (ss, ts) = build(&p);
         for kind in [LocalScheduleKind::Interleaved, LocalScheduleKind::AllAtOnce, LocalScheduleKind::RoundRobin] {
-            let ev = EventDrivenSchedule::build(&p, &ss, kind);
+            let ev = EventDrivenSchedule::build(&p, &ss, kind).unwrap();
             for s in ts.iter() {
                 let ls = ev.local(s.node).unwrap();
                 prop_assert_eq!(ls.actions.len() as i128, s.bunch);
@@ -136,8 +136,8 @@ proptest! {
         // The interleaved order's max cyclic gap between same-destination
         // actions is never worse than the all-at-once order's.
         let (ss, ts) = build(&p);
-        let inter = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::Interleaved);
-        let burst = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::AllAtOnce);
+        let inter = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::Interleaved).unwrap();
+        let burst = EventDrivenSchedule::build(&p, &ss, LocalScheduleKind::AllAtOnce).unwrap();
         let max_gap = |actions: &[SlotAction], target: &SlotAction| -> usize {
             let pos: Vec<usize> = actions.iter().enumerate().filter(|(_, a)| *a == target).map(|(i, _)| i).collect();
             if pos.len() < 2 {

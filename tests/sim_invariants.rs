@@ -32,13 +32,14 @@ fn arb_platform() -> impl Strategy<Value = Platform> {
 /// flush (each node drains into its children at its steady rate), so the
 /// horizon scales with depth × period.
 fn drain_cfg(p: &Platform, ss: &SteadyState) -> SimConfig {
-    let period = bwfirst::core::schedule::synchronous_period(ss);
+    let period = bwfirst::core::schedule::synchronous_period(ss).unwrap();
     let levels = p.height() as i128 + 2;
     SimConfig {
         horizon: rat(120 + levels * period + 200, 1),
         stop_injection_at: Some(rat(120, 1)),
         total_tasks: None,
         record_gantt: true,
+        exact_queue: false,
     }
 }
 
@@ -71,8 +72,8 @@ proptest! {
         let ss = SteadyState::from_solution(&bw_first(&p));
         prop_assume!(ss.throughput.is_positive());
         // Period explosions make simulation pointless here.
-        prop_assume!(bwfirst::core::schedule::synchronous_period(&ss) <= 20_000);
-        let ev = EventDrivenSchedule::standard(&p, &ss);
+        prop_assume!(bwfirst::core::schedule::synchronous_period(&ss).unwrap() <= 20_000);
+        let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
         let rep = event_driven::simulate(&p, &ev, &drain_cfg(&p, &ss)).expect("simulate");
         check_no_overlap(&rep)?;
         check_conservation(&p, &rep, &vec![0; p.len()])?;
@@ -103,8 +104,8 @@ proptest! {
     fn clocked_invariants(p in arb_platform(), prefill in any::<bool>()) {
         let ss = SteadyState::from_solution(&bw_first(&p));
         prop_assume!(ss.throughput.is_positive());
-        prop_assume!(bwfirst::core::schedule::synchronous_period(&ss) <= 5_000);
-        let ts = TreeSchedule::build(&p, &ss);
+        prop_assume!(bwfirst::core::schedule::synchronous_period(&ss).unwrap() <= 5_000);
+        let ts = TreeSchedule::build(&p, &ss).unwrap();
         let chi: Vec<u64> = p
             .node_ids()
             .map(|id| ts.get(id).and_then(|s| s.chi_in).unwrap_or(0) as u64)
@@ -122,15 +123,15 @@ proptest! {
         // over aligned steady windows.
         let ss = SteadyState::from_solution(&bw_first(&p));
         prop_assume!(ss.throughput.is_positive());
-        let period = bwfirst::core::schedule::synchronous_period(&ss);
+        let period = bwfirst::core::schedule::synchronous_period(&ss).unwrap();
         prop_assume!(period <= 2_000);
         let window = Rat::from_int(period);
-        let ts = TreeSchedule::build(&p, &ss);
+        let ts = TreeSchedule::build(&p, &ss).unwrap();
         let bound = Rat::from_int(bwfirst::core::startup::tree_startup_bound(&p, &ts));
         let start = bound + window;
         let horizon = start + window * rat(3, 1);
-        let cfg = SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false };
-        let ev = EventDrivenSchedule::standard(&p, &ss);
+        let cfg = SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false, exact_queue: false };
+        let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
         let a = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
         let b = clocked::simulate(&p, &ts, ClockedConfig { prefill: true }, &cfg).expect("simulate");
         let ra = a.throughput_in(start, start + window * Rat::TWO);
