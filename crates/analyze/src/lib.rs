@@ -15,13 +15,22 @@
 //!    Proposition 2 (`2 × visited` messages), and agreement with the
 //!    centralized bottom-up reduction.
 //!
+//! A third, smaller layer rides along: [`snapshots`] validates the JSONL
+//! health-telemetry streams written by `bwfirst monitor --snapshots`, so
+//! CI catches schema drift between the simulator's monitor and whatever
+//! consumes its output. Model-checker counterexamples also render as
+//! `bwfirst-postmortem/1` artifacts ([`Violation::to_postmortem`]) — the
+//! same crash-dump format the simulator's runtime monitors emit.
+//!
 //! See `docs/ANALYSIS.md` for rule-by-rule rationale and how to read
 //! model-checker counterexamples.
 
 pub mod lexer;
 pub mod model;
 pub mod rules;
+pub mod snapshots;
 pub mod trees;
 
 pub use model::{check, ModelReport, Violation};
 pub use rules::{lint_file_unscoped, lint_source, lint_workspace, rules_for, Finding};
+pub use snapshots::{validate_jsonl, SnapshotError};

@@ -1,17 +1,20 @@
 //! `bwfirst-analyze` — workspace lint + protocol model checking.
 //!
 //! ```text
-//! bwfirst-analyze [lint|model|all|fixture <path>] [flags]
+//! bwfirst-analyze [lint|model|all|fixture <path>|snapshots <path>] [flags]
 //!
 //!   lint             run the source invariant rules (R1–R4) over crates/
 //!   model            exhaustively model-check the negotiation protocol
 //!   all              both layers (default)
 //!   fixture <path>   lint one file with every rule, ignoring path scopes
+//!   snapshots <path> schema-check a monitor snapshot stream (.jsonl)
 //!
 //!   --root DIR       workspace root to lint (default: .)
 //!   --max-nodes N    model-check all trees up to N nodes (default: 7)
 //!   --threads N      worker threads for the model checker
 //!                    (default: available parallelism)
+//!   --postmortem P   write the first model counterexample to P as a
+//!                    `bwfirst-postmortem/1` artifact
 //!   --json           machine-readable findings on stdout
 //!   --deny-all       CI mode: also reject unknown rule names in
 //!                    `lint: allow(...)` markers
@@ -20,17 +23,19 @@
 //! Exit code 0 when clean, 1 on any finding or property violation, 2 on
 //! usage errors.
 
-use bwfirst_analyze::{lexer, model, rules};
+use bwfirst_analyze::{lexer, model, rules, snapshots};
 use bwfirst_obs::json::{obj, Value};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Options {
     command: String,
-    fixture: Option<PathBuf>,
+    /// Path operand of the `fixture` / `snapshots` commands.
+    path: Option<PathBuf>,
     root: PathBuf,
     max_nodes: usize,
     threads: usize,
+    postmortem: Option<PathBuf>,
     json: bool,
     deny_all: bool,
 }
@@ -38,7 +43,8 @@ struct Options {
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         command: "all".to_string(),
-        fixture: None,
+        path: None,
+        postmortem: None,
         root: PathBuf::from("."),
         max_nodes: 7,
         threads: bwfirst_parallel::available_threads(),
@@ -62,13 +68,17 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--threads needs a value")?;
                 opts.threads = v.parse().map_err(|_| format!("bad --threads `{v}`"))?;
             }
+            "--postmortem" => {
+                opts.postmortem =
+                    Some(PathBuf::from(it.next().ok_or("--postmortem needs a value")?));
+            }
             "lint" | "model" | "all" if !saw_command => {
                 opts.command = a.clone();
                 saw_command = true;
             }
-            "fixture" if !saw_command => {
-                opts.command = "fixture".to_string();
-                opts.fixture = Some(PathBuf::from(it.next().ok_or("fixture needs a path")?));
+            "fixture" | "snapshots" if !saw_command => {
+                opts.command = a.clone();
+                opts.path = Some(PathBuf::from(it.next().ok_or(format!("{a} needs a path"))?));
                 saw_command = true;
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -84,8 +94,9 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("bwfirst-analyze: {e}");
             eprintln!(
-                "usage: bwfirst-analyze [lint|model|all|fixture <path>] \
-                       [--root DIR] [--max-nodes N] [--threads N] [--json] [--deny-all]"
+                "usage: bwfirst-analyze [lint|model|all|fixture <path>|snapshots <path>] \
+                       [--root DIR] [--max-nodes N] [--threads N] [--postmortem P] \
+                       [--json] [--deny-all]"
             );
             return ExitCode::from(2);
         }
@@ -99,8 +110,18 @@ fn main() -> ExitCode {
             dirty |= run_lint(&opts);
             dirty |= run_model(&opts);
         }
+        "snapshots" => {
+            let path = opts.path.as_deref().expect("snapshots path parsed");
+            match run_snapshots(path, opts.json) {
+                Ok(clean) => dirty |= !clean,
+                Err(e) => {
+                    eprintln!("bwfirst-analyze: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
         "fixture" => {
-            let path = opts.fixture.as_deref().expect("fixture path parsed");
+            let path = opts.path.as_deref().expect("fixture path parsed");
             match rules::lint_file_unscoped(path) {
                 Ok(findings) => {
                     emit_findings(&findings, opts.json);
@@ -195,11 +216,65 @@ fn emit_findings(findings: &[rules::Finding], json: bool) {
     }
 }
 
+/// Schema-checks a monitor snapshot stream; `Ok(true)` when clean. `Err`
+/// means the file itself was unreadable (usage error, exit 2).
+fn run_snapshots(path: &std::path::Path, json: bool) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    match snapshots::validate_jsonl(&text) {
+        Ok(n) => {
+            if json {
+                let summary = obj(vec![
+                    ("snapshots", Value::Int(n as i128)),
+                    ("errors", Value::Array(Vec::new())),
+                ]);
+                println!("{}", summary.to_string_compact());
+            } else {
+                println!("snapshots: {n} snapshot(s), schema clean");
+            }
+            Ok(true)
+        }
+        Err(errors) => {
+            if json {
+                let arr = Value::Array(
+                    errors
+                        .iter()
+                        .map(|e| {
+                            obj(vec![
+                                ("line", Value::Int(e.line as i128)),
+                                ("message", Value::from(e.message.as_str())),
+                            ])
+                        })
+                        .collect(),
+                );
+                println!("{}", obj(vec![("errors", arr)]).to_string_compact());
+            } else {
+                for e in &errors {
+                    println!("{e}");
+                }
+                println!("snapshots: {} error(s)", errors.len());
+            }
+            Ok(false)
+        }
+    }
+}
+
 /// Runs the model checker; returns true when violations were found.
 fn run_model(opts: &Options) -> bool {
     let start = std::time::Instant::now();
     let report = model::check(opts.max_nodes, 8, opts.threads);
     let elapsed = start.elapsed();
+    if let Some(path) = &opts.postmortem {
+        if let Some(v) = report.violations.first() {
+            let dump = v.to_postmortem().to_string_pretty();
+            match std::fs::write(path, dump + "\n") {
+                Ok(()) => {
+                    eprintln!("model: counterexample post-mortem written to {}", path.display())
+                }
+                Err(e) => eprintln!("bwfirst-analyze: cannot write {}: {e}", path.display()),
+            }
+        }
+    }
     if opts.json {
         let violations = Value::Array(
             report

@@ -24,6 +24,8 @@
 
 use crate::trees::{for_each_instance, Instance};
 use bwfirst_core::bottom_up;
+use bwfirst_obs::json::{obj, Value};
+use bwfirst_obs::{Event, EventKind, FlightRecorder, Recorder, Ts};
 use bwfirst_parallel::Pool;
 use bwfirst_platform::Weight;
 use bwfirst_proto::machine::Outgoing;
@@ -248,6 +250,35 @@ pub struct Violation {
     pub trace: Vec<String>,
     /// Which assertion failed.
     pub message: String,
+}
+
+impl Violation {
+    /// The shared violation-object shape (`layer`/`kind`/`message`) used by
+    /// `bwfirst-postmortem/1` artifacts, plus the offending instance.
+    #[must_use]
+    pub fn to_violation_json(&self) -> Value {
+        obj(vec![
+            ("layer", Value::from("proto")),
+            ("kind", Value::from("model-check")),
+            ("message", Value::from(self.message.as_str())),
+            ("instance", Value::from(self.instance.as_str())),
+        ])
+    }
+
+    /// Renders the counterexample as a `bwfirst-postmortem/1` artifact —
+    /// the same format the simulator's runtime monitors dump — by replaying
+    /// the delivery trace into a [`FlightRecorder`] as instant events (the
+    /// timestamp is the 1-based step index; the model has no clock).
+    #[must_use]
+    pub fn to_postmortem(&self) -> Value {
+        let mut flight = FlightRecorder::new(self.trace.len().max(1));
+        for (k, step) in self.trace.iter().enumerate() {
+            let ts = Ts::new(k as i128 + 1, 1);
+            flight.event(Event::new(ts, 0, step.clone(), EventKind::Instant));
+            flight.add("model.deliveries", 1);
+        }
+        flight.postmortem(&self.message, Value::Array(vec![self.to_violation_json()]))
+    }
 }
 
 impl std::fmt::Display for Violation {
@@ -510,5 +541,26 @@ mod tests {
         let text = format!("{v}");
         assert!(text.contains("VIOLATION: demo"));
         assert!(text.contains("1. deliver Proposal"));
+    }
+
+    #[test]
+    fn counterexamples_dump_the_shared_postmortem_artifact() {
+        let v = Violation {
+            instance: "tree n=2 variant=0 parents=[0]\n".into(),
+            trace: vec![
+                "deliver Proposal(lambda=2) to P0".into(),
+                "deliver Ack(theta=0) from P0 to the driver".into(),
+            ],
+            message: "demo".into(),
+        };
+        let dump = v.to_postmortem();
+        assert_eq!(dump["format"].as_str(), Some("bwfirst-postmortem/1"));
+        assert_eq!(dump["reason"].as_str(), Some("demo"));
+        let viol = dump["violations"].as_array().expect("violations array");
+        assert_eq!(viol[0]["layer"].as_str(), Some("proto"));
+        assert_eq!(viol[0]["kind"].as_str(), Some("model-check"));
+        let events = dump["events"].as_array().expect("events array");
+        assert_eq!(events.len(), 2);
+        assert_eq!(dump["dropped"].as_i128(), Some(0));
     }
 }

@@ -82,14 +82,16 @@ pub fn rules_for(rel: &str) -> Vec<&'static str> {
         rules.push(RULE_FLOAT);
     }
 
-    // R2: protocol actors, simulator event loops, and schedule
-    // reconstruction (period overflow is a typed `ScheduleError`).
+    // R2: protocol actors, simulator event loops, the runtime invariant
+    // monitor, and schedule reconstruction (period overflow is a typed
+    // `ScheduleError`).
     let r2 = in_dir("crates/proto/src/")
         || [
             "crates/sim/src/engine.rs",
             "crates/sim/src/event_driven.rs",
             "crates/sim/src/clocked.rs",
             "crates/sim/src/dynamic.rs",
+            "crates/sim/src/monitor.rs",
             "crates/core/src/schedule.rs",
         ]
         .contains(&rel.as_str());
@@ -386,6 +388,7 @@ mod tests {
         assert!(!rules_for("crates/core/src/float.rs").contains(&RULE_FLOAT));
         assert!(!rules_for("crates/core/src/quantize.rs").contains(&RULE_FLOAT));
         assert!(rules_for("crates/sim/src/event_driven.rs").contains(&RULE_PANIC));
+        assert!(rules_for("crates/sim/src/monitor.rs").contains(&RULE_PANIC));
         assert!(rules_for("crates/core/src/schedule.rs").contains(&RULE_PANIC));
         assert!(!rules_for("crates/sim/src/makespan.rs").contains(&RULE_PANIC));
         assert!(rules_for("crates/obs/src/json.rs").contains(&RULE_WILDCARD));

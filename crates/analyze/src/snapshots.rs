@@ -1,0 +1,222 @@
+//! Schema validation for monitor snapshot streams.
+//!
+//! `bwfirst monitor --snapshots out.jsonl` writes one JSON object per
+//! health window (the simulator monitor's `Snapshot::to_json`). CI pipes
+//! that file through `bwfirst-analyze snapshots <path>` so schema drift
+//! between the emitter and downstream dashboards fails the build instead
+//! of silently producing unreadable telemetry.
+//!
+//! The contract checked here, per line:
+//!
+//! * `window` — non-negative integer, strictly increasing across lines;
+//! * `from`, `to` — exact rational timestamps as strings (`"5/3"`);
+//! * `computed`, `received`, `root_actions`, `queue_depth_max`,
+//!   `buffer_total`, `late_events` — non-negative integers;
+//! * `throughput` — a finite number; `lag` — a finite number or `null`;
+//! * `partial` — boolean (only the final line may set it);
+//! * `node_computed`, `node_received` — equal-length arrays of
+//!   non-negative integers, the same length on every line.
+
+use bwfirst_obs::json::{parse, Value};
+
+/// The integer members every snapshot carries.
+const COUNTERS: [&str; 6] =
+    ["computed", "received", "root_actions", "queue_depth_max", "buffer_total", "late_events"];
+
+/// One schema problem, pre-formatted with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    /// 1-based line in the JSONL stream.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot line {}: {}", self.line, self.message)
+    }
+}
+
+/// Validates a whole snapshot stream; `Ok` carries the line count.
+///
+/// Blank lines are permitted (trailing newlines are normal); everything
+/// else must be a schema-conforming snapshot object.
+pub fn validate_jsonl(text: &str) -> Result<usize, Vec<SnapshotError>> {
+    let mut errors = Vec::new();
+    let mut seen = 0usize;
+    let mut last_window: Option<i128> = None;
+    let mut node_len: Option<usize> = None;
+    let mut partial_at: Option<usize> = None;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut err = |message: String| errors.push(SnapshotError { line: lineno, message });
+        let v = match parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                err(format!("not valid JSON: {e}"));
+                continue;
+            }
+        };
+        seen += 1;
+        if let Some(p) = partial_at {
+            err(format!("follows a partial snapshot on line {p}"));
+            partial_at = None;
+        }
+        check_object(&v, &mut last_window, &mut node_len, &mut partial_at, lineno, &mut err);
+    }
+    if errors.is_empty() {
+        Ok(seen)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Checks one parsed snapshot object, updating the cross-line state.
+fn check_object(
+    v: &Value,
+    last_window: &mut Option<i128>,
+    node_len: &mut Option<usize>,
+    partial_at: &mut Option<usize>,
+    lineno: usize,
+    err: &mut impl FnMut(String),
+) {
+    match v["window"].as_i128() {
+        Some(w) if w >= 0 => {
+            if let Some(prev) = *last_window {
+                if w <= prev {
+                    err(format!("window {w} does not advance past {prev}"));
+                }
+            }
+            *last_window = Some(w);
+        }
+        _ => err("missing or non-integer `window`".to_string()),
+    }
+    for key in ["from", "to"] {
+        match v[key].as_str() {
+            Some(s) if is_rational(s) => {}
+            Some(s) => err(format!("`{key}` is not a rational timestamp: `{s}`")),
+            None => err(format!("missing or non-string `{key}`")),
+        }
+    }
+    for key in COUNTERS {
+        match v[key].as_i128() {
+            Some(n) if n >= 0 => {}
+            Some(n) => err(format!("`{key}` is negative: {n}")),
+            None => err(format!("missing or non-integer `{key}`")),
+        }
+    }
+    match v["throughput"].as_f64() {
+        Some(x) if x.is_finite() => {}
+        _ => err("missing or non-finite `throughput`".to_string()),
+    }
+    if !v["lag"].is_null() && !v["lag"].as_f64().is_some_and(f64::is_finite) {
+        err("`lag` is neither null nor a finite number".to_string());
+    }
+    match &v["partial"] {
+        Value::Bool(p) => {
+            if *p {
+                *partial_at = Some(lineno);
+            }
+        }
+        _ => err("missing or non-boolean `partial`".to_string()),
+    }
+    let mut lengths = [0usize; 2];
+    for (slot, key) in ["node_computed", "node_received"].iter().enumerate() {
+        match v[*key].as_array() {
+            Some(items) => {
+                lengths[slot] = items.len();
+                if items.iter().any(|x| x.as_i128().is_none_or(|n| n < 0)) {
+                    err(format!("`{key}` holds a non-count entry"));
+                }
+            }
+            None => err(format!("missing or non-array `{key}`")),
+        }
+    }
+    if lengths[0] != lengths[1] {
+        err(format!("per-node arrays disagree in length: {} vs {}", lengths[0], lengths[1]));
+    } else if let Some(n) = *node_len {
+        if lengths[0] != n {
+            err(format!("per-node arrays changed length: {} after {n}", lengths[0]));
+        }
+    } else {
+        *node_len = Some(lengths[0]);
+    }
+}
+
+/// `n` or `n/d` with integer parts and a positive denominator.
+fn is_rational(s: &str) -> bool {
+    let (numer, denom) = match s.split_once('/') {
+        Some((n, d)) => (n, Some(d)),
+        None => (s, None),
+    };
+    if numer.parse::<i128>().is_err() {
+        return false;
+    }
+    match denom {
+        Some(d) => d.parse::<i128>().is_ok_and(|d| d > 0),
+        None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(window: i128, partial: bool) -> String {
+        format!(
+            r#"{{"window":{window},"from":"{f}","to":"{t}","computed":40,"received":31,"root_actions":40,"throughput":1.111,"lag":null,"queue_depth_max":7,"buffer_total":3,"late_events":0,"partial":{partial},"node_computed":[9,6,8,4,0,9],"node_received":[0,6,8,4,0,9]}}"#,
+            f = 36 * window,
+            t = 36 * (window + 1),
+        )
+    }
+
+    #[test]
+    fn a_clean_stream_validates() {
+        let text = format!("{}\n{}\n{}\n", line(0, false), line(1, false), line(2, true));
+        assert_eq!(validate_jsonl(&text), Ok(3));
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let text = format!("{}\n\n{}\n", line(0, false), line(1, false));
+        assert_eq!(validate_jsonl(&text), Ok(2));
+    }
+
+    #[test]
+    fn garbage_and_schema_drift_are_reported_with_line_numbers() {
+        let bad = line(1, false).replace(r#""partial":false"#, r#""partial":"no""#);
+        let text = format!("{}\nnot json\n{bad}\n", line(0, false));
+        let errors = validate_jsonl(&text).unwrap_err();
+        assert!(errors.iter().any(|e| e.line == 2 && e.message.contains("not valid JSON")));
+        assert!(errors.iter().any(|e| e.line == 3 && e.message.contains("partial")));
+    }
+
+    #[test]
+    fn windows_must_advance_and_partial_must_be_last() {
+        let text = format!("{}\n{}\n", line(2, true), line(2, false));
+        let errors = validate_jsonl(&text).unwrap_err();
+        assert!(errors.iter().any(|e| e.message.contains("does not advance")));
+        assert!(errors.iter().any(|e| e.message.contains("partial snapshot on line 1")));
+    }
+
+    #[test]
+    fn rational_timestamps_accept_fractions_only() {
+        assert!(is_rational("36"));
+        assert!(is_rational("-5/3"));
+        assert!(!is_rational("5/0"));
+        assert!(!is_rational("1.5"));
+        assert!(!is_rational("a/b"));
+    }
+
+    #[test]
+    fn per_node_arrays_must_keep_their_length() {
+        let shrunk = line(1, false).replace("[9,6,8,4,0,9]", "[9,6,8]");
+        let text = format!("{}\n{shrunk}\n", line(0, false));
+        let errors = validate_jsonl(&text).unwrap_err();
+        assert!(errors.iter().any(|e| e.message.contains("length")));
+    }
+}

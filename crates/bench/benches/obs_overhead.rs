@@ -6,11 +6,13 @@
 //! price what turning observation *on* costs.
 
 use bwfirst_core::schedule::EventDrivenSchedule;
-use bwfirst_core::{bw_first, SteadyState};
+use bwfirst_core::{bw_first, MonitorExpectations, SteadyState};
 use bwfirst_obs::MemoryRecorder;
 use bwfirst_platform::examples::example_tree;
 use bwfirst_rational::rat;
-use bwfirst_sim::{event_driven, NoProbe, ObsProbe, SimConfig, UtilizationProbe};
+use bwfirst_sim::{
+    event_driven, MonitorConfig, MonitorProbe, NoProbe, ObsProbe, SimConfig, UtilizationProbe,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -52,6 +54,21 @@ fn bench_obs_overhead(c: &mut Criterion) {
                 event_driven::simulate_probed(black_box(&p), black_box(&ev), &cfg, &mut probe)
             };
             (rep, rec.events.len())
+        });
+    });
+    // The full online invariant monitor: single-port + pairing +
+    // conservation per event, windowed rate checks against the solver's
+    // exact rates, and the flight-recorder ring.
+    let exp = MonitorExpectations::build(&p, &ss, &ev.tree).expect("example expectations");
+    g.bench_function("monitor_probe", |b| {
+        b.iter(|| {
+            let mon_cfg = MonitorConfig::new(rat(36, 1)).with_expectations(exp.clone());
+            let mut probe = MonitorProbe::new(p.len(), p.root(), mon_cfg);
+            let rep =
+                event_driven::simulate_probed(black_box(&p), black_box(&ev), &cfg, &mut probe);
+            let mon = probe.finish();
+            assert!(mon.ok(), "clean run must stay violation-free while benched");
+            (rep, mon.windows)
         });
     });
     g.finish();

@@ -21,12 +21,12 @@
 use bwfirst_bench::records::{bench_from_json, bench_to_json, BenchPoint, BenchReport};
 use bwfirst_bench::trees;
 use bwfirst_core::schedule::EventDrivenSchedule;
-use bwfirst_core::{bottom_up, bw_first, SteadyState};
+use bwfirst_core::{bottom_up, bw_first, MonitorExpectations, SteadyState};
 use bwfirst_obs::Metrics;
 use bwfirst_parallel::{available_threads, Pool};
 use bwfirst_platform::examples::example_tree;
 use bwfirst_rational::{rat, reference, Rat};
-use bwfirst_sim::{event_driven, SimConfig};
+use bwfirst_sim::{event_driven, MonitorConfig, MonitorProbe, SimConfig};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -287,6 +287,30 @@ fn measure_sim(opts: &Opts, iters: u32) -> BenchReport {
         before_ns: seed_ns("simulate_example_gantt_10"),
         after_ns: best_of(iters.max(5), || run(&cfg(10, false, true))),
         baseline: SEED_COMMIT.to_string(),
+        iters: iters.max(5),
+    });
+
+    // Toggled pair: the plain run vs the same run under the full online
+    // invariant monitor (single-port + pairing + conservation per event,
+    // windowed rate checks against the solver's exact rates).
+    let exp = MonitorExpectations::build(&p, &ss, &ev.tree).expect("example expectations");
+    let plain_10 = best_of(iters.max(5), || run(&cfg(10, false, false)));
+    let monitor_10 = best_of(iters.max(5), || {
+        let mon_cfg = MonitorConfig::new(rat(36, 1)).with_expectations(exp.clone());
+        let mut probe = MonitorProbe::new(p.len(), p.root(), mon_cfg);
+        black_box(
+            event_driven::simulate_probed(&p, &ev, &cfg(10, false, false), &mut probe)
+                .expect("simulate"),
+        );
+        let rep = probe.finish();
+        assert!(rep.ok(), "clean run must stay violation-free while benched");
+        black_box(rep.windows);
+    });
+    points.push(BenchPoint {
+        id: "simulate_example_monitor_10".to_string(),
+        before_ns: plain_10,
+        after_ns: monitor_10,
+        baseline: "runtime toggle: online invariant monitor (`MonitorProbe`)".to_string(),
         iters: iters.max(5),
     });
 

@@ -4,13 +4,17 @@
 
 use crate::args::{Args, CliError};
 use bwfirst_core::schedule::{synchronous_period, EventDrivenSchedule, SlotAction};
-use bwfirst_core::{bw_first, observe, quantize, startup, SteadyState};
+use bwfirst_core::{bw_first, observe, quantize, startup, MonitorExpectations, SteadyState};
 use bwfirst_obs::{chrome, summary, MemoryRecorder};
 use bwfirst_platform::generators;
 use bwfirst_platform::{io, Platform, Weight};
 use bwfirst_rational::{rat, Rat};
+use bwfirst_sim::clocked::{self, ClockedConfig};
 use bwfirst_sim::demand_driven::{self, DemandConfig};
-use bwfirst_sim::{event_driven, GanttProbe, ObsProbe, SimConfig, UtilizationProbe};
+use bwfirst_sim::probe::track_names;
+use bwfirst_sim::{
+    event_driven, GanttProbe, MonitorConfig, MonitorProbe, ObsProbe, SimConfig, UtilizationProbe,
+};
 use std::fmt::Write;
 
 /// Usage text.
@@ -34,6 +38,12 @@ usage:
       protocol message/byte counters, solver spans, per-node utilization,
       plus a cross-protocol comparison fanned out over N worker threads
       (default: available parallelism)
+  bwfirst monitor <platform.json> [--horizon H] [--window W] [--warmup K]
+                  [--protocol event|clocked|demand|demand-int]
+                  [--snapshots out.jsonl] [--dump out.json] [--capacity N]
+      run one executor under the online invariant monitor: windowed health
+      snapshots (JSONL), rate convergence against the solver's exact rates,
+      and a flight-recorder post-mortem dump when an invariant trips
   bwfirst generate <random|star|chain|kary|example> [--size N] [--seed S]
                    [--arity K] [--depth D]
       emit a platform JSON on stdout
@@ -47,8 +57,9 @@ usage:
       search for the best tree overlay on a physical network
 
 workspace checks (separate binary, see docs/ANALYSIS.md):
-  cargo run -p bwfirst-analyze [lint|model|all|fixture <path>]
-      source invariant lint rules + exhaustive protocol model checking
+  cargo run -p bwfirst-analyze [lint|model|all|fixture <path>|snapshots <path>]
+      source invariant lint rules, exhaustive protocol model checking, and
+      schema validation of monitor snapshot streams
 "
     .to_string()
 }
@@ -79,11 +90,13 @@ where
         let text = read_file(path).map_err(CliError::Platform)?;
         load(&text)
     };
-    // Exports the recorder wherever --trace / --metrics point.
-    let export = |args: &Args, rec: &MemoryRecorder| -> Result<(), CliError> {
+    // Exports the recorder wherever --trace / --metrics point; `nodes`
+    // sizes the per-lane track-name metadata in the Chrome trace.
+    let export = |args: &Args, rec: &MemoryRecorder, nodes: usize| -> Result<(), CliError> {
         if let Some(path) = args.flags.get("trace") {
             // 1 simulated time unit = 1ms in the viewer.
-            write_file(path, &chrome::to_chrome_trace(rec, 1000.0)).map_err(CliError::Io)?;
+            let trace = chrome::to_chrome_trace_named(rec, 1000.0, "bwfirst", &track_names(nodes));
+            write_file(path, &trace).map_err(CliError::Io)?;
         }
         if let Some(path) = args.flags.get("metrics") {
             write_file(path, &rec.metrics.to_json().to_string_pretty()).map_err(CliError::Io)?;
@@ -110,7 +123,7 @@ where
             let instrument = args.flags.contains_key("trace") || args.flags.contains_key("metrics");
             let (out, rec) = cmd_simulate(&p, horizon, stop, tasks, gantt, protocol, instrument)?;
             if let Some(rec) = &rec {
-                export(args, rec)?;
+                export(args, rec, p.len())?;
             }
             Ok(out)
         }
@@ -122,8 +135,12 @@ where
                 .flag_opt::<usize>("threads", "--threads")?
                 .unwrap_or_else(bwfirst_parallel::available_threads);
             let (out, rec) = cmd_stats(&p, horizon, protocol, threads)?;
-            export(args, &rec)?;
+            export(args, &rec, p.len())?;
             Ok(out)
+        }
+        "monitor" => {
+            let p = read(args.pos(0, "platform file")?)?;
+            cmd_monitor(&p, args, &write_file)
         }
         "generate" => cmd_generate(args),
         "validate" => {
@@ -343,6 +360,119 @@ fn run_protocol_quiet(
         "demand-int" => Ok(demand_driven::simulate(p, DemandConfig::interruptible(), cfg)),
         other => Err(CliError::BadValue { what: "--protocol", value: other.to_string() }),
     }
+}
+
+/// The `monitor` command: one executor run under the online invariant
+/// monitor ([`MonitorProbe`]). The event-driven and clocked executors get
+/// the full strict monitor with solver expectations (rate convergence,
+/// bunch periodicity, exact durations); the demand-driven variants run the
+/// structural checks in relaxed-conservation mode, since their greedy
+/// protocol neither matches the solver's rates nor emits buffer drains
+/// adjacent to their segments. Snapshots stream to `--snapshots` as JSONL;
+/// a violation or a simulator error dumps the flight recorder to `--dump`
+/// and exits nonzero.
+fn cmd_monitor(
+    p: &Platform,
+    args: &Args,
+    write_file: &impl Fn(&str, &str) -> Result<(), String>,
+) -> Result<String, CliError> {
+    let protocol = args.flags.get("protocol").map_or("event", String::as_str);
+    let ss = SteadyState::from_solution(&bw_first(p));
+    if !ss.throughput.is_positive() {
+        return Ok("platform has zero throughput; nothing to monitor\n".to_string());
+    }
+    let period = synchronous_period(&ss).map_err(sched)?;
+    let window = Rat::from_int(args.flag_opt::<i128>("window", "--window")?.unwrap_or(period));
+    if !window.is_positive() {
+        return Err(CliError::BadValue { what: "--window", value: window.to_string() });
+    }
+    let horizon = Rat::from_int(
+        args.flag_opt::<i128>("horizon", "--horizon")?
+            .unwrap_or_else(|| (period * 10).clamp(200, 100_000)),
+    );
+    let cfg = SimConfig {
+        horizon,
+        stop_injection_at: None,
+        total_tasks: None,
+        record_gantt: false,
+        exact_queue: false,
+    };
+    let ev = EventDrivenSchedule::standard(p, &ss).map_err(sched)?;
+    let strict = matches!(protocol, "event" | "clocked");
+    let mut mon_cfg = MonitorConfig::new(window);
+    mon_cfg.warmup_windows = args.flag_or("warmup", "--warmup", mon_cfg.warmup_windows)?;
+    mon_cfg.flight_capacity = args.flag_or("capacity", "--capacity", mon_cfg.flight_capacity)?;
+    if strict {
+        if let Some(exp) = MonitorExpectations::build(p, &ss, &ev.tree) {
+            mon_cfg = mon_cfg.with_expectations(exp);
+        }
+    } else {
+        mon_cfg = mon_cfg.relaxed();
+    }
+    let mut mon = MonitorProbe::new(p.len(), p.root(), mon_cfg);
+    let sim_error: Option<String> = match protocol {
+        "event" => {
+            event_driven::simulate_probed(p, &ev, &cfg, &mut mon).err().map(|e| e.to_string())
+        }
+        "clocked" => {
+            clocked::simulate_probed(p, &ev.tree, ClockedConfig::default(), &cfg, &mut mon)
+                .err()
+                .map(|e| e.to_string())
+        }
+        "demand" => {
+            let _ = demand_driven::simulate_probed(p, DemandConfig::default(), &cfg, &mut mon);
+            None
+        }
+        "demand-int" => {
+            let _ =
+                demand_driven::simulate_probed(p, DemandConfig::interruptible(), &cfg, &mut mon);
+            None
+        }
+        other => return Err(CliError::BadValue { what: "--protocol", value: other.to_string() }),
+    };
+    let rep = mon.finish();
+    if let Some(path) = args.flags.get("snapshots") {
+        write_file(path, &rep.snapshots_jsonl()).map_err(CliError::Io)?;
+    }
+    let dump = match &sim_error {
+        Some(reason) => Some(rep.postmortem_for(reason)),
+        None => rep.postmortem(),
+    };
+    if let (Some(path), Some(dump)) = (args.flags.get("dump"), &dump) {
+        let mut text = dump.to_string_pretty();
+        text.push('\n');
+        write_file(path, &text).map_err(CliError::Io)?;
+    }
+    if let Some(reason) = sim_error {
+        return Err(CliError::Runtime(reason));
+    }
+    if !rep.ok() {
+        let shown: Vec<String> = rep.violations.iter().take(3).map(ToString::to_string).collect();
+        return Err(CliError::Runtime(format!(
+            "monitor found {} violation(s) (+{} suppressed): {}",
+            rep.violations.len(),
+            rep.suppressed,
+            shown.join("; ")
+        )));
+    }
+    let mut out = String::new();
+    writeln!(out, "protocol   : {protocol} ({} mode)", if strict { "strict" } else { "relaxed" })
+        .unwrap();
+    writeln!(out, "horizon    : {horizon}").unwrap();
+    writeln!(out, "window     : {window}").unwrap();
+    writeln!(out, "windows    : {} closed, {} late event(s)", rep.windows, rep.late_events)
+        .unwrap();
+    writeln!(out, "snapshots  : {}", rep.snapshots.len()).unwrap();
+    writeln!(out, "violations : 0").unwrap();
+    if let Some(last) = rep.snapshots.iter().rev().find(|s| !s.partial) {
+        writeln!(
+            out,
+            "last full window: {} task(s) computed, throughput {:.4}",
+            last.computed, last.throughput
+        )
+        .unwrap();
+    }
+    Ok(out)
 }
 
 /// The `stats` command: one fully instrumented pass over all three layers —
@@ -753,8 +883,13 @@ mod tests {
         assert!(evs.len() > 100, "example tree yields a rich trace, got {}", evs.len());
         for e in evs {
             let ph = e["ph"].as_str().expect("phase string");
-            assert!(["B", "E", "i", "C"].contains(&ph), "unexpected phase {ph}");
+            assert!(["B", "E", "i", "C", "M"].contains(&ph), "unexpected phase {ph}");
         }
+        // The metadata prologue names the process and the per-lane tracks.
+        assert_eq!(evs[0]["ph"].as_str(), Some("M"));
+        assert_eq!(evs[0]["name"].as_str(), Some("process_name"));
+        assert!(evs.iter().any(|e| e["name"].as_str() == Some("thread_name")
+            && e["args"]["name"].as_str() == Some("P0 send")));
         let (ref mpath, ref metrics) = files[1];
         assert_eq!(mpath, "m.json");
         let m = bwfirst_obs::json::parse(metrics).expect("metrics are valid JSON");
@@ -778,5 +913,41 @@ mod tests {
         let err =
             run(&["stats", "example.json", "--horizon", "72", "--trace", "t.json"]).unwrap_err();
         assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn monitor_is_clean_on_the_example_tree() {
+        for protocol in ["event", "clocked", "demand", "demand-int"] {
+            let (out, _) =
+                run_io(&["monitor", "example.json", "--protocol", protocol, "--horizon", "360"])
+                    .unwrap();
+            assert!(out.contains("violations : 0"), "{protocol}: {out}");
+            assert!(out.contains(&format!("protocol   : {protocol}")), "{protocol}: {out}");
+        }
+    }
+
+    #[test]
+    fn monitor_streams_schema_valid_snapshots() {
+        let (out, files) =
+            run_io(&["monitor", "example.json", "--horizon", "360", "--snapshots", "s.jsonl"])
+                .unwrap();
+        assert!(out.contains("windows    : 9 closed"), "got: {out}");
+        assert_eq!(files.len(), 1);
+        let (ref path, ref jsonl) = files[0];
+        assert_eq!(path, "s.jsonl");
+        let lines: Vec<_> = jsonl.lines().filter(|l| !l.trim().is_empty()).collect();
+        assert!(lines.len() >= 9, "one snapshot per window, got {}", lines.len());
+        for line in lines {
+            let v = bwfirst_obs::json::parse(line).expect("snapshot line is valid JSON");
+            assert!(v["window"].as_i128().is_some());
+            assert!(v["throughput"].as_f64().is_some());
+            assert!(v["node_computed"].as_array().is_some());
+        }
+    }
+
+    #[test]
+    fn monitor_rejects_unknown_protocols() {
+        let err = run(&["monitor", "example.json", "--protocol", "carrier-pigeon"]).unwrap_err();
+        assert!(matches!(err, CliError::BadValue { what: "--protocol", .. }));
     }
 }

@@ -33,6 +33,8 @@
 //!   (rates + periods + quantities + orders) before deployment.
 //! * [`observe`] — converts solver outputs (transaction traces, reduction
 //!   counts, period constructions) into `bwfirst-obs` spans and metrics.
+//! * [`expectations`] — packages the solver's exact `η`/`α`/`Ψ` reference
+//!   quantities for the runtime monitors in `bwfirst-sim`.
 //!
 //! The headline invariant — `bw_first` and `bottom_up` agree on every tree —
 //! is property-tested in `tests/`.
@@ -42,6 +44,7 @@
 
 pub mod bottom_up;
 pub mod bwfirst;
+pub mod expectations;
 pub mod float;
 pub mod fork;
 pub mod lazy;
@@ -54,6 +57,7 @@ pub mod validate;
 
 pub use bottom_up::{bottom_up, BottomUpOutcome};
 pub use bwfirst::{bw_first, bw_first_with_lambda, BwFirstSolution, TraceEvent, Transaction};
+pub use expectations::MonitorExpectations;
 pub use fork::{fork_equivalent_rate, ForkChild, ForkReduction};
 pub use schedule::{
     EventDrivenSchedule, LocalSchedule, LocalScheduleKind, NodeSchedule, ScheduleError, SlotAction,

@@ -16,7 +16,39 @@ use crate::recorder::MemoryRecorder;
 /// (1000.0 makes one time unit read as one millisecond in the viewer).
 #[must_use]
 pub fn to_chrome_trace(rec: &MemoryRecorder, scale: f64) -> String {
-    let events: Vec<Value> = rec.events.iter().map(|e| event_json(e, scale)).collect();
+    to_chrome_trace_named(rec, scale, "", &[])
+}
+
+/// Like [`to_chrome_trace`], but prefixes `M` (metadata) events so tracks
+/// open *labeled* in Perfetto / `chrome://tracing`: a `process_name` for the
+/// single pid when `process` is non-empty, and a `thread_name` per
+/// `(track id, label)` pair in `tracks` (e.g. `(node·3 + lane, "P4 send")`).
+#[must_use]
+pub fn to_chrome_trace_named(
+    rec: &MemoryRecorder,
+    scale: f64,
+    process: &str,
+    tracks: &[(u32, String)],
+) -> String {
+    let mut events: Vec<Value> = Vec::with_capacity(rec.events.len() + tracks.len() + 1);
+    if !process.is_empty() {
+        events.push(obj(vec![
+            ("name", Value::Str("process_name".to_string())),
+            ("ph", Value::Str("M".to_string())),
+            ("pid", Value::Int(0)),
+            ("args", obj(vec![("name", Value::Str(process.to_string()))])),
+        ]));
+    }
+    for (tid, label) in tracks {
+        events.push(obj(vec![
+            ("name", Value::Str("thread_name".to_string())),
+            ("ph", Value::Str("M".to_string())),
+            ("pid", Value::Int(0)),
+            ("tid", Value::Int(i128::from(*tid))),
+            ("args", obj(vec![("name", Value::Str(label.clone()))])),
+        ]));
+    }
+    events.extend(rec.events.iter().map(|e| event_json(e, scale)));
     obj(vec![
         ("traceEvents", Value::Array(events)),
         ("displayTimeUnit", Value::Str("ms".to_string())),
@@ -75,5 +107,26 @@ mod tests {
         assert_eq!(evs[1]["ts"].as_f64(), Some(1500.0));
         assert_eq!(evs[2]["args"]["tasks"].as_f64(), Some(4.0));
         assert_eq!(v["displayTimeUnit"].as_str(), Some("ms"));
+    }
+
+    #[test]
+    fn named_trace_prefixes_metadata_events() {
+        let mut rec = MemoryRecorder::new();
+        rec.event(Event::new(Ts::ZERO, 5, "send", EventKind::Begin));
+        rec.event(Event::new(Ts::new(1, 1), 5, "send", EventKind::End));
+        let tracks = vec![(5u32, "P1 send".to_string())];
+        let trace = to_chrome_trace_named(&rec, 1000.0, "bwfirst sim", &tracks);
+        let v = json::parse(&trace).unwrap();
+        let evs = v["traceEvents"].as_array().unwrap();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0]["ph"].as_str(), Some("M"));
+        assert_eq!(evs[0]["name"].as_str(), Some("process_name"));
+        assert_eq!(evs[0]["args"]["name"].as_str(), Some("bwfirst sim"));
+        assert_eq!(evs[1]["ph"].as_str(), Some("M"));
+        assert_eq!(evs[1]["name"].as_str(), Some("thread_name"));
+        assert_eq!(evs[1]["tid"].as_i128(), Some(5));
+        assert_eq!(evs[1]["args"]["name"].as_str(), Some("P1 send"));
+        assert_eq!(evs[2]["ph"].as_str(), Some("B"));
+        assert_eq!(evs[3]["ph"].as_str(), Some("E"));
     }
 }

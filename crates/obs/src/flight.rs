@@ -1,0 +1,160 @@
+//! The flight recorder: a fixed-capacity ring buffer of recent events.
+//!
+//! Long-running simulations cannot afford an unbounded [`MemoryRecorder`],
+//! but when something goes wrong the *recent* history is exactly what a
+//! post-mortem needs. The [`FlightRecorder`] keeps the last `capacity`
+//! events (older ones are dropped, counted), accumulates metrics like any
+//! other [`Recorder`], and renders a self-contained JSON post-mortem on
+//! demand: the violation(s), the tail of the event stream, and a metrics
+//! snapshot. Simulator monitors and the protocol model checker share this
+//! artifact format (`bwfirst-postmortem/1`).
+
+use crate::event::Event;
+use crate::json::{obj, Value};
+use crate::metrics::Metrics;
+use crate::recorder::Recorder;
+use std::collections::VecDeque;
+
+/// The post-mortem format marker, bumped on breaking schema changes.
+pub const POSTMORTEM_FORMAT: &str = "bwfirst-postmortem/1";
+
+/// A bounded event recorder for crash dumps.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    capacity: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+    /// Counters and histograms (unbounded — metrics are O(names), not
+    /// O(events)).
+    pub metrics: Metrics,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (at least one).
+    #[must_use]
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted to keep the ring bounded.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Renders the `bwfirst-postmortem/1` artifact: `reason` (one line),
+    /// `violations` (conventionally a JSON array of typed violation
+    /// objects, each with at least `layer`, `kind` and `message` members),
+    /// the last-N `events`, the `dropped` count, and a `metrics` snapshot.
+    #[must_use]
+    pub fn postmortem(&self, reason: &str, violations: Value) -> Value {
+        obj(vec![
+            ("format", Value::Str(POSTMORTEM_FORMAT.to_string())),
+            ("reason", Value::Str(reason.to_string())),
+            ("violations", violations),
+            ("dropped", Value::Int(i128::from(self.dropped))),
+            ("events", Value::Array(self.events.iter().map(Event::to_json).collect())),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn event(&mut self, ev: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    fn add(&mut self, name: &str, delta: i128) {
+        self.metrics.add(name, delta);
+    }
+
+    fn observe(&mut self, name: &str, value: f64) {
+        self.metrics.observe(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Ts};
+    use crate::json;
+
+    fn ev(k: i128) -> Event {
+        Event::new(Ts::new(k, 1), 0, "tick", EventKind::Instant)
+    }
+
+    #[test]
+    fn ring_keeps_the_tail_and_counts_drops() {
+        let mut f = FlightRecorder::new(3);
+        for k in 0..5 {
+            f.event(ev(k));
+        }
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.dropped(), 2);
+        let kept: Vec<String> = f.events().map(|e| e.ts.display()).collect();
+        assert_eq!(kept, ["2", "3", "4"]);
+    }
+
+    #[test]
+    fn zero_capacity_still_keeps_one() {
+        let mut f = FlightRecorder::new(0);
+        f.event(ev(1));
+        f.event(ev(2));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.capacity(), 1);
+    }
+
+    #[test]
+    fn postmortem_is_self_contained_json() {
+        let mut f = FlightRecorder::new(8);
+        f.event(ev(7));
+        f.add("monitor.segments", 3);
+        f.observe("queue_depth", 2.0);
+        let violation = obj(vec![
+            ("layer", Value::Str("sim".into())),
+            ("kind", Value::Str("single-port".into())),
+            ("message", Value::Str("two concurrent sends".into())),
+        ]);
+        let dump = f.postmortem("single-port violated", Value::Array(vec![violation]));
+        let text = dump.to_string_pretty();
+        let v = json::parse(&text).expect("postmortem parses");
+        assert_eq!(v["format"].as_str(), Some(POSTMORTEM_FORMAT));
+        assert_eq!(v["reason"].as_str(), Some("single-port violated"));
+        assert_eq!(v["violations"].as_array().map(<[Value]>::len), Some(1));
+        assert_eq!(v["events"].as_array().map(<[Value]>::len), Some(1));
+        assert_eq!(v["dropped"].as_i128(), Some(0));
+        assert_eq!(v["metrics"]["counters"]["monitor.segments"].as_i128(), Some(3));
+    }
+}

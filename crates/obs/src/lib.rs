@@ -13,6 +13,8 @@
 //!   ([`recorder::Noop`]) and an in-memory collector ([`MemoryRecorder`]);
 //! * [`chrome`] — export to the Chrome trace-event format
 //!   (`chrome://tracing`, Perfetto);
+//! * [`flight`] — a fixed-capacity flight recorder whose tail becomes a
+//!   self-contained JSON post-mortem on failure;
 //! * [`summary`] — a human-readable summary table.
 //!
 //! Everything is plain `std`; the crate has **no dependencies**, not even on
@@ -23,11 +25,13 @@
 
 pub mod chrome;
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod summary;
 
 pub use event::{Arg, Event, EventKind, Ts};
+pub use flight::FlightRecorder;
 pub use metrics::Metrics;
 pub use recorder::{MemoryRecorder, Noop, Recorder};

@@ -55,6 +55,39 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`0 ≤ q ≤ 1`) from the power-of-two
+    /// buckets: the target rank is located in its bucket and linearly
+    /// interpolated across the bucket's value range, then clamped to the
+    /// exact observed `[min, max]`. Resolution is bounded by the bucket
+    /// width (a factor of two), which is plenty for queue depths and
+    /// latency tails. `NaN` when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0);
+        let mut seen = 0.0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let within = rank - seen;
+            seen += n as f64;
+            if seen >= rank {
+                // Bucket 0 spans [min, 1); bucket i spans [2^(i-1), 2^i).
+                let (lo, hi) = if i == 0 {
+                    (self.min.min(1.0), 1.0)
+                } else {
+                    (f64::powi(2.0, i as i32 - 1), f64::powi(2.0, i as i32))
+                };
+                let frac = (within - 0.5) / n as f64;
+                return (lo + (hi - lo) * frac).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
 }
 
 /// A registry of counters and histograms.
@@ -126,6 +159,9 @@ impl Metrics {
                             ("min", h.min.into()),
                             ("max", h.max.into()),
                             ("mean", h.mean().into()),
+                            ("p50", h.quantile(0.50).into()),
+                            ("p95", h.quantile(0.95).into()),
+                            ("p99", h.quantile(0.99).into()),
                         ]),
                     )
                 })
@@ -161,6 +197,35 @@ mod tests {
         assert_eq!(h.mean(), 3.125);
         // 0.5 → bucket 0; 1.0 → bucket 1; 3.0 → bucket 2; 8.0 → bucket 4.
         assert_eq!(h.buckets, vec![1, 1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut m = Metrics::new();
+        for v in 1..=100 {
+            m.observe("lat", f64::from(v));
+        }
+        let h = &m.histograms["lat"];
+        // Rank 50 lands in bucket [32, 64); interpolation puts it near the
+        // true median. p99 lands in the top bucket, clamped to max.
+        assert!((h.quantile(0.50) - 50.0).abs() < 4.0, "p50 = {}", h.quantile(0.50));
+        assert!(h.quantile(0.95) >= 64.0 && h.quantile(0.95) <= 100.0);
+        assert!(h.quantile(0.99) >= h.quantile(0.95));
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert!(h.quantile(0.0) >= 1.0);
+        assert!(Histogram::new().quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn histogram_json_includes_quantiles() {
+        let mut m = Metrics::new();
+        for v in [2.0, 4.0, 8.0] {
+            m.observe("d", v);
+        }
+        let json = m.to_json().to_string_compact();
+        assert!(json.contains("\"p50\""), "got: {json}");
+        assert!(json.contains("\"p95\""), "got: {json}");
+        assert!(json.contains("\"p99\""), "got: {json}");
     }
 
     #[test]

@@ -13,7 +13,15 @@ pub fn metrics_table(m: &Metrics) -> String {
     for (name, h) in &m.histograms {
         rows.push((
             format!("{name} (n={})", h.count),
-            format!("min {} / mean {:.3} / max {}", trim(h.min), h.mean(), trim(h.max)),
+            format!(
+                "min {} / mean {:.3} / max {} / p50 {} / p95 {} / p99 {}",
+                trim(h.min),
+                h.mean(),
+                trim(h.max),
+                trim(h.quantile(0.50)),
+                trim(h.quantile(0.95)),
+                trim(h.quantile(0.99)),
+            ),
         ));
     }
     render(&rows)
@@ -60,6 +68,8 @@ mod tests {
         assert!(lines[1].starts_with("proposals_sent"));
         assert!(lines[2].contains("queue_depth (n=2)"));
         assert!(lines[2].contains("min 2 / mean 3.000 / max 4"));
+        assert!(lines[2].contains("/ p50 "), "quantiles surface in the table: {}", lines[2]);
+        assert!(lines[2].contains("/ p99 "), "quantiles surface in the table: {}", lines[2]);
         let colon = lines[0].find(':').unwrap();
         assert!(lines.iter().all(|l| l.find(':') == Some(colon)));
     }

@@ -7,6 +7,7 @@
 //! Section 5 transaction protocol.
 
 use crate::wire::WireError;
+use bwfirst_obs::json::{obj, Value};
 use bwfirst_rational::Rat;
 use std::fmt;
 
@@ -111,6 +112,63 @@ pub enum ProtoError {
     Transport(WireError),
 }
 
+impl ProtoError {
+    /// A stable kebab-case tag for dashboards and post-mortems.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtoError::ChannelClosed { .. } => "channel-closed",
+            ProtoError::MidRound { .. } => "mid-round",
+            ProtoError::UnexpectedAck { .. } => "unexpected-ack",
+            ProtoError::InvalidAck { .. } => "invalid-ack",
+            ProtoError::NoSchedule { .. } => "no-schedule",
+            ProtoError::UnknownChild { .. } => "unknown-child",
+            ProtoError::UnroutableControl { .. } => "unroutable-control",
+            ProtoError::PeriodOverflow { .. } => "period-overflow",
+            ProtoError::MissingLink { .. } => "missing-link",
+            ProtoError::NoParent { .. } => "no-parent",
+            ProtoError::Spawn { .. } => "spawn",
+            ProtoError::DriverLinkClosed => "driver-link-closed",
+            ProtoError::Transport(_) => "transport",
+        }
+    }
+
+    /// The node the error is attributed to, when one is known.
+    #[must_use]
+    pub fn node(&self) -> Option<u32> {
+        match self {
+            ProtoError::ChannelClosed { node, .. }
+            | ProtoError::MidRound { node }
+            | ProtoError::UnexpectedAck { node, .. }
+            | ProtoError::InvalidAck { node, .. }
+            | ProtoError::NoSchedule { node }
+            | ProtoError::UnknownChild { node, .. }
+            | ProtoError::UnroutableControl { node, .. }
+            | ProtoError::PeriodOverflow { node }
+            | ProtoError::Spawn { node, .. } => Some(*node),
+            ProtoError::MissingLink { child } | ProtoError::NoParent { child } => Some(*child),
+            ProtoError::DriverLinkClosed | ProtoError::Transport(_) => None,
+        }
+    }
+
+    /// The shared violation-object shape (`layer`/`kind`/`message`, plus
+    /// `node` when attributable) used by `bwfirst-postmortem/1` artifacts —
+    /// the same schema the simulator's runtime monitors emit, so protocol
+    /// and simulator failures are tooled identically.
+    #[must_use]
+    pub fn to_violation_json(&self) -> Value {
+        let mut members = vec![
+            ("layer", Value::Str("proto".to_string())),
+            ("kind", Value::Str(self.kind().to_string())),
+            ("message", Value::Str(self.to_string())),
+        ];
+        if let Some(node) = self.node() {
+            members.push(("node", Value::Int(i128::from(node))));
+        }
+        obj(members)
+    }
+}
+
 impl fmt::Display for ProtoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -158,5 +216,29 @@ impl std::error::Error for ProtoError {}
 impl From<WireError> for ProtoError {
     fn from(e: WireError) -> ProtoError {
         ProtoError::Transport(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfirst_rational::rat;
+
+    #[test]
+    fn violation_json_carries_the_shared_shape() {
+        let e = ProtoError::InvalidAck { node: 3, from: 7, theta: rat(2, 1), beta: rat(1, 1) };
+        let v = e.to_violation_json();
+        assert_eq!(v["layer"].as_str(), Some("proto"));
+        assert_eq!(v["kind"].as_str(), Some("invalid-ack"));
+        assert!(v["message"].as_str().is_some_and(|m| m.contains("P3")));
+        assert_eq!(v["node"].as_i128(), Some(3));
+    }
+
+    #[test]
+    fn unattributable_errors_omit_the_node() {
+        let v = ProtoError::DriverLinkClosed.to_violation_json();
+        assert_eq!(v["kind"].as_str(), Some("driver-link-closed"));
+        assert!(v["node"].is_null());
+        assert!(ProtoError::DriverLinkClosed.node().is_none());
     }
 }

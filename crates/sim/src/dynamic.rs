@@ -19,7 +19,8 @@
 
 use crate::engine::{tick_scale_hint, BufferTracker, EventQueue, SimConfig, SimReport};
 use crate::error::SimError;
-use crate::gantt::{Gantt, SegmentKind};
+use crate::gantt::SegmentKind;
+use crate::probe::{GanttProbe, Probe};
 use bwfirst_core::schedule::{EventDrivenSchedule, LocalScheduleKind, SlotAction};
 use bwfirst_core::{bw_first, SteadyState};
 use bwfirst_platform::{NodeId, Platform};
@@ -73,7 +74,7 @@ struct NodeState {
     computed: u64,
 }
 
-struct DynSim {
+struct DynSim<P: Probe> {
     platform: Platform,
     schedule: EventDrivenSchedule,
     cfg: SimConfig,
@@ -81,7 +82,7 @@ struct DynSim {
     queue: EventQueue<Ev>,
     nodes: Vec<NodeState>,
     buffers: BufferTracker,
-    gantt: Option<Gantt>,
+    probe: P,
     completions: Vec<(Rat, NodeId)>,
     injected: u64,
     last_release: Option<Rat>,
@@ -90,7 +91,7 @@ struct DynSim {
     adaptations: Vec<Rat>,
 }
 
-impl DynSim {
+impl<P: Probe> DynSim<P> {
     fn active(&self, node: NodeId) -> bool {
         self.schedule.local(node).is_some()
     }
@@ -138,9 +139,8 @@ impl DynSim {
         self.nodes[i].pending_cpu -= 1;
         self.nodes[i].cpu_busy = true;
         self.buffers.add(node, t, -1);
-        if let Some(g) = &mut self.gantt {
-            g.push(node, SegmentKind::Compute, t, t + w);
-        }
+        self.probe.buffer(node, t, self.buffers.size(node));
+        self.probe.segment(node, SegmentKind::Compute, t, t + w);
         self.queue.push(t + w, Ev::CpuEnd(node));
     }
 
@@ -153,10 +153,9 @@ impl DynSim {
         let c = self.platform.link_time(child).ok_or(SimError::MissingLink(child))?;
         self.nodes[i].port_busy = true;
         self.buffers.add(node, t, -1);
-        if let Some(g) = &mut self.gantt {
-            g.push(node, SegmentKind::Send(child), t, t + c);
-            g.push(child, SegmentKind::Receive, t, t + c);
-        }
+        self.probe.buffer(node, t, self.buffers.size(node));
+        self.probe.segment(node, SegmentKind::Send(child), t, t + c);
+        self.probe.segment(child, SegmentKind::Receive, t, t + c);
         self.queue.push(t + c, Ev::PortEnd(node));
         self.queue.push(t + c, Ev::Arrive(child));
         Ok(())
@@ -165,6 +164,7 @@ impl DynSim {
     fn on_arrive(&mut self, node: NodeId, t: Rat) -> Result<(), SimError> {
         self.nodes[node.index()].received += 1;
         self.buffers.add(node, t, 1);
+        self.probe.buffer(node, t, self.buffers.size(node));
         self.assign(node, t)
     }
 
@@ -205,6 +205,7 @@ impl DynSim {
             if t > self.cfg.horizon {
                 break;
             }
+            self.probe.queue_depth(t, self.queue.len());
             match ev {
                 Ev::Release => {
                     self.injected += 1;
@@ -247,7 +248,7 @@ impl DynSim {
             computed: self.nodes.iter().map(|n| n.computed).collect(),
             received: self.nodes.iter().map(|n| n.received).collect(),
             buffers: self.buffers.finalize(self.cfg.horizon),
-            gantt: self.gantt,
+            gantt: None,
         };
         Ok((report, self.adaptations))
     }
@@ -266,6 +267,26 @@ pub fn simulate_dynamic(
     changes: &[LinkChange],
     policy: AdaptPolicy,
     cfg: &SimConfig,
+) -> Result<(SimReport, Vec<Rat>), SimError> {
+    let mut probe = GanttProbe::new(cfg.record_gantt);
+    let (mut rep, adaptations) =
+        simulate_dynamic_probed(platform, changes, policy, cfg, &mut probe)?;
+    rep.gantt = probe.into_gantt();
+    Ok((rep, adaptations))
+}
+
+/// Simulates a dynamic run driving a custom [`Probe`] (see
+/// [`simulate_dynamic`]). The report's `gantt` is `None`; plug in a
+/// [`GanttProbe`] to collect one.
+///
+/// # Errors
+/// As [`simulate_dynamic`].
+pub fn simulate_dynamic_probed(
+    platform: &Platform,
+    changes: &[LinkChange],
+    policy: AdaptPolicy,
+    cfg: &SimConfig,
+    probe: &mut impl Probe,
 ) -> Result<(SimReport, Vec<Rat>), SimError> {
     let ss = SteadyState::from_solution(&bw_first(platform));
     if !ss.throughput.is_positive() {
@@ -305,7 +326,7 @@ pub fn simulate_dynamic(
             })
             .collect(),
         buffers: BufferTracker::new(n),
-        gantt: cfg.record_gantt.then(Gantt::default),
+        probe,
         completions: Vec::new(),
         injected: 0,
         last_release: None,

@@ -41,12 +41,12 @@
 //! completion series, throughput over windows, steady-state entry times,
 //! buffer occupancy, and wind-down lengths.
 //!
-//! Instrumentation: the `event_driven`, `clocked` and `demand_driven`
-//! executors each expose a `simulate_probed` variant generic over a
-//! [`Probe`] — busy segments, event-queue depths and buffer occupancy
-//! stream to any sink ([`GanttProbe`], [`UtilizationProbe`], or
-//! [`ObsProbe`] into a `bwfirst-obs` recorder) with zero cost when
-//! [`NoProbe`] is plugged in.
+//! Instrumentation: the `event_driven`, `clocked`, `demand_driven` and
+//! `dynamic` executors each expose a `simulate_probed` variant generic over
+//! a [`Probe`] — busy segments, event-queue depths and buffer occupancy
+//! stream to any sink ([`GanttProbe`], [`UtilizationProbe`], [`ObsProbe`]
+//! into a `bwfirst-obs` recorder, or the online [`MonitorProbe`] invariant
+//! checker) with zero cost when [`NoProbe`] is plugged in.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,6 +60,7 @@ pub mod event_driven;
 pub mod gantt;
 pub mod gantt_svg;
 pub mod makespan;
+pub mod monitor;
 pub mod probe;
 pub mod result_return;
 pub mod returns;
@@ -67,4 +68,5 @@ pub mod returns;
 pub use engine::{BufferStats, SimConfig, SimReport};
 pub use error::SimError;
 pub use gantt::{Gantt, GanttSegment, SegmentKind};
+pub use monitor::{MonitorConfig, MonitorProbe, MonitorReport, MonitorViolation, Snapshot};
 pub use probe::{GanttProbe, NoProbe, ObsProbe, Probe, Utilization, UtilizationProbe};

@@ -1,0 +1,1019 @@
+//! Online invariant monitors, windowed health telemetry, and a crash-dump
+//! flight recorder — `bwfirst-monitor`.
+//!
+//! [`MonitorProbe`] is a [`Probe`] that *watches* a running simulation and
+//! checks, per observation and in O(1) state per node, that the paper's
+//! execution contract holds:
+//!
+//! * **single-port / full-overlap** (Section 2) — a node may receive,
+//!   compute and send concurrently (full overlap), but never runs two
+//!   segments of the *same* activity lane at once;
+//! * **transfer pairing** — every `Send(child)` segment is immediately
+//!   matched by the child's `Receive` segment over the identical interval
+//!   (how every executor models one task crossing one edge);
+//! * **task conservation** — at every non-root node, tasks consumed
+//!   (compute/send starts) never exceed tasks drained from the buffer, and
+//!   the buffer is never drained without a matching activity (strict mode;
+//!   relaxed for the demand-driven executor, whose send segments surface
+//!   only when the transfer completes);
+//! * **duration legality** — compute segments last exactly `w_i` (with
+//!   [expectations](MonitorExpectations));
+//! * **rate convergence** (Lemma 1 / equation set 4) — per completed window
+//!   after warm-up, each node's compute starts match `α_i·W` and its
+//!   receive starts match `η_i·W` within a rational slack;
+//! * **bunch periodicity** (Section 6.2) — the root handles `Ψ·W/T^ω`
+//!   tasks per window.
+//!
+//! Windows also drive the health telemetry: one [`Snapshot`] per completed
+//! window (throughput, lag vs steady state, queue depth, buffer totals),
+//! rendered as JSONL for dashboards. Every observation additionally feeds a
+//! bounded [`FlightRecorder`], so a violation or `SimError` can be dumped as
+//! a self-contained `bwfirst-postmortem/1` artifact with the last-N events.
+//!
+//! Violations are *data*, never panics: the probe keeps watching after the
+//! first finding (up to [`MonitorConfig::max_violations`]).
+//!
+//! Tight rate checks want `W` to be a multiple of the tree's synchronous
+//! period: then the steady-state pattern repeats exactly once per window and
+//! the default slack of one task suffices.
+
+use crate::gantt::SegmentKind;
+use crate::probe::{lane, Probe, LANES};
+use bwfirst_core::expectations::MonitorExpectations;
+use bwfirst_obs::json::{obj, Value};
+use bwfirst_obs::{Arg, Event, EventKind, FlightRecorder, Recorder, Ts};
+use bwfirst_platform::NodeId;
+use bwfirst_rational::Rat;
+use std::fmt;
+
+/// Tuning for a [`MonitorProbe`].
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Window length for telemetry and rate checks (a multiple of the
+    /// synchronous period gives exact steady-state counts).
+    pub window: Rat,
+    /// Completed windows to skip before rate checks (start-up transient;
+    /// Proposition 4 bounds it, two sync periods cover the example tree).
+    pub warmup_windows: i128,
+    /// Allowed |observed − expected| per rate check, in tasks per window.
+    pub rate_slack: Rat,
+    /// Flight-recorder ring capacity (events).
+    pub flight_capacity: usize,
+    /// Violations kept verbatim; later ones are counted but dropped.
+    pub max_violations: usize,
+    /// Enforce drain/consume matching per observation. `true` fits the
+    /// event-driven, clocked and dynamic executors (which emit the buffer
+    /// decrement and its segment back to back); the demand-driven executor
+    /// needs `false` because its send segments surface at transfer *end*.
+    pub strict_conservation: bool,
+    /// Solver reference rates; without them only structural invariants run.
+    pub expectations: Option<MonitorExpectations>,
+}
+
+impl MonitorConfig {
+    /// Defaults for a given window: warm-up 2, slack 1 task, 256-event
+    /// flight ring, 64 violations, strict conservation, no expectations.
+    #[must_use]
+    pub fn new(window: Rat) -> MonitorConfig {
+        MonitorConfig {
+            window,
+            warmup_windows: 2,
+            rate_slack: Rat::ONE,
+            flight_capacity: 256,
+            max_violations: 64,
+            strict_conservation: true,
+            expectations: None,
+        }
+    }
+
+    /// Attaches solver expectations, enabling the rate/bunch/duration
+    /// monitors.
+    #[must_use]
+    pub fn with_expectations(mut self, exp: MonitorExpectations) -> MonitorConfig {
+        self.expectations = Some(exp);
+        self
+    }
+
+    /// Relaxes per-observation conservation (for the demand-driven
+    /// executor).
+    #[must_use]
+    pub fn relaxed(mut self) -> MonitorConfig {
+        self.strict_conservation = false;
+        self
+    }
+}
+
+/// One invariant breach, as data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorViolation {
+    /// A lane started a segment before its previous one ended.
+    SinglePort {
+        /// The offending node.
+        node: NodeId,
+        /// Lane index (receive 0, compute 1, send 2).
+        lane: usize,
+        /// Start of the overlapping segment.
+        start: Rat,
+        /// When the lane was busy until.
+        busy_until: Rat,
+    },
+    /// A `Send(child)` was not followed by the child's matching `Receive`.
+    UnpairedSend {
+        /// The sender.
+        node: NodeId,
+        /// The intended receiver.
+        child: NodeId,
+        /// Send-segment start.
+        at: Rat,
+    },
+    /// A `Receive` arrived with no pending matching send.
+    UnpairedReceive {
+        /// The receiver.
+        node: NodeId,
+        /// Receive-segment start.
+        at: Rat,
+    },
+    /// Consumption and buffer drain disagree at a non-root node.
+    TaskConservation {
+        /// The offending node.
+        node: NodeId,
+        /// Compute/send segment starts seen.
+        consumed: u64,
+        /// Tasks drained from the buffer (negative deltas).
+        drained: u64,
+        /// When the mismatch was observed.
+        at: Rat,
+    },
+    /// A compute segment's length differs from the node's `w_i`.
+    DurationMismatch {
+        /// The offending node.
+        node: NodeId,
+        /// The platform's per-task compute time.
+        expected: Rat,
+        /// The observed segment length.
+        observed: Rat,
+        /// Segment start.
+        at: Rat,
+    },
+    /// A node's windowed rate strayed from the solver's `α_i`/`η_i`.
+    RateDeviation {
+        /// The offending node.
+        node: NodeId,
+        /// Lane index (0 = receive vs `η_i`, 1 = compute vs `α_i`).
+        lane: usize,
+        /// The completed window index.
+        window: i128,
+        /// Segment starts observed in the window.
+        observed: u64,
+        /// The exact expected count (rate × window).
+        expected: Rat,
+    },
+    /// The root did not handle `Ψ·W/T^ω` tasks in a window.
+    BunchPeriodicity {
+        /// The completed window index.
+        window: i128,
+        /// Root compute + send starts observed.
+        observed: u64,
+        /// The exact expected count.
+        expected: Rat,
+    },
+}
+
+impl MonitorViolation {
+    /// A stable kebab-case tag for dashboards and tests.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MonitorViolation::SinglePort { .. } => "single-port",
+            MonitorViolation::UnpairedSend { .. } => "unpaired-send",
+            MonitorViolation::UnpairedReceive { .. } => "unpaired-receive",
+            MonitorViolation::TaskConservation { .. } => "task-conservation",
+            MonitorViolation::DurationMismatch { .. } => "duration-mismatch",
+            MonitorViolation::RateDeviation { .. } => "rate-deviation",
+            MonitorViolation::BunchPeriodicity { .. } => "bunch-periodicity",
+        }
+    }
+
+    /// The shared violation-object shape (`layer`/`kind`/`message` plus the
+    /// variant's fields) used across simulator and protocol post-mortems.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut members = vec![
+            ("layer", Value::Str("sim".to_string())),
+            ("kind", Value::Str(self.kind().to_string())),
+            ("message", Value::Str(self.to_string())),
+        ];
+        match self {
+            MonitorViolation::SinglePort { node, lane, start, busy_until } => {
+                members.push(("node", Value::Int(i128::from(node.0))));
+                members.push(("lane", Value::Str(LANES[*lane].to_string())));
+                members.push(("start", Value::Str(start.to_string())));
+                members.push(("busy_until", Value::Str(busy_until.to_string())));
+            }
+            MonitorViolation::UnpairedSend { node, child, at } => {
+                members.push(("node", Value::Int(i128::from(node.0))));
+                members.push(("child", Value::Int(i128::from(child.0))));
+                members.push(("at", Value::Str(at.to_string())));
+            }
+            MonitorViolation::UnpairedReceive { node, at } => {
+                members.push(("node", Value::Int(i128::from(node.0))));
+                members.push(("at", Value::Str(at.to_string())));
+            }
+            MonitorViolation::TaskConservation { node, consumed, drained, at } => {
+                members.push(("node", Value::Int(i128::from(node.0))));
+                members.push(("consumed", Value::Int(i128::from(*consumed))));
+                members.push(("drained", Value::Int(i128::from(*drained))));
+                members.push(("at", Value::Str(at.to_string())));
+            }
+            MonitorViolation::DurationMismatch { node, expected, observed, at } => {
+                members.push(("node", Value::Int(i128::from(node.0))));
+                members.push(("expected", Value::Str(expected.to_string())));
+                members.push(("observed", Value::Str(observed.to_string())));
+                members.push(("at", Value::Str(at.to_string())));
+            }
+            MonitorViolation::RateDeviation { node, lane, window, observed, expected } => {
+                members.push(("node", Value::Int(i128::from(node.0))));
+                members.push(("lane", Value::Str(LANES[*lane].to_string())));
+                members.push(("window", Value::Int(*window)));
+                members.push(("observed", Value::Int(i128::from(*observed))));
+                members.push(("expected", Value::Str(expected.to_string())));
+            }
+            MonitorViolation::BunchPeriodicity { window, observed, expected } => {
+                members.push(("window", Value::Int(*window)));
+                members.push(("observed", Value::Int(i128::from(*observed))));
+                members.push(("expected", Value::Str(expected.to_string())));
+            }
+        }
+        obj(members)
+    }
+}
+
+impl fmt::Display for MonitorViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorViolation::SinglePort { node, lane, start, busy_until } => write!(
+                f,
+                "single-port violated at {node}: {} segment starts at {start} while busy until {busy_until}",
+                LANES[*lane]
+            ),
+            MonitorViolation::UnpairedSend { node, child, at } => {
+                write!(f, "send {node}→{child} at {at} never matched by a receive")
+            }
+            MonitorViolation::UnpairedReceive { node, at } => {
+                write!(f, "receive at {node} at {at} with no pending send")
+            }
+            MonitorViolation::TaskConservation { node, consumed, drained, at } => write!(
+                f,
+                "task conservation violated at {node} (t = {at}): {consumed} consumed vs {drained} drained"
+            ),
+            MonitorViolation::DurationMismatch { node, expected, observed, at } => write!(
+                f,
+                "compute at {node} (t = {at}) lasted {observed}, platform says w = {expected}"
+            ),
+            MonitorViolation::RateDeviation { node, lane, window, observed, expected } => write!(
+                f,
+                "window {window}: {node} {} rate {observed} strayed from expected {expected}",
+                LANES[*lane]
+            ),
+            MonitorViolation::BunchPeriodicity { window, observed, expected } => write!(
+                f,
+                "window {window}: root handled {observed} tasks, expected Ψ-periodic {expected}"
+            ),
+        }
+    }
+}
+
+/// One completed (or trailing partial) telemetry window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Window index (`[window·W, (window+1)·W)`).
+    pub window: i128,
+    /// Window start.
+    pub from: Rat,
+    /// Window end (exclusive).
+    pub to: Rat,
+    /// Compute starts across all nodes.
+    pub computed: u64,
+    /// Receive starts across all nodes.
+    pub received: u64,
+    /// Root compute + send starts (the `Ψ`-bunch observable).
+    pub root_actions: u64,
+    /// `computed / W`, the window's throughput.
+    pub throughput: f64,
+    /// Expected cumulative tasks minus observed (with expectations).
+    pub lag: Option<f64>,
+    /// Deepest event queue seen in the window.
+    pub queue_depth_max: u64,
+    /// Total buffered tasks across nodes at window close.
+    pub buffer_total: u64,
+    /// Observations that arrived with timestamps before the window.
+    pub late_events: u64,
+    /// `true` only for the trailing window emitted by `finish()`.
+    pub partial: bool,
+    /// Per-node compute starts.
+    pub node_computed: Vec<u64>,
+    /// Per-node receive starts.
+    pub node_received: Vec<u64>,
+}
+
+impl Snapshot {
+    /// One JSONL record (`bwfirst-snapshot/1` schema; see
+    /// `docs/OBSERVABILITY.md`).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let ints = |v: &[u64]| Value::Array(v.iter().map(|&x| Value::Int(i128::from(x))).collect());
+        obj(vec![
+            ("window", Value::Int(self.window)),
+            ("from", Value::Str(self.from.to_string())),
+            ("to", Value::Str(self.to.to_string())),
+            ("computed", Value::Int(i128::from(self.computed))),
+            ("received", Value::Int(i128::from(self.received))),
+            ("root_actions", Value::Int(i128::from(self.root_actions))),
+            ("throughput", Value::Float(self.throughput)),
+            ("lag", self.lag.map_or(Value::Null, Value::Float)),
+            ("queue_depth_max", Value::Int(i128::from(self.queue_depth_max))),
+            ("buffer_total", Value::Int(i128::from(self.buffer_total))),
+            ("late_events", Value::Int(i128::from(self.late_events))),
+            ("partial", Value::Bool(self.partial)),
+            ("node_computed", ints(&self.node_computed)),
+            ("node_received", ints(&self.node_received)),
+        ])
+    }
+}
+
+/// Everything a finished [`MonitorProbe`] observed.
+#[derive(Debug)]
+pub struct MonitorReport {
+    /// Violations, in observation order (capped).
+    pub violations: Vec<MonitorViolation>,
+    /// Violations beyond [`MonitorConfig::max_violations`], counted only.
+    pub suppressed: u64,
+    /// One snapshot per window, in order.
+    pub snapshots: Vec<Snapshot>,
+    /// Completed (non-partial) windows.
+    pub windows: i128,
+    /// Observations timestamped before their window (demand-driven
+    /// interrupts surface segments late; nonzero here is normal there).
+    pub late_events: u64,
+    /// The bounded event tail and monitor metrics.
+    pub flight: FlightRecorder,
+}
+
+impl MonitorReport {
+    /// `true` when no invariant was breached.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && self.suppressed == 0
+    }
+
+    /// The violations as a JSON array (the shared shape).
+    #[must_use]
+    pub fn violations_json(&self) -> Value {
+        Value::Array(self.violations.iter().map(MonitorViolation::to_json).collect())
+    }
+
+    /// The snapshot stream as JSON Lines.
+    #[must_use]
+    pub fn snapshots_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.snapshots {
+            out.push_str(&s.to_json().to_string_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A `bwfirst-postmortem/1` dump when violations occurred.
+    #[must_use]
+    pub fn postmortem(&self) -> Option<Value> {
+        let first = self.violations.first()?;
+        Some(self.postmortem_for(&first.to_string()))
+    }
+
+    /// A `bwfirst-postmortem/1` dump with an explicit reason (for
+    /// `SimError`s and other failures outside the monitor's own checks).
+    #[must_use]
+    pub fn postmortem_for(&self, reason: &str) -> Value {
+        self.flight.postmortem(reason, self.violations_json())
+    }
+}
+
+/// Per-window streaming counters.
+struct WindowState {
+    computed: u64,
+    received: u64,
+    root_actions: u64,
+    queue_depth_max: u64,
+    late_events: u64,
+    node_computed: Vec<u64>,
+    node_received: Vec<u64>,
+}
+
+impl WindowState {
+    fn new(n: usize) -> WindowState {
+        WindowState {
+            computed: 0,
+            received: 0,
+            root_actions: 0,
+            queue_depth_max: 0,
+            late_events: 0,
+            node_computed: vec![0; n],
+            node_received: vec![0; n],
+        }
+    }
+
+    fn reset(&mut self) {
+        self.computed = 0;
+        self.received = 0;
+        self.root_actions = 0;
+        self.queue_depth_max = 0;
+        self.late_events = 0;
+        self.node_computed.fill(0);
+        self.node_received.fill(0);
+    }
+}
+
+/// A pending one-task transfer awaiting its receive half.
+struct PendingSend {
+    node: NodeId,
+    child: NodeId,
+    start: Rat,
+    end: Rat,
+}
+
+/// The online monitor: a [`Probe`] that checks invariants, rolls windows and
+/// feeds a flight recorder. Compose it with other probes via tuples.
+pub struct MonitorProbe {
+    cfg: MonitorConfig,
+    root: NodeId,
+    n: usize,
+    busy_until: Vec<[Rat; 3]>,
+    pending: Option<PendingSend>,
+    consumed: Vec<u64>,
+    drained: Vec<u64>,
+    buf_prev: Vec<u64>,
+    buf_total: u64,
+    cur_window: i128,
+    win: WindowState,
+    cum_computed: u64,
+    late_events: u64,
+    violations: Vec<MonitorViolation>,
+    suppressed: u64,
+    snapshots: Vec<Snapshot>,
+    flight: FlightRecorder,
+}
+
+fn ts(r: Rat) -> Ts {
+    Ts::new(r.numer(), r.denom())
+}
+
+impl MonitorProbe {
+    /// A monitor for an `n`-node platform rooted at `root`.
+    #[must_use]
+    pub fn new(n: usize, root: NodeId, cfg: MonitorConfig) -> MonitorProbe {
+        let flight = FlightRecorder::new(cfg.flight_capacity);
+        MonitorProbe {
+            cfg,
+            root,
+            n,
+            busy_until: vec![[Rat::ZERO; 3]; n],
+            pending: None,
+            consumed: vec![0; n],
+            drained: vec![0; n],
+            buf_prev: vec![0; n],
+            buf_total: 0,
+            cur_window: 0,
+            win: WindowState::new(n),
+            cum_computed: 0,
+            late_events: 0,
+            violations: Vec::new(),
+            suppressed: 0,
+            snapshots: Vec::new(),
+            flight,
+        }
+    }
+
+    /// Violations seen so far (including suppressed ones).
+    #[must_use]
+    pub fn violation_count(&self) -> u64 {
+        self.violations.len() as u64 + self.suppressed
+    }
+
+    fn violate(&mut self, at: Rat, v: MonitorViolation) {
+        self.flight.add("monitor.violations", 1);
+        self.flight.event(
+            Event::new(ts(at), 0, format!("violation: {}", v.kind()), EventKind::Instant)
+                .arg("message", Arg::Str(v.to_string())),
+        );
+        if self.violations.len() < self.cfg.max_violations {
+            self.violations.push(v);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    fn window_of(&self, t: Rat) -> i128 {
+        (t / self.cfg.window).floor()
+    }
+
+    /// Closes `self.cur_window` and opens the next one.
+    fn flush_window(&mut self) {
+        let k = self.cur_window;
+        let from = self.cfg.window * Rat::from_int(k);
+        let to = self.cfg.window * Rat::from_int(k + 1);
+        let snap = self.make_snapshot(k, from, to, false);
+        self.flight.observe("monitor.window_throughput", snap.throughput);
+        self.check_window_rates(k);
+        self.check_drain_balance(to);
+        self.snapshots.push(snap);
+        self.win.reset();
+        self.cur_window += 1;
+    }
+
+    fn make_snapshot(&self, k: i128, from: Rat, to: Rat, partial: bool) -> Snapshot {
+        let lag = self
+            .cfg
+            .expectations
+            .as_ref()
+            .map(|exp| (exp.throughput * to).to_f64() - self.cum_computed as f64);
+        Snapshot {
+            window: k,
+            from,
+            to,
+            computed: self.win.computed,
+            received: self.win.received,
+            root_actions: self.win.root_actions,
+            throughput: self.win.computed as f64 / self.cfg.window.to_f64(),
+            lag,
+            queue_depth_max: self.win.queue_depth_max,
+            buffer_total: self.buf_total,
+            late_events: self.win.late_events,
+            partial,
+            node_computed: self.win.node_computed.clone(),
+            node_received: self.win.node_received.clone(),
+        }
+    }
+
+    /// Rate/bunch checks for a just-completed window (expectations only).
+    fn check_window_rates(&mut self, k: i128) {
+        if k < self.cfg.warmup_windows {
+            return;
+        }
+        let Some(exp) = self.cfg.expectations.clone() else { return };
+        let w = self.cfg.window;
+        let slack = self.cfg.rate_slack;
+        let at = w * Rat::from_int(k + 1);
+        for i in 0..self.n {
+            let node = NodeId(i as u32);
+            let expected_c = exp.alpha[i] * w;
+            let observed_c = self.win.node_computed[i];
+            if (Rat::from(observed_c as usize) - expected_c).abs() > slack {
+                self.violate(
+                    at,
+                    MonitorViolation::RateDeviation {
+                        node,
+                        lane: 1,
+                        window: k,
+                        observed: observed_c,
+                        expected: expected_c,
+                    },
+                );
+            }
+            if node != exp.root {
+                let expected_r = exp.eta_in[i] * w;
+                let observed_r = self.win.node_received[i];
+                if (Rat::from(observed_r as usize) - expected_r).abs() > slack {
+                    self.violate(
+                        at,
+                        MonitorViolation::RateDeviation {
+                            node,
+                            lane: 0,
+                            window: k,
+                            observed: observed_r,
+                            expected: expected_r,
+                        },
+                    );
+                }
+            }
+        }
+        let expected_b = exp.root_rate() * w;
+        let observed_b = self.win.root_actions;
+        if (Rat::from(observed_b as usize) - expected_b).abs() > slack {
+            self.violate(
+                at,
+                MonitorViolation::BunchPeriodicity {
+                    window: k,
+                    observed: observed_b,
+                    expected: expected_b,
+                },
+            );
+        }
+    }
+
+    /// Strict mode: at window boundaries every drained task must have shown
+    /// its activity segment (a drain without one is a lost task).
+    fn check_drain_balance(&mut self, at: Rat) {
+        if !self.cfg.strict_conservation {
+            return;
+        }
+        for i in 0..self.n {
+            if NodeId(i as u32) == self.root {
+                continue;
+            }
+            if self.drained[i] > self.consumed[i] {
+                self.violate(
+                    at,
+                    MonitorViolation::TaskConservation {
+                        node: NodeId(i as u32),
+                        consumed: self.consumed[i],
+                        drained: self.drained[i],
+                        at,
+                    },
+                );
+                // Re-arm instead of repeating the same finding every window.
+                self.consumed[i] = self.drained[i];
+            }
+        }
+    }
+
+    /// Rolls windows forward so `t` falls in the current one; counts
+    /// stragglers (possible under the interruptible demand model).
+    fn advance_to(&mut self, t: Rat) {
+        let k = self.window_of(t);
+        if k < self.cur_window {
+            self.late_events += 1;
+            self.win.late_events += 1;
+            return;
+        }
+        while self.cur_window < k {
+            self.flush_window();
+        }
+    }
+
+    /// Consumes the probe, closing the trailing partial window.
+    #[must_use]
+    pub fn finish(mut self) -> MonitorReport {
+        let windows = self.cur_window;
+        let from = self.cfg.window * Rat::from_int(self.cur_window);
+        let to = self.cfg.window * Rat::from_int(self.cur_window + 1);
+        self.check_drain_balance(from);
+        if let Some(p) = self.pending.take() {
+            self.violate(
+                p.start,
+                MonitorViolation::UnpairedSend { node: p.node, child: p.child, at: p.start },
+            );
+        }
+        let snap = self.make_snapshot(self.cur_window, from, to, true);
+        self.snapshots.push(snap);
+        MonitorReport {
+            violations: self.violations,
+            suppressed: self.suppressed,
+            snapshots: self.snapshots,
+            windows,
+            late_events: self.late_events,
+            flight: self.flight,
+        }
+    }
+}
+
+impl Probe for MonitorProbe {
+    fn segment(&mut self, node: NodeId, kind: SegmentKind, start: Rat, end: Rat) {
+        self.advance_to(start);
+        let i = node.index();
+        let l = lane(kind);
+
+        // Flight tail: the same span shape ObsProbe emits.
+        let track = node.0 * 3 + l as u32;
+        self.flight.event(
+            Event::new(ts(start), track, LANES[l], EventKind::Begin)
+                .arg("node", Arg::Int(i128::from(node.0))),
+        );
+        self.flight.event(Event::new(ts(end), track, LANES[l], EventKind::End));
+        self.flight.add("monitor.segments", 1);
+
+        // Single-port per lane (full overlap across lanes is legal).
+        if start < self.busy_until[i][l] {
+            self.violate(
+                start,
+                MonitorViolation::SinglePort {
+                    node,
+                    lane: l,
+                    start,
+                    busy_until: self.busy_until[i][l],
+                },
+            );
+        }
+        self.busy_until[i][l] = self.busy_until[i][l].max(end);
+
+        // Transfer pairing: a send opens a one-task edge transfer that the
+        // very next segment must close with the child's identical receive.
+        match kind {
+            SegmentKind::Send(child) => {
+                if let Some(p) = self.pending.take() {
+                    self.violate(
+                        p.start,
+                        MonitorViolation::UnpairedSend {
+                            node: p.node,
+                            child: p.child,
+                            at: p.start,
+                        },
+                    );
+                }
+                self.pending = Some(PendingSend { node, child, start, end });
+            }
+            SegmentKind::Receive => match self.pending.take() {
+                Some(p) if p.child == node && p.start == start && p.end == end => {}
+                Some(p) => {
+                    self.violate(
+                        p.start,
+                        MonitorViolation::UnpairedSend {
+                            node: p.node,
+                            child: p.child,
+                            at: p.start,
+                        },
+                    );
+                    self.violate(start, MonitorViolation::UnpairedReceive { node, at: start });
+                }
+                None => {
+                    self.violate(start, MonitorViolation::UnpairedReceive { node, at: start });
+                }
+            },
+            SegmentKind::Compute => {
+                if let Some(p) = self.pending.take() {
+                    self.violate(
+                        p.start,
+                        MonitorViolation::UnpairedSend {
+                            node: p.node,
+                            child: p.child,
+                            at: p.start,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Window counters + consumption accounting.
+        match kind {
+            SegmentKind::Compute => {
+                self.win.computed += 1;
+                self.win.node_computed[i] += 1;
+                self.cum_computed += 1;
+                if node == self.root {
+                    self.win.root_actions += 1;
+                }
+                if let Some(exp) = &self.cfg.expectations {
+                    if let Some(w) = exp.weight.get(i).copied().flatten() {
+                        let observed = end - start;
+                        if observed != w {
+                            self.violate(
+                                start,
+                                MonitorViolation::DurationMismatch {
+                                    node,
+                                    expected: w,
+                                    observed,
+                                    at: start,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            SegmentKind::Receive => {
+                self.win.received += 1;
+                self.win.node_received[i] += 1;
+            }
+            SegmentKind::Send(_) => {
+                if node == self.root {
+                    self.win.root_actions += 1;
+                }
+            }
+        }
+        if node != self.root && !matches!(kind, SegmentKind::Receive) {
+            self.consumed[i] += 1;
+            if self.cfg.strict_conservation && self.consumed[i] > self.drained[i] {
+                self.violate(
+                    start,
+                    MonitorViolation::TaskConservation {
+                        node,
+                        consumed: self.consumed[i],
+                        drained: self.drained[i],
+                        at: start,
+                    },
+                );
+                // Re-arm so one phantom task reports once, not forever.
+                self.drained[i] = self.consumed[i];
+            }
+        }
+    }
+
+    fn queue_depth(&mut self, t: Rat, depth: usize) {
+        self.advance_to(t);
+        self.win.queue_depth_max = self.win.queue_depth_max.max(depth as u64);
+        self.flight.observe("monitor.queue_depth", depth as f64);
+    }
+
+    fn buffer(&mut self, node: NodeId, t: Rat, size: u64) {
+        self.advance_to(t);
+        let i = node.index();
+        let prev = self.buf_prev[i];
+        if size < prev {
+            self.drained[i] += prev - size;
+        }
+        self.buf_total = (self.buf_total + size).saturating_sub(prev);
+        self.buf_prev[i] = size;
+        self.flight.event(
+            Event::new(ts(t), node.0, format!("buffer {node}"), EventKind::Counter)
+                .arg("tasks", Arg::Int(i128::from(size))),
+        );
+        self.flight.observe("monitor.buffer_occupancy", size as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfirst_rational::rat;
+
+    fn probe(n: usize) -> MonitorProbe {
+        MonitorProbe::new(n, NodeId(0), MonitorConfig::new(rat(36, 1)))
+    }
+
+    /// A legal one-task edge transfer followed by the buffer arrival.
+    fn transfer(p: &mut MonitorProbe, from: u32, to: u32, s: Rat, e: Rat, new_size: u64) {
+        p.segment(NodeId(from), SegmentKind::Send(NodeId(to)), s, e);
+        p.segment(NodeId(to), SegmentKind::Receive, s, e);
+        p.buffer(NodeId(to), e, new_size);
+    }
+
+    #[test]
+    fn clean_stream_has_no_violations() {
+        let mut p = probe(2);
+        transfer(&mut p, 0, 1, rat(0, 1), rat(1, 1), 1);
+        p.buffer(NodeId(1), rat(1, 1), 0);
+        p.segment(NodeId(1), SegmentKind::Compute, rat(1, 1), rat(3, 1));
+        p.queue_depth(rat(3, 1), 2);
+        let rep = p.finish();
+        assert!(rep.ok(), "unexpected: {:?}", rep.violations);
+        assert_eq!(rep.late_events, 0);
+        // One trailing partial snapshot.
+        assert_eq!(rep.snapshots.len(), 1);
+        assert!(rep.snapshots[0].partial);
+        assert_eq!(rep.snapshots[0].computed, 1);
+        assert_eq!(rep.snapshots[0].received, 1);
+        assert_eq!(rep.snapshots[0].queue_depth_max, 2);
+        assert!(rep.postmortem().is_none());
+    }
+
+    #[test]
+    fn double_send_trips_single_port_monitor() {
+        let mut p = probe(3);
+        p.buffer(NodeId(1), rat(0, 1), 2);
+        transfer(&mut p, 0, 1, rat(0, 1), rat(4, 1), 3);
+        // Overlapping second send on node 0's port: starts at 2 < 4.
+        p.segment(NodeId(0), SegmentKind::Send(NodeId(2)), rat(2, 1), rat(6, 1));
+        p.segment(NodeId(2), SegmentKind::Receive, rat(2, 1), rat(6, 1));
+        let rep = p.finish();
+        assert!(!rep.ok());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, MonitorViolation::SinglePort { node: NodeId(0), lane: 2, .. })));
+        let dump = rep.postmortem().expect("violations produce a dump");
+        assert!(!rep.flight.is_empty());
+        assert_eq!(dump["format"].as_str(), Some("bwfirst-postmortem/1"));
+        assert!(dump["violations"].as_array().is_some_and(|v| !v.is_empty()));
+        assert!(dump["events"].as_array().is_some_and(|v| !v.is_empty()));
+    }
+
+    #[test]
+    fn unpaired_send_is_reported() {
+        let mut p = probe(3);
+        p.segment(NodeId(0), SegmentKind::Send(NodeId(1)), rat(0, 1), rat(1, 1));
+        // A compute barges in before the matching receive.
+        p.segment(NodeId(0), SegmentKind::Compute, rat(1, 1), rat(2, 1));
+        let rep = p.finish();
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, MonitorViolation::UnpairedSend { node: NodeId(0), .. })));
+    }
+
+    #[test]
+    fn mismatched_receive_interval_is_unpaired() {
+        let mut p = probe(2);
+        p.segment(NodeId(0), SegmentKind::Send(NodeId(1)), rat(0, 1), rat(2, 1));
+        p.segment(NodeId(1), SegmentKind::Receive, rat(0, 1), rat(3, 1));
+        let rep = p.finish();
+        assert!(rep.violations.iter().any(|v| matches!(v, MonitorViolation::UnpairedSend { .. })));
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, MonitorViolation::UnpairedReceive { node: NodeId(1), .. })));
+    }
+
+    #[test]
+    fn task_invented_from_nowhere_breaks_conservation() {
+        let mut p = probe(2);
+        transfer(&mut p, 0, 1, rat(0, 1), rat(1, 1), 1);
+        // Node 1 computes twice but only one task ever arrived/drained.
+        p.buffer(NodeId(1), rat(1, 1), 0);
+        p.segment(NodeId(1), SegmentKind::Compute, rat(1, 1), rat(2, 1));
+        p.segment(NodeId(1), SegmentKind::Compute, rat(2, 1), rat(3, 1));
+        let rep = p.finish();
+        assert!(rep.violations.iter().any(|v| matches!(
+            v,
+            MonitorViolation::TaskConservation { node: NodeId(1), consumed: 2, drained: 1, .. }
+        )));
+    }
+
+    #[test]
+    fn task_loss_is_caught_at_window_close() {
+        let mut p = probe(2);
+        transfer(&mut p, 0, 1, rat(0, 1), rat(1, 1), 1);
+        // The task silently vanishes from the buffer: no activity follows.
+        p.buffer(NodeId(1), rat(2, 1), 0);
+        let rep = p.finish();
+        assert!(rep.violations.iter().any(|v| matches!(
+            v,
+            MonitorViolation::TaskConservation { node: NodeId(1), consumed: 0, drained: 1, .. }
+        )));
+        assert!(!rep.flight.is_empty());
+    }
+
+    #[test]
+    fn windows_roll_and_late_events_are_tolerated() {
+        let mut p = probe(2);
+        p.queue_depth(rat(1, 1), 1);
+        p.queue_depth(rat(37, 1), 3); // rolls into window 1
+        p.queue_depth(rat(5, 1), 9); // straggler from window 0
+        let rep = p.finish();
+        assert_eq!(rep.windows, 1);
+        assert_eq!(rep.late_events, 1);
+        assert_eq!(rep.snapshots.len(), 2);
+        assert!(!rep.snapshots[0].partial);
+        assert!(rep.snapshots[1].partial);
+        assert_eq!(rep.snapshots[0].queue_depth_max, 1);
+        // The straggler counts into the live window, not the closed one.
+        assert_eq!(rep.snapshots[1].queue_depth_max, 9);
+        assert_eq!(rep.snapshots[1].late_events, 1);
+    }
+
+    #[test]
+    fn snapshot_json_has_the_documented_fields() {
+        let mut p = probe(1);
+        p.queue_depth(rat(40, 1), 2);
+        let rep = p.finish();
+        let jsonl = rep.snapshots_jsonl();
+        let first = jsonl.lines().next().expect("one line per window");
+        let v = bwfirst_obs::json::parse(first).expect("snapshot parses");
+        for key in [
+            "window",
+            "from",
+            "to",
+            "computed",
+            "received",
+            "root_actions",
+            "throughput",
+            "lag",
+            "queue_depth_max",
+            "buffer_total",
+            "late_events",
+            "partial",
+            "node_computed",
+            "node_received",
+        ] {
+            assert!(!v[key].is_null() || key == "lag", "missing {key} in {first}");
+        }
+    }
+
+    #[test]
+    fn violations_are_capped_not_unbounded() {
+        let mut cfg = MonitorConfig::new(rat(36, 1));
+        cfg.max_violations = 2;
+        let mut p = MonitorProbe::new(2, NodeId(0), cfg);
+        for k in 0i128..5 {
+            // Five receives with no pending send.
+            p.segment(NodeId(1), SegmentKind::Receive, rat(k, 1), rat(k + 1, 1));
+        }
+        let rep = p.finish();
+        assert_eq!(rep.violations.len(), 2);
+        assert_eq!(rep.suppressed, 3);
+        assert_eq!(rep.violations.len() as u64 + rep.suppressed, 5);
+    }
+
+    #[test]
+    fn violation_json_shape_is_shared() {
+        let v = MonitorViolation::SinglePort {
+            node: NodeId(4),
+            lane: 2,
+            start: rat(3, 2),
+            busy_until: rat(5, 2),
+        };
+        let j = v.to_json();
+        assert_eq!(j["layer"].as_str(), Some("sim"));
+        assert_eq!(j["kind"].as_str(), Some("single-port"));
+        assert!(j["message"].as_str().is_some());
+        assert_eq!(j["node"].as_i128(), Some(4));
+        assert_eq!(j["lane"].as_str(), Some("send"));
+    }
+}

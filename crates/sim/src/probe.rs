@@ -33,6 +33,20 @@ pub fn lane(kind: SegmentKind) -> usize {
     }
 }
 
+/// `(track id, label)` pairs for every lane of an `n`-node platform, matching
+/// [`ObsProbe`]'s `node·3 + lane` track layout — feed these to
+/// `bwfirst_obs::chrome::to_chrome_trace_named` so traces open labeled.
+#[must_use]
+pub fn track_names(n: usize) -> Vec<(u32, String)> {
+    let mut names = Vec::with_capacity(n * 3);
+    for node in 0..n {
+        for (l, lane) in LANES.iter().enumerate() {
+            names.push((node as u32 * 3 + l as u32, format!("P{node} {lane}")));
+        }
+    }
+    names
+}
+
 /// A sink for executor observations. All methods default to no-ops, so a
 /// probe implements only what it cares about.
 pub trait Probe {

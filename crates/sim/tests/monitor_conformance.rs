@@ -1,0 +1,194 @@
+//! The online monitor against all four executors on the Figure 2 tree:
+//! clean runs must be violation-free (with the windowed rates converging to
+//! the solver's exact `η_i`/`α_i` where expectations apply), and injected
+//! faults must surface as typed violations with a usable flight dump.
+
+use bwfirst_core::expectations::MonitorExpectations;
+use bwfirst_core::schedule::EventDrivenSchedule;
+use bwfirst_core::{bw_first, SteadyState};
+use bwfirst_platform::examples::example_tree;
+use bwfirst_platform::{NodeId, Platform};
+use bwfirst_rational::{rat, Rat};
+use bwfirst_sim::clocked::{self, ClockedConfig};
+use bwfirst_sim::demand_driven::{self, DemandConfig};
+use bwfirst_sim::dynamic::{simulate_dynamic_probed, AdaptPolicy};
+use bwfirst_sim::monitor::{MonitorConfig, MonitorProbe, MonitorViolation};
+use bwfirst_sim::{event_driven, Probe, SegmentKind, SimConfig};
+
+const PERIOD: i128 = 36; // synchronous period of the example tree
+
+fn cfg(periods: i128) -> SimConfig {
+    SimConfig {
+        horizon: rat(PERIOD * periods, 1),
+        stop_injection_at: None,
+        total_tasks: None,
+        record_gantt: false,
+        exact_queue: false,
+    }
+}
+
+fn setup() -> (Platform, SteadyState, EventDrivenSchedule, MonitorExpectations) {
+    let p = example_tree();
+    let ss = SteadyState::from_solution(&bw_first(&p));
+    let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
+    let exp = MonitorExpectations::build(&p, &ss, &ev.tree).unwrap();
+    (p, ss, ev, exp)
+}
+
+fn strict_monitor(p: &Platform, exp: MonitorExpectations) -> MonitorProbe {
+    MonitorProbe::new(p.len(), p.root(), MonitorConfig::new(rat(PERIOD, 1)).with_expectations(exp))
+}
+
+#[test]
+fn event_driven_fig2_is_violation_free_and_rates_converge() {
+    let (p, _ss, ev, exp) = setup();
+    let mut mon = strict_monitor(&p, exp.clone());
+    event_driven::simulate_probed(&p, &ev, &cfg(10), &mut mon).unwrap();
+    let rep = mon.finish();
+    assert!(rep.ok(), "violations: {:?}", rep.violations);
+    assert!(rep.windows >= 8, "expected most windows to close, got {}", rep.windows);
+    assert_eq!(rep.late_events, 0);
+    // Steady windows carry exactly Ψ·W/T^ω = 40 root actions and the tree
+    // computes throughput·W = 40 tasks per window; per-node compute counts
+    // equal α_i·W exactly (the monitor checked this, spot-check one here).
+    let steady: Vec<_> = rep.snapshots.iter().filter(|s| !s.partial && s.window >= 2).collect();
+    assert!(!steady.is_empty());
+    for s in steady {
+        assert_eq!(s.computed, 40, "window {}", s.window);
+        assert_eq!(s.root_actions, 40, "window {}", s.window);
+        for (i, &c) in s.node_computed.iter().enumerate() {
+            assert_eq!(Rat::from(c as usize), exp.alpha[i] * rat(PERIOD, 1), "node {i}");
+        }
+    }
+}
+
+#[test]
+fn clocked_fig2_is_violation_free_under_expectations() {
+    let (p, _ss, ev, exp) = setup();
+    let mut mon = strict_monitor(&p, exp);
+    clocked::simulate_probed(&p, &ev.tree, ClockedConfig::default(), &cfg(10), &mut mon).unwrap();
+    let rep = mon.finish();
+    assert!(rep.ok(), "violations: {:?}", rep.violations);
+    assert!(rep.windows >= 8);
+}
+
+#[test]
+fn demand_driven_fig2_is_structurally_clean() {
+    let (p, _ss, _ev, _exp) = setup();
+    for demand in [DemandConfig::default(), DemandConfig::interruptible()] {
+        // No expectations (the greedy protocol's rates differ by design) and
+        // relaxed conservation (its send segments surface at transfer end).
+        let mon_cfg = MonitorConfig::new(rat(PERIOD, 1)).relaxed();
+        let mut mon = MonitorProbe::new(p.len(), p.root(), mon_cfg);
+        let _ = demand_driven::simulate_probed(&p, demand, &cfg(10), &mut mon);
+        let rep = mon.finish();
+        assert!(rep.ok(), "interruptible={}: {:?}", demand.interruptible, rep.violations);
+        assert!(!rep.snapshots.is_empty());
+    }
+}
+
+#[test]
+fn dynamic_fig2_without_changes_is_violation_free() {
+    let (p, _ss, _ev, exp) = setup();
+    // The dynamic executor replays the same event-driven schedule, so the
+    // full strict monitor (expectations included) must stay silent.
+    let mut mon = strict_monitor(&p, exp);
+    simulate_dynamic_probed(&p, &[], AdaptPolicy::Stale, &cfg(10), &mut mon).unwrap();
+    let rep = mon.finish();
+    assert!(rep.ok(), "violations: {:?}", rep.violations);
+    assert!(rep.windows >= 8);
+}
+
+/// Forwards a real execution into the monitor but duplicates one send as an
+/// overlapping copy — the "corrupted schedule" of a node double-booking its
+/// port.
+struct DoubleSendInjector {
+    inner: MonitorProbe,
+    sends: u32,
+}
+
+impl Probe for DoubleSendInjector {
+    fn segment(&mut self, node: NodeId, kind: SegmentKind, start: Rat, end: Rat) {
+        self.inner.segment(node, kind, start, end);
+        if let SegmentKind::Send(child) = kind {
+            self.sends += 1;
+            if self.sends == 5 && end > start {
+                let mid = (start + end) / Rat::TWO;
+                let shift = end - start;
+                self.inner.segment(node, SegmentKind::Send(child), mid, mid + shift);
+                self.inner.segment(child, SegmentKind::Receive, mid, mid + shift);
+            }
+        }
+    }
+
+    fn queue_depth(&mut self, t: Rat, depth: usize) {
+        self.inner.queue_depth(t, depth);
+    }
+
+    fn buffer(&mut self, node: NodeId, t: Rat, size: u64) {
+        self.inner.buffer(node, t, size);
+    }
+}
+
+#[test]
+fn injected_double_send_trips_the_single_port_monitor() {
+    let (p, _ss, ev, _exp) = setup();
+    let mon = MonitorProbe::new(p.len(), p.root(), MonitorConfig::new(rat(PERIOD, 1)));
+    let mut probe = DoubleSendInjector { inner: mon, sends: 0 };
+    event_driven::simulate_probed(&p, &ev, &cfg(4), &mut probe).unwrap();
+    let rep = probe.inner.finish();
+    assert!(!rep.ok());
+    assert!(
+        rep.violations.iter().any(|v| matches!(v, MonitorViolation::SinglePort { lane: 2, .. })),
+        "expected a send-lane single-port violation, got {:?}",
+        rep.violations
+    );
+    let dump = rep.postmortem().expect("violations produce a post-mortem");
+    assert!(!rep.flight.is_empty());
+    assert_eq!(dump["format"].as_str(), Some("bwfirst-postmortem/1"));
+    assert!(dump["violations"].as_array().is_some_and(|v| !v.is_empty()));
+    assert!(dump["events"].as_array().is_some_and(|v| !v.is_empty()));
+}
+
+/// Loses one task mid-run: a non-root node drains its buffer for a compute
+/// that never happens (the segment is swallowed), so the drained count
+/// permanently exceeds the activity the monitor can account for.
+struct TaskLossInjector {
+    inner: MonitorProbe,
+    computes: u32,
+}
+
+impl Probe for TaskLossInjector {
+    fn segment(&mut self, node: NodeId, kind: SegmentKind, start: Rat, end: Rat) {
+        if node != NodeId(0) && matches!(kind, SegmentKind::Compute) {
+            self.computes += 1;
+            if self.computes == 10 {
+                return; // the task was drained but its compute vanishes
+            }
+        }
+        self.inner.segment(node, kind, start, end);
+    }
+
+    fn queue_depth(&mut self, t: Rat, depth: usize) {
+        self.inner.queue_depth(t, depth);
+    }
+
+    fn buffer(&mut self, node: NodeId, t: Rat, size: u64) {
+        self.inner.buffer(node, t, size);
+    }
+}
+
+#[test]
+fn injected_task_loss_breaks_conservation() {
+    let (p, _ss, ev, _exp) = setup();
+    let mon = MonitorProbe::new(p.len(), p.root(), MonitorConfig::new(rat(PERIOD, 1)));
+    let mut probe = TaskLossInjector { inner: mon, computes: 0 };
+    event_driven::simulate_probed(&p, &ev, &cfg(4), &mut probe).unwrap();
+    let rep = probe.inner.finish();
+    assert!(
+        rep.violations.iter().any(|v| matches!(v, MonitorViolation::TaskConservation { .. })),
+        "expected a conservation violation, got {:?}",
+        rep.violations
+    );
+    assert!(rep.postmortem().is_some());
+}
