@@ -29,6 +29,7 @@ pub mod lexer;
 pub mod model;
 pub mod rules;
 pub mod snapshots;
+pub mod trace;
 pub mod trees;
 
 pub use model::{check, ModelReport, Violation};

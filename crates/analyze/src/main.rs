@@ -1,13 +1,14 @@
 //! `bwfirst-analyze` — workspace lint + protocol model checking.
 //!
 //! ```text
-//! bwfirst-analyze [lint|model|all|fixture <path>|snapshots <path>] [flags]
+//! bwfirst-analyze [lint|model|all|fixture <path>|snapshots <path>|trace <path>] [flags]
 //!
 //!   lint             run the source invariant rules (R1–R4) over crates/
 //!   model            exhaustively model-check the negotiation protocol
 //!   all              both layers (default)
 //!   fixture <path>   lint one file with every rule, ignoring path scopes
 //!   snapshots <path> schema-check a monitor snapshot stream (.jsonl)
+//!   trace <path>     schema-check a bwfirst-trace/1 provenance artifact
 //!
 //!   --root DIR       workspace root to lint (default: .)
 //!   --max-nodes N    model-check all trees up to N nodes (default: 7)
@@ -23,7 +24,7 @@
 //! Exit code 0 when clean, 1 on any finding or property violation, 2 on
 //! usage errors.
 
-use bwfirst_analyze::{lexer, model, rules, snapshots};
+use bwfirst_analyze::{lexer, model, rules, snapshots, trace};
 use bwfirst_obs::json::{obj, Value};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -76,7 +77,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 opts.command = a.clone();
                 saw_command = true;
             }
-            "fixture" | "snapshots" if !saw_command => {
+            "fixture" | "snapshots" | "trace" if !saw_command => {
                 opts.command = a.clone();
                 opts.path = Some(PathBuf::from(it.next().ok_or(format!("{a} needs a path"))?));
                 saw_command = true;
@@ -94,9 +95,9 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("bwfirst-analyze: {e}");
             eprintln!(
-                "usage: bwfirst-analyze [lint|model|all|fixture <path>|snapshots <path>] \
-                       [--root DIR] [--max-nodes N] [--threads N] [--postmortem P] \
-                       [--json] [--deny-all]"
+                "usage: bwfirst-analyze [lint|model|all|fixture <path>|snapshots <path>|\
+                       trace <path>] [--root DIR] [--max-nodes N] [--threads N] \
+                       [--postmortem P] [--json] [--deny-all]"
             );
             return ExitCode::from(2);
         }
@@ -113,6 +114,16 @@ fn main() -> ExitCode {
         "snapshots" => {
             let path = opts.path.as_deref().expect("snapshots path parsed");
             match run_snapshots(path, opts.json) {
+                Ok(clean) => dirty |= !clean,
+                Err(e) => {
+                    eprintln!("bwfirst-analyze: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        "trace" => {
+            let path = opts.path.as_deref().expect("trace path parsed");
+            match run_trace(path, opts.json) {
                 Ok(clean) => dirty |= !clean,
                 Err(e) => {
                     eprintln!("bwfirst-analyze: {e}");
@@ -253,6 +264,54 @@ fn run_snapshots(path: &std::path::Path, json: bool) -> Result<bool, String> {
                     println!("{e}");
                 }
                 println!("snapshots: {} error(s)", errors.len());
+            }
+            Ok(false)
+        }
+    }
+}
+
+/// Schema-checks a `bwfirst-trace/1` provenance artifact; `Ok(true)` when
+/// clean. `Err` means the file itself was unreadable (usage error, exit 2).
+fn run_trace(path: &std::path::Path, json: bool) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    match trace::validate_jsonl(&text) {
+        Ok(summary) => {
+            if json {
+                let out = obj(vec![
+                    ("records", Value::Int(summary.records as i128)),
+                    ("injected", Value::Int(summary.injected as i128)),
+                    ("stock", Value::Int(summary.stock as i128)),
+                    ("errors", Value::Array(Vec::new())),
+                ]);
+                println!("{}", out.to_string_compact());
+            } else {
+                println!(
+                    "trace: {} record(s), {} injected task(s), {} stock, schema clean",
+                    summary.records, summary.injected, summary.stock
+                );
+            }
+            Ok(true)
+        }
+        Err(errors) => {
+            if json {
+                let arr = Value::Array(
+                    errors
+                        .iter()
+                        .map(|e| {
+                            obj(vec![
+                                ("line", Value::Int(e.line as i128)),
+                                ("message", Value::from(e.message.as_str())),
+                            ])
+                        })
+                        .collect(),
+                );
+                println!("{}", obj(vec![("errors", arr)]).to_string_compact());
+            } else {
+                for e in &errors {
+                    println!("{e}");
+                }
+                println!("trace: {} error(s)", errors.len());
             }
             Ok(false)
         }

@@ -1,0 +1,371 @@
+//! Schema validation for `bwfirst-trace/1` provenance artifacts.
+//!
+//! `bwfirst trace record --out t.jsonl` writes one header line followed by
+//! one JSON object per lifecycle record. CI pipes the artifact through
+//! `bwfirst-analyze trace <path>` so schema drift between the emitter and
+//! the replay/diff consumers fails the build instead of silently producing
+//! unreplayable traces.
+//!
+//! The contract checked here:
+//!
+//! * line 1 — a header with `format:"bwfirst-trace/1"`, a non-empty
+//!   `protocol`, a non-negative `seed`, rational `horizon`, `nodes`/`root`
+//!   counts, and per-node `parent`/`edge_time`/`weight` arrays of length
+//!   `nodes` (the root's parent entry must be `null`);
+//! * every other line — a record with `k` in
+//!   `enter|dispatch|deliver|compute`, an integer `task`, a `node` inside
+//!   the platform, and rational timestamps;
+//! * causality per task — a task must `enter` before it is dispatched,
+//!   delivered or computed, its record times never run backwards, and a
+//!   `deliver` must name the receiver's tree parent as `from`;
+//! * stock tagging — ids at or above the stock base carry `stock:true`
+//!   and vice versa.
+
+use bwfirst_obs::json::{parse, Value};
+use std::collections::BTreeMap;
+
+/// Mirror of `bwfirst_obs::causal::TRACE_FORMAT`.
+const FORMAT: &str = "bwfirst-trace/1";
+
+/// Mirror of `bwfirst_obs::causal::STOCK_BASE`.
+const STOCK_BASE: i128 = 1_000_000_000;
+
+/// One schema problem, pre-formatted with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFileError {
+    /// 1-based line in the JSONL artifact.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+/// What a clean artifact contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Lifecycle records after the header.
+    pub records: usize,
+    /// Distinct injected task ids.
+    pub injected: usize,
+    /// Distinct prefill-stock task ids.
+    pub stock: usize,
+}
+
+/// Per-task cross-line state: whether it entered, and its last record time.
+struct TaskState {
+    entered: bool,
+    last: (i128, i128),
+}
+
+/// Validates a whole artifact; `Ok` carries the content summary.
+pub fn validate_jsonl(text: &str) -> Result<TraceSummary, Vec<TraceFileError>> {
+    let mut errors = Vec::new();
+    let mut records = 0usize;
+    let mut header: Option<Header> = None;
+    let mut tasks: BTreeMap<i128, TaskState> = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut err = |message: String| errors.push(TraceFileError { line: lineno, message });
+        let v = match parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                err(format!("not valid JSON: {e}"));
+                continue;
+            }
+        };
+        match &mut header {
+            None => match check_header(&v, &mut err) {
+                Some(h) => header = Some(h),
+                None => return Err(errors),
+            },
+            Some(h) => {
+                records += 1;
+                check_record(&v, h, &mut tasks, &mut err);
+            }
+        }
+    }
+    if header.is_none() {
+        errors.push(TraceFileError { line: 1, message: "empty artifact: no header".to_string() });
+    }
+    if errors.is_empty() {
+        let stock = tasks.keys().filter(|t| **t >= STOCK_BASE).count();
+        Ok(TraceSummary { records, injected: tasks.len() - stock, stock })
+    } else {
+        Err(errors)
+    }
+}
+
+/// The header fields later lines are checked against.
+struct Header {
+    nodes: i128,
+    parent: Vec<Option<i128>>,
+}
+
+/// Checks the first line; `None` aborts validation (every record would
+/// cascade the same failure).
+fn check_header(v: &Value, err: &mut impl FnMut(String)) -> Option<Header> {
+    match v["format"].as_str() {
+        Some(FORMAT) => {}
+        Some(other) => {
+            err(format!("unsupported `format`: `{other}`"));
+            return None;
+        }
+        None => {
+            err("first line is not a trace header (missing `format`)".to_string());
+            return None;
+        }
+    }
+    if v["protocol"].as_str().is_none_or(str::is_empty) {
+        err("missing or empty `protocol`".to_string());
+    }
+    if v["seed"].as_i128().is_none_or(|s| s < 0) {
+        err("missing or negative `seed`".to_string());
+    }
+    if rational(&v["horizon"]).is_none() {
+        err("missing or malformed `horizon`".to_string());
+    }
+    let nodes = match v["nodes"].as_i128() {
+        Some(n) if n > 0 => n,
+        _ => {
+            err("missing or non-positive `nodes`".to_string());
+            return None;
+        }
+    };
+    let root = match v["root"].as_i128() {
+        Some(r) if (0..nodes).contains(&r) => r,
+        _ => {
+            err("`root` is not a node id".to_string());
+            return None;
+        }
+    };
+    for key in ["bunch", "t_omega"] {
+        if !v[key].is_null() && v[key].as_i128().is_none_or(|n| n <= 0) {
+            err(format!("`{key}` is neither null nor a positive integer"));
+        }
+    }
+    for key in ["edge_time", "weight"] {
+        match v[key].as_array() {
+            Some(items) => {
+                if items.len() != nodes as usize {
+                    err(format!("`{key}` has {} entries for {nodes} node(s)", items.len()));
+                }
+                if items.iter().any(|x| !x.is_null() && rational(x).is_none()) {
+                    err(format!("`{key}` holds a non-rational entry"));
+                }
+            }
+            None => err(format!("missing or non-array `{key}`")),
+        }
+    }
+    let parent: Vec<Option<i128>> = match v["parent"].as_array() {
+        Some(items) => items.iter().map(Value::as_i128).collect(),
+        None => {
+            err("missing or non-array `parent`".to_string());
+            return None;
+        }
+    };
+    if parent.len() != nodes as usize {
+        err(format!("`parent` has {} entries for {nodes} node(s)", parent.len()));
+        return None;
+    }
+    if parent[root as usize].is_some() {
+        err("the root must have a null `parent` entry".to_string());
+    }
+    for (i, p) in parent.iter().enumerate() {
+        if i != root as usize && p.is_none() && !v["parent"].as_array().unwrap()[i].is_null() {
+            err(format!("`parent[{i}]` is neither null nor a node id"));
+        }
+        if p.is_some_and(|p| !(0..nodes).contains(&p)) {
+            err(format!("`parent[{i}]` points outside the platform"));
+        }
+    }
+    Some(Header { nodes, parent })
+}
+
+/// Checks one lifecycle record against the header and the per-task state.
+fn check_record(
+    v: &Value,
+    h: &Header,
+    tasks: &mut BTreeMap<i128, TaskState>,
+    err: &mut impl FnMut(String),
+) {
+    let Some(kind) = v["k"].as_str() else {
+        err("record has no `k` discriminator".to_string());
+        return;
+    };
+    let Some(task) = v["task"].as_i128() else {
+        err("record has no integer `task`".to_string());
+        return;
+    };
+    let node = match v["node"].as_i128() {
+        Some(n) if (0..h.nodes).contains(&n) => n,
+        _ => {
+            err(format!("`node` is not a node id in a `{kind}` record"));
+            return;
+        }
+    };
+    // The record's primary timestamp: `t`, or `start` for compute spans.
+    let t_key = if kind == "compute" { "start" } else { "t" };
+    let Some(t) = rational(&v[t_key]) else {
+        err(format!("`{kind}` record has no rational `{t_key}`"));
+        return;
+    };
+    match kind {
+        "enter" => {
+            let stock = matches!(v["stock"], Value::Bool(true));
+            if stock != (task >= STOCK_BASE) {
+                err(format!("task {task} has a `stock` tag inconsistent with its id"));
+            }
+            if tasks.insert(task, TaskState { entered: true, last: t }).is_some() {
+                err(format!("task {task} enters twice"));
+            }
+            return;
+        }
+        "dispatch" => match v["action"].as_str() {
+            Some("compute") => {}
+            Some("send") => {
+                if !v["child"].as_i128().is_some_and(|c| (0..h.nodes).contains(&c)) {
+                    err("send dispatch has no valid `child`".to_string());
+                }
+            }
+            _ => err("dispatch `action` is neither `compute` nor `send`".to_string()),
+        },
+        "deliver" => {
+            if v["from"].as_i128() != h.parent[node as usize] {
+                err(format!("deliver to P{node} does not come from its tree parent"));
+            }
+        }
+        "compute" => match rational(&v["end"]) {
+            Some(end) if !earlier(end, t) => {}
+            Some(_) => err("compute span ends before it starts".to_string()),
+            None => err("compute record has no rational `end`".to_string()),
+        },
+        other => {
+            err(format!("unknown record kind `{other}`"));
+            return;
+        }
+    }
+    // Causality: the task must exist before any later lifecycle stage, and
+    // its records never run backwards in time.
+    match tasks.get_mut(&task) {
+        Some(state) if state.entered => {
+            if earlier(t, state.last) {
+                err(format!("task {task} runs backwards in time at `{kind}`"));
+            }
+            state.last = t;
+        }
+        _ => err(format!("task {task} is `{kind}`-ed before it enters")),
+    }
+}
+
+/// `a < b` as exact rationals (positive denominators).
+fn earlier(a: (i128, i128), b: (i128, i128)) -> bool {
+    a.0 * b.1 < b.0 * a.1
+}
+
+/// A rational timestamp member: `"n"` or `"n/d"` with a positive
+/// denominator, returned as `(numer, denom)`.
+fn rational(v: &Value) -> Option<(i128, i128)> {
+    let s = v.as_str()?;
+    let (numer, denom) = match s.split_once('/') {
+        Some((n, d)) => (n.parse::<i128>().ok()?, d.parse::<i128>().ok()?),
+        None => (s.parse::<i128>().ok()?, 1),
+    };
+    (denom > 0).then_some((numer, denom))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> String {
+        concat!(
+            r#"{"format":"bwfirst-trace/1","protocol":"event","seed":0,"horizon":"36","#,
+            r#""tasks":4,"nodes":3,"root":0,"throughput":"10/9","bunch":10,"t_omega":9,"#,
+            r#""parent":[null,0,0],"edge_time":[null,"1","2"],"weight":["9","6",null]}"#
+        )
+        .to_string()
+    }
+
+    fn lifecycle() -> [&'static str; 4] {
+        [
+            r#"{"k":"enter","task":0,"node":0,"t":"0"}"#,
+            r#"{"k":"dispatch","task":0,"node":0,"t":"0","action":"send","child":1,"slot":0}"#,
+            r#"{"k":"deliver","task":0,"node":1,"from":0,"t":"1"}"#,
+            r#"{"k":"compute","task":0,"node":1,"start":"1","end":"7"}"#,
+        ]
+    }
+
+    fn artifact(lines: &[&str]) -> String {
+        let mut text = header();
+        text.push('\n');
+        for l in lines {
+            text.push_str(l);
+            text.push('\n');
+        }
+        text
+    }
+
+    #[test]
+    fn a_clean_artifact_validates() {
+        let text = artifact(&lifecycle());
+        assert_eq!(validate_jsonl(&text), Ok(TraceSummary { records: 4, injected: 1, stock: 0 }));
+    }
+
+    #[test]
+    fn stock_ids_must_carry_the_stock_tag() {
+        let text = artifact(&[r#"{"k":"enter","task":1000000000,"node":1,"t":"0"}"#]);
+        let errors = validate_jsonl(&text).unwrap_err();
+        assert!(errors.iter().any(|e| e.message.contains("stock")), "{errors:?}");
+        let ok = artifact(&[r#"{"k":"enter","task":1000000000,"node":1,"t":"0","stock":true}"#]);
+        assert_eq!(validate_jsonl(&ok), Ok(TraceSummary { records: 1, injected: 0, stock: 1 }));
+    }
+
+    #[test]
+    fn lifecycle_stages_need_a_prior_enter() {
+        let text = artifact(&[r#"{"k":"compute","task":7,"node":1,"start":"1","end":"7"}"#]);
+        let errors = validate_jsonl(&text).unwrap_err();
+        assert!(errors.iter().any(|e| e.message.contains("before it enters")), "{errors:?}");
+    }
+
+    #[test]
+    fn task_time_must_not_run_backwards() {
+        let mut lines = lifecycle().to_vec();
+        lines[2] = r#"{"k":"deliver","task":0,"node":1,"from":0,"t":"-1"}"#;
+        let errors = validate_jsonl(&artifact(&lines)).unwrap_err();
+        assert!(errors.iter().any(|e| e.message.contains("backwards")), "{errors:?}");
+    }
+
+    #[test]
+    fn delivers_must_come_from_the_tree_parent() {
+        let mut lines = lifecycle().to_vec();
+        lines[2] = r#"{"k":"deliver","task":0,"node":1,"from":2,"t":"1"}"#;
+        let errors = validate_jsonl(&artifact(&lines)).unwrap_err();
+        assert!(errors.iter().any(|e| e.message.contains("tree parent")), "{errors:?}");
+    }
+
+    #[test]
+    fn header_problems_are_fatal_and_line_numbered() {
+        let bad = header().replace(r#""format":"bwfirst-trace/1""#, r#""format":"v2""#);
+        let errors = validate_jsonl(&bad).unwrap_err();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].line, 1);
+        assert!(errors[0].message.contains("unsupported"));
+        let empty = validate_jsonl("").unwrap_err();
+        assert!(empty[0].message.contains("empty artifact"));
+    }
+
+    #[test]
+    fn garbage_records_are_reported_with_line_numbers() {
+        let text = artifact(&[r#"{"k":"enter","task":0,"node":0,"t":"0"}"#, "not json"]);
+        let errors = validate_jsonl(&text).unwrap_err();
+        assert!(errors.iter().any(|e| e.line == 3 && e.message.contains("not valid JSON")));
+    }
+}

@@ -11,7 +11,8 @@ use bwfirst_obs::MemoryRecorder;
 use bwfirst_platform::examples::example_tree;
 use bwfirst_rational::rat;
 use bwfirst_sim::{
-    event_driven, MonitorConfig, MonitorProbe, NoProbe, ObsProbe, SimConfig, UtilizationProbe,
+    event_driven, MonitorConfig, MonitorProbe, NoProbe, ObsProbe, ProvenanceProbe, SimConfig,
+    UtilizationProbe,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -27,6 +28,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
         total_tasks: None,
         record_gantt: false,
         exact_queue: false,
+        seed: 0,
     };
     let mut g = c.benchmark_group("obs_overhead");
     g.bench_function("baseline_simulate", |b| {
@@ -54,6 +56,16 @@ fn bench_obs_overhead(c: &mut Criterion) {
                 event_driven::simulate_probed(black_box(&p), black_box(&ev), &cfg, &mut probe)
             };
             (rep, rec.events.len())
+        });
+    });
+    // The provenance probe: per-task lifecycle records (enter, stride
+    // dispatch, hop, compute) plus the FIFO id-assignment mirrors.
+    g.bench_function("provenance_probe", |b| {
+        b.iter(|| {
+            let mut probe = ProvenanceProbe::new(&p, Some(&ev.tree));
+            let rep =
+                event_driven::simulate_probed(black_box(&p), black_box(&ev), &cfg, &mut probe);
+            (rep, probe.into_records().len())
         });
     });
     // The full online invariant monitor: single-port + pairing +

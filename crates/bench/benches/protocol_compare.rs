@@ -20,6 +20,7 @@ fn bench_protocols(c: &mut Criterion) {
         total_tasks: None,
         record_gantt: false,
         exact_queue: false,
+        seed: 0,
     };
     let mut g = c.benchmark_group("protocol_compare");
     g.bench_function("event_driven/360u", |b| {

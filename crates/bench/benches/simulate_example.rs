@@ -21,6 +21,7 @@ fn bench_simulate(c: &mut Criterion) {
             total_tasks: None,
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         g.bench_with_input(BenchmarkId::new("event_driven", periods), &cfg, |b, cfg| {
             b.iter(|| event_driven::simulate(black_box(&p), black_box(&ev), cfg));

@@ -26,7 +26,7 @@ use bwfirst_obs::Metrics;
 use bwfirst_parallel::{available_threads, Pool};
 use bwfirst_platform::examples::example_tree;
 use bwfirst_rational::{rat, reference, Rat};
-use bwfirst_sim::{event_driven, MonitorConfig, MonitorProbe, SimConfig};
+use bwfirst_sim::{event_driven, MonitorConfig, MonitorProbe, ProvenanceProbe, SimConfig};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -253,6 +253,7 @@ fn measure_sim(opts: &Opts, iters: u32) -> BenchReport {
         total_tasks: None,
         record_gantt: gantt,
         exact_queue,
+        seed: 0,
     };
     let run = |cfg: &SimConfig| {
         black_box(event_driven::simulate(&p, &ev, cfg).expect("simulate"));
@@ -311,6 +312,25 @@ fn measure_sim(opts: &Opts, iters: u32) -> BenchReport {
         before_ns: plain_10,
         after_ns: monitor_10,
         baseline: "runtime toggle: online invariant monitor (`MonitorProbe`)".to_string(),
+        iters: iters.max(5),
+    });
+
+    // Toggled pair: the plain run vs the same run under the provenance
+    // probe (per-task lifecycle records plus the FIFO id-assignment
+    // mirrors that feed `bwfirst trace`).
+    let provenance_10 = best_of(iters.max(5), || {
+        let mut probe = ProvenanceProbe::new(&p, Some(&ev.tree));
+        black_box(
+            event_driven::simulate_probed(&p, &ev, &cfg(10, false, false), &mut probe)
+                .expect("simulate"),
+        );
+        black_box(probe.into_records().len());
+    });
+    points.push(BenchPoint {
+        id: "simulate_example_provenance_10".to_string(),
+        before_ns: plain_10,
+        after_ns: provenance_10,
+        baseline: "runtime toggle: causal provenance recording (`ProvenanceProbe`)".to_string(),
         iters: iters.max(5),
     });
 

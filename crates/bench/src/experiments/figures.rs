@@ -131,6 +131,7 @@ pub fn e5_simulation() -> String {
         total_tasks: None,
         record_gantt: true,
         exact_queue: false,
+        seed: 0,
     };
     let rep = event_driven::simulate(&p, &ev, &cfg).expect("example tree simulates");
     let period = Rat::from_int(bwfirst_core::schedule::synchronous_period(&ss).unwrap()); // 36

@@ -48,6 +48,7 @@ pub fn e7_protocol_comparison() -> String {
             total_tasks: None,
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
 
         let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
@@ -113,6 +114,7 @@ pub fn e8_result_return() -> String {
         total_tasks: None,
         record_gantt: false,
         exact_queue: false,
+        seed: 0,
     };
     let sep = result_return::simulate(&rr, &cfg);
     let merged = result_return::simulate_merged(&rr, &cfg);
@@ -377,6 +379,7 @@ pub fn e18_dynamic_adaptation() -> String {
         total_tasks: None,
         record_gantt: false,
         exact_queue: false,
+        seed: 0,
     };
     let (stale, _) = simulate_dynamic(&p, &changes, AdaptPolicy::Stale, &cfg).expect("schedulable");
     let (adaptive, swaps) =
@@ -453,6 +456,7 @@ pub fn e19_returns_on_trees() -> String {
             total_tasks: None,
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let mut row = vec![name];
         for (num, den) in [(0i128, 1i128), (1, 8), (1, 4), (1, 2), (1, 1)] {

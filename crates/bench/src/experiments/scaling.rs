@@ -147,6 +147,7 @@ pub fn e9_schedule_compactness() -> String {
             total_tasks: None,
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
         let avg = rep.buffers.iter().map(|b| b.time_avg).max().unwrap();
@@ -226,6 +227,7 @@ pub fn e12_startup_bounds() -> String {
             total_tasks: None,
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
         let entry = rep.steady_state_entry(ss.throughput, window, horizon);

@@ -123,6 +123,7 @@ pub fn collect_pooled(pool: bwfirst_parallel::Pool) -> Records {
         total_tasks: None,
         record_gantt: false,
         exact_queue: false,
+        seed: 0,
     };
     let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
     let figure5 = Figure5Record {
@@ -166,6 +167,7 @@ pub fn collect_pooled(pool: bwfirst_parallel::Pool) -> Records {
         total_tasks: None,
         record_gantt: false,
         exact_queue: false,
+        seed: 0,
     };
     let sep = result_return::simulate(&rr, &cfg);
     let merged = result_return::simulate_merged(&rr, &cfg);

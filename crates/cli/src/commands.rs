@@ -5,15 +5,18 @@
 use crate::args::{Args, CliError};
 use bwfirst_core::schedule::{synchronous_period, EventDrivenSchedule, SlotAction};
 use bwfirst_core::{bw_first, observe, quantize, startup, MonitorExpectations, SteadyState};
-use bwfirst_obs::{chrome, summary, MemoryRecorder};
+use bwfirst_obs::causal::{ts_sub, Action, STOCK_BASE};
+use bwfirst_obs::{chrome, summary, MemoryRecorder, Trace, TraceRecord, Ts};
 use bwfirst_platform::generators;
 use bwfirst_platform::{io, Platform, Weight};
 use bwfirst_rational::{rat, Rat};
 use bwfirst_sim::clocked::{self, ClockedConfig};
 use bwfirst_sim::demand_driven::{self, DemandConfig};
+use bwfirst_sim::dynamic::{self, AdaptPolicy};
 use bwfirst_sim::probe::track_names;
 use bwfirst_sim::{
-    event_driven, GanttProbe, MonitorConfig, MonitorProbe, ObsProbe, SimConfig, UtilizationProbe,
+    event_driven, trace_header, GanttProbe, MonitorConfig, MonitorProbe, ObsProbe, ProvenanceProbe,
+    SimConfig, UtilizationProbe,
 };
 use std::fmt::Write;
 
@@ -44,6 +47,22 @@ usage:
       run one executor under the online invariant monitor: windowed health
       snapshots (JSONL), rate convergence against the solver's exact rates,
       and a flight-recorder post-mortem dump when an invariant trips
+  bwfirst trace record <platform.json> --out <t.jsonl>
+                 [--protocol event|clocked|demand|demand-int|dynamic]
+                 [--horizon H] [--tasks N] [--seed S] [--chrome out.json]
+      run one executor under the provenance probe and write the
+      bwfirst-trace/1 JSONL artifact (per-task lifecycle: enter, stride
+      dispatch, hop, compute); --chrome adds a Perfetto view with one
+      flow arrow per hop
+  bwfirst trace lineage <t.jsonl> --task K
+      one task's causal chain, each hop annotated with the observed
+      transfer time against Lemma 1's predicted cost
+  bwfirst trace diff <a.jsonl> <b.jsonl>
+      align two traces by task id: task conservation must hold (exit 1
+      otherwise); completion offsets are reported as Lemma 1 period skew
+  bwfirst trace replay <t.jsonl> <platform.json>
+      re-drive the executor from the recorded header and require the
+      regenerated artifact to match the original bit for bit
   bwfirst generate <random|star|chain|kary|example> [--size N] [--seed S]
                    [--arity K] [--depth D]
       emit a platform JSON on stdout
@@ -142,6 +161,7 @@ where
             let p = read(args.pos(0, "platform file")?)?;
             cmd_monitor(&p, args, &write_file)
         }
+        "trace" => cmd_trace(args, &read_file, &write_file),
         "generate" => cmd_generate(args),
         "validate" => {
             let p = read(args.pos(0, "platform file")?)?;
@@ -301,6 +321,7 @@ fn cmd_simulate(
         total_tasks: tasks,
         record_gantt: gantt.is_some(),
         exact_queue: false,
+        seed: 0,
     };
     let mut rec = instrument.then(MemoryRecorder::new);
     let mut gantt_probe = GanttProbe::new(cfg.record_gantt);
@@ -396,6 +417,7 @@ fn cmd_monitor(
         total_tasks: None,
         record_gantt: false,
         exact_queue: false,
+        seed: 0,
     };
     let ev = EventDrivenSchedule::standard(p, &ss).map_err(sched)?;
     let strict = matches!(protocol, "event" | "clocked");
@@ -475,6 +497,313 @@ fn cmd_monitor(
     Ok(out)
 }
 
+fn rt(e: impl std::fmt::Display) -> CliError {
+    CliError::Runtime(e.to_string())
+}
+
+/// Runs one executor under a [`ProvenanceProbe`] and returns the finished
+/// `bwfirst-trace/1` artifact. The schedule-driven executors annotate each
+/// dispatch with its Section 6.3 stride decision (slot, ψ, bunch index);
+/// the demand variants trace with no schedule annotations.
+fn record_trace(
+    p: &Platform,
+    ss: &SteadyState,
+    protocol: &str,
+    cfg: &SimConfig,
+) -> Result<Trace, CliError> {
+    match protocol {
+        "event" => {
+            let ev = EventDrivenSchedule::standard(p, ss).map_err(sched)?;
+            let mut probe = ProvenanceProbe::new(p, Some(&ev.tree));
+            event_driven::simulate_probed(p, &ev, cfg, &mut probe).map_err(rt)?;
+            let header = trace_header(p, Some(&ev.tree), protocol, cfg, Some(ss.throughput));
+            Ok(probe.into_trace(header))
+        }
+        "clocked" => {
+            let ev = EventDrivenSchedule::standard(p, ss).map_err(sched)?;
+            let mut probe = ProvenanceProbe::new(p, Some(&ev.tree));
+            clocked::simulate_probed(p, &ev.tree, ClockedConfig::default(), cfg, &mut probe)
+                .map_err(rt)?;
+            let header = trace_header(p, Some(&ev.tree), protocol, cfg, Some(ss.throughput));
+            Ok(probe.into_trace(header))
+        }
+        "demand" | "demand-int" => {
+            let demand = if protocol == "demand" {
+                DemandConfig::default()
+            } else {
+                DemandConfig::interruptible()
+            };
+            let mut probe = ProvenanceProbe::new(p, None);
+            let _ = demand_driven::simulate_probed(p, demand, cfg, &mut probe);
+            Ok(probe.into_trace(trace_header(p, None, protocol, cfg, Some(ss.throughput))))
+        }
+        "dynamic" => {
+            let ev = EventDrivenSchedule::standard(p, ss).map_err(sched)?;
+            let mut probe = ProvenanceProbe::new(p, Some(&ev.tree));
+            dynamic::simulate_dynamic_probed(p, &[], AdaptPolicy::Stale, cfg, &mut probe)
+                .map_err(rt)?;
+            let header = trace_header(p, Some(&ev.tree), protocol, cfg, Some(ss.throughput));
+            Ok(probe.into_trace(header))
+        }
+        other => Err(CliError::BadValue { what: "--protocol", value: other.to_string() }),
+    }
+}
+
+/// `trace record`: run one executor under the provenance probe, write the
+/// JSONL artifact, and optionally a Chrome/Perfetto flow view.
+fn cmd_trace_record<F, W>(args: &Args, read_file: &F, write_file: &W) -> Result<String, CliError>
+where
+    F: Fn(&str) -> Result<String, String>,
+    W: Fn(&str, &str) -> Result<(), String>,
+{
+    let text = read_file(args.pos(1, "platform file")?).map_err(CliError::Platform)?;
+    let p = load(&text)?;
+    let out_path = args.flags.get("out").ok_or(CliError::MissingArgument("--out <trace.jsonl>"))?;
+    let protocol = args.flags.get("protocol").map_or("event", String::as_str);
+    let ss = SteadyState::from_solution(&bw_first(&p));
+    if !ss.throughput.is_positive() {
+        return Err(CliError::Runtime("platform has zero throughput; nothing to trace".into()));
+    }
+    let period = synchronous_period(&ss).map_err(sched)?;
+    let horizon = Rat::from_int(
+        args.flag_opt::<i128>("horizon", "--horizon")?
+            .unwrap_or_else(|| (period * 8).clamp(200, 100_000)),
+    );
+    let cfg = SimConfig {
+        horizon,
+        stop_injection_at: None,
+        total_tasks: args.flag_opt::<u64>("tasks", "--tasks")?,
+        record_gantt: false,
+        exact_queue: false,
+        seed: args.flag_or::<u64>("seed", "--seed", 0)?,
+    };
+    let trace = record_trace(&p, &ss, protocol, &cfg)?;
+    write_file(out_path, &trace.to_jsonl()).map_err(CliError::Io)?;
+    if let Some(path) = args.flags.get("chrome") {
+        let mut rec = MemoryRecorder::new();
+        rec.events = trace.to_events();
+        let view = chrome::to_chrome_trace_named(&rec, 1000.0, "bwfirst", &track_names(p.len()));
+        write_file(path, &view).map_err(CliError::Io)?;
+    }
+    let ids = trace.task_ids();
+    let stock = ids.iter().filter(|t| **t >= STOCK_BASE).count();
+    let mut out = String::new();
+    writeln!(out, "protocol : {protocol}").unwrap();
+    writeln!(out, "horizon  : {horizon}").unwrap();
+    writeln!(out, "tasks    : {} injected, {stock} prefill stock", ids.len() - stock).unwrap();
+    writeln!(out, "records  : {}", trace.records.len()).unwrap();
+    writeln!(out, "trace    : {out_path}").unwrap();
+    Ok(out)
+}
+
+/// `trace lineage`: pretty-print one task's causal chain, annotating each
+/// hop with the observed transfer time against the header's Lemma 1 cost.
+fn cmd_trace_lineage(trace: &Trace, task: i128) -> Result<String, CliError> {
+    let chain = trace.lineage(task);
+    if chain.is_empty() {
+        return Err(CliError::Runtime(format!("task {task} does not appear in the trace")));
+    }
+    let mut out = String::new();
+    writeln!(out, "task {task} under protocol `{}`:", trace.header.protocol).unwrap();
+    let mut dispatched_at: Option<Ts> = None;
+    for r in &chain {
+        match r {
+            TraceRecord::Enter { node, t, stock, .. } => {
+                let kind = if *stock { "prefill stock" } else { "injected" };
+                writeln!(out, "  t={:<9} enter    P{node}  [{kind}]", t.display()).unwrap();
+            }
+            TraceRecord::Dispatch(d) => {
+                dispatched_at = Some(d.t);
+                let action = match d.action {
+                    Action::Compute => "-> compute".to_string(),
+                    Action::Send(c) => format!("-> send P{c}"),
+                };
+                let mut note = String::new();
+                if let Some(slot) = d.slot {
+                    write!(note, "  [slot {slot}").unwrap();
+                    if let Some(period) = d.period {
+                        write!(note, ", bunch {period}").unwrap();
+                    }
+                    if let Some(psi) = d.psi {
+                        write!(note, ", psi {psi}").unwrap();
+                    }
+                    note.push(']');
+                }
+                writeln!(out, "  t={:<9} dispatch P{} {action}{note}", d.t.display(), d.node)
+                    .unwrap();
+            }
+            TraceRecord::Deliver { node, from, t, .. } => {
+                let mut note = String::new();
+                if let Some(d) = dispatched_at {
+                    write!(note, "  [hop {}", ts_sub(*t, d).display()).unwrap();
+                    if let Some(c) = trace.header.edge_time.get(*node as usize).copied().flatten() {
+                        write!(note, ", Lemma 1 c={}", c.display()).unwrap();
+                    }
+                    note.push(']');
+                }
+                writeln!(out, "  t={:<9} deliver  P{from} -> P{node}{note}", t.display()).unwrap();
+            }
+            TraceRecord::Compute { node, start, end, .. } => {
+                writeln!(
+                    out,
+                    "  t={:<9} compute  P{node}  [ends t={}]",
+                    start.display(),
+                    end.display()
+                )
+                .unwrap();
+            }
+        }
+    }
+    if let (Some(node), Some(end)) = (trace.compute_node(task), trace.completion(task)) {
+        writeln!(out, "computed on P{node}, retired at t={}", end.display()).unwrap();
+        // Sum the header's per-edge Lemma 1 costs from the compute node back
+        // to the root: the predicted one-way delivery latency.
+        let mut cur = node as usize;
+        let mut total = Rat::ZERO;
+        let mut known = true;
+        while let Some(parent) = trace.header.parent.get(cur).copied().flatten() {
+            match trace.header.edge_time.get(cur).copied().flatten() {
+                Some(c) => total += Rat::new(c.num, c.den),
+                None => {
+                    known = false;
+                    break;
+                }
+            }
+            cur = parent as usize;
+        }
+        if known {
+            writeln!(out, "predicted root->P{node} path cost (Lemma 1): {total}").unwrap();
+        }
+    }
+    Ok(out)
+}
+
+/// `trace diff`: align two traces by task id. Conservation (no missing
+/// tasks, identical per-task compute counts) gates the exit code; routing
+/// and completion-time differences are reported as information — two
+/// correct executors retire the same task at different absolute times (the
+/// Lemma 1 period skew).
+fn cmd_trace_diff(a: &Trace, b: &Trace) -> Result<String, CliError> {
+    let d = a.diff(b);
+    let mut out = String::new();
+    writeln!(out, "a: {} ({} record(s))", a.header.protocol, a.records.len()).unwrap();
+    writeln!(out, "b: {} ({} record(s))", b.header.protocol, b.records.len()).unwrap();
+    writeln!(out, "common injected tasks : {}", d.common).unwrap();
+    writeln!(out, "prefill stock         : {} in a, {} in b (not aligned)", d.stock_a, d.stock_b)
+        .unwrap();
+    writeln!(
+        out,
+        "routing divergence    : {} task(s) computed on different nodes",
+        d.routing.len()
+    )
+    .unwrap();
+    if let Some((min, mean, max)) = d.latency_offsets() {
+        writeln!(
+            out,
+            "completion offset b-a : min {min:.4}, mean {mean:.4}, max {max:.4} time units",
+        )
+        .unwrap();
+    }
+    if d.clean() {
+        writeln!(out, "conservation          : OK (no missing tasks, no count divergence)")
+            .unwrap();
+        Ok(out)
+    } else {
+        let sample = |ids: &[i128]| {
+            ids.iter().take(5).map(ToString::to_string).collect::<Vec<_>>().join(", ")
+        };
+        Err(CliError::Runtime(format!(
+            "traces diverge: {} task(s) only in a [{}], {} only in b [{}], \
+             {} per-task compute-count divergence(s)",
+            d.only_a.len(),
+            sample(&d.only_a),
+            d.only_b.len(),
+            sample(&d.only_b),
+            d.count_divergence.len()
+        )))
+    }
+}
+
+/// `trace replay`: rebuild the run configuration from the recorded header,
+/// re-drive the same executor, and require the regenerated artifact to
+/// equal the original byte for byte.
+fn cmd_trace_replay(trace_text: &str, p: &Platform) -> Result<String, CliError> {
+    let trace = Trace::parse(trace_text).map_err(rt)?;
+    let h = &trace.header;
+    if h.nodes as usize != p.len() {
+        return Err(CliError::Runtime(format!(
+            "platform has {} node(s) but the trace was recorded on {}",
+            p.len(),
+            h.nodes
+        )));
+    }
+    let cfg = SimConfig {
+        horizon: Rat::new(h.horizon.num, h.horizon.den),
+        stop_injection_at: None,
+        total_tasks: h.tasks,
+        record_gantt: false,
+        exact_queue: false,
+        seed: h.seed,
+    };
+    let ss = SteadyState::from_solution(&bw_first(p));
+    if !ss.throughput.is_positive() {
+        return Err(CliError::Runtime("platform has zero throughput; cannot replay".into()));
+    }
+    let protocol = h.protocol.clone();
+    let replayed = record_trace(p, &ss, &protocol, &cfg)?;
+    let regenerated = replayed.to_jsonl();
+    if regenerated == trace_text {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "replay OK: {} byte(s), {} record(s), bit-for-bit identical",
+            regenerated.len(),
+            replayed.records.len()
+        )
+        .unwrap();
+        Ok(out)
+    } else {
+        let line =
+            trace_text.lines().zip(regenerated.lines()).position(|(x, y)| x != y).map_or_else(
+                || trace_text.lines().count().min(regenerated.lines().count()) + 1,
+                |i| i + 1,
+            );
+        Err(CliError::Runtime(format!("replay diverged from the recorded artifact at line {line}")))
+    }
+}
+
+/// The `trace` command: task-level causal provenance. See the per-verb
+/// helpers: [`cmd_trace_record`], [`cmd_trace_lineage`], [`cmd_trace_diff`]
+/// and [`cmd_trace_replay`].
+fn cmd_trace<F, W>(args: &Args, read_file: &F, write_file: &W) -> Result<String, CliError>
+where
+    F: Fn(&str) -> Result<String, String>,
+    W: Fn(&str, &str) -> Result<(), String>,
+{
+    let slurp = |path: &str| read_file(path).map_err(CliError::Platform);
+    match args.pos(0, "trace verb (record|lineage|diff|replay)")? {
+        "record" => cmd_trace_record(args, read_file, write_file),
+        "lineage" => {
+            let trace = Trace::parse(&slurp(args.pos(1, "trace file")?)?).map_err(rt)?;
+            let task = args
+                .flag_opt::<i128>("task", "--task")?
+                .ok_or(CliError::MissingArgument("--task <id>"))?;
+            cmd_trace_lineage(&trace, task)
+        }
+        "diff" => {
+            let a = Trace::parse(&slurp(args.pos(1, "first trace file")?)?).map_err(rt)?;
+            let b = Trace::parse(&slurp(args.pos(2, "second trace file")?)?).map_err(rt)?;
+            cmd_trace_diff(&a, &b)
+        }
+        "replay" => {
+            let text = slurp(args.pos(1, "trace file")?)?;
+            let p = load(&slurp(args.pos(2, "platform file")?)?)?;
+            cmd_trace_replay(&text, &p)
+        }
+        other => Err(CliError::BadValue { what: "trace verb", value: other.to_string() }),
+    }
+}
+
 /// The `stats` command: one fully instrumented pass over all three layers —
 /// live protocol negotiation, centralized solver + schedule construction,
 /// and a probed simulation — reported as summary tables, plus a
@@ -530,6 +859,7 @@ fn cmd_stats(
             total_tasks: None,
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let mut util = UtilizationProbe::new(p.len(), horizon);
         {
@@ -949,5 +1279,206 @@ mod tests {
     fn monitor_rejects_unknown_protocols() {
         let err = run(&["monitor", "example.json", "--protocol", "carrier-pigeon"]).unwrap_err();
         assert!(matches!(err, CliError::BadValue { what: "--protocol", .. }));
+    }
+
+    /// Like `run_io`, but with extra synthetic input files (so recorded
+    /// traces can be fed back into `lineage`/`diff`/`replay`).
+    fn run_io_with(
+        argv: &[&str],
+        extra: &[(&str, &str)],
+    ) -> Result<(String, Vec<(String, String)>), CliError> {
+        use std::cell::RefCell;
+        let args = parse_args(argv.iter().map(ToString::to_string)).unwrap();
+        let written: RefCell<Vec<(String, String)>> = RefCell::new(Vec::new());
+        let out = dispatch_io(
+            &args,
+            |path| {
+                if path == "example.json" {
+                    Ok(io::to_json(&bwfirst_platform::examples::example_tree()))
+                } else if let Some((_, contents)) = extra.iter().find(|(p, _)| *p == path) {
+                    Ok((*contents).to_string())
+                } else {
+                    Err(format!("no such file {path}"))
+                }
+            },
+            |path, contents| {
+                written.borrow_mut().push((path.to_string(), contents.to_string()));
+                Ok(())
+            },
+        )?;
+        Ok((out, written.into_inner()))
+    }
+
+    /// Records a bounded Fig. 2 run and returns the JSONL artifact.
+    fn record_fixture(protocol: &str) -> String {
+        let (out, files) = run_io(&[
+            "trace",
+            "record",
+            "example.json",
+            "--out",
+            "t.jsonl",
+            "--protocol",
+            protocol,
+            "--tasks",
+            "40",
+            "--horizon",
+            "400",
+        ])
+        .unwrap();
+        assert!(out.contains(&format!("protocol : {protocol}")), "got: {out}");
+        assert_eq!(files.len(), 1);
+        assert_eq!(files[0].0, "t.jsonl");
+        files[0].1.clone()
+    }
+
+    #[test]
+    fn trace_record_writes_a_parseable_artifact() {
+        let jsonl = record_fixture("event");
+        let trace = Trace::parse(&jsonl).expect("artifact parses");
+        assert_eq!(trace.header.protocol, "event");
+        assert_eq!(trace.header.bunch, Some(10));
+        assert_eq!(trace.header.t_omega, Some(9));
+        assert_eq!(trace.task_ids().len(), 40);
+    }
+
+    #[test]
+    fn trace_replay_is_bit_for_bit_on_every_executor() {
+        for protocol in ["event", "clocked", "demand", "demand-int", "dynamic"] {
+            let jsonl = record_fixture(protocol);
+            let (out, _) = run_io_with(
+                &["trace", "replay", "t.jsonl", "example.json"],
+                &[("t.jsonl", &jsonl)],
+            )
+            .unwrap();
+            assert!(out.contains("bit-for-bit identical"), "{protocol}: {out}");
+        }
+    }
+
+    #[test]
+    fn trace_replay_detects_tampering() {
+        let jsonl = record_fixture("event");
+        // Flip one dispatch time: replay must refuse.
+        let tampered = jsonl.replacen("\"t\":\"9\"", "\"t\":\"8\"", 1);
+        assert_ne!(tampered, jsonl, "fixture contains a t=9 record");
+        let err =
+            run_io_with(&["trace", "replay", "t.jsonl", "example.json"], &[("t.jsonl", &tampered)])
+                .unwrap_err();
+        assert!(matches!(err, CliError::Runtime(ref m) if m.contains("diverged")), "{err}");
+    }
+
+    #[test]
+    fn trace_diff_event_vs_clocked_is_clean() {
+        let a = record_fixture("event");
+        let b = record_fixture("clocked");
+        let (out, _) = run_io_with(
+            &["trace", "diff", "a.jsonl", "b.jsonl"],
+            &[("a.jsonl", &a), ("b.jsonl", &b)],
+        )
+        .unwrap();
+        assert!(out.contains("common injected tasks : 40"), "got: {out}");
+        assert!(out.contains("conservation          : OK"), "got: {out}");
+        assert!(out.contains("completion offset b-a"), "got: {out}");
+    }
+
+    #[test]
+    fn trace_diff_fails_on_task_loss() {
+        let a = record_fixture("event");
+        // Drop task 39 entirely from the second run.
+        let b: String =
+            a.lines().filter(|l| !l.contains("\"task\":39")).fold(String::new(), |mut s, l| {
+                s.push_str(l);
+                s.push('\n');
+                s
+            });
+        let err = run_io_with(
+            &["trace", "diff", "a.jsonl", "b.jsonl"],
+            &[("a.jsonl", &a), ("b.jsonl", &b)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Runtime(ref m) if m.contains("only in a [39]")), "{err}");
+    }
+
+    #[test]
+    fn trace_lineage_prints_the_full_causal_chain() {
+        let jsonl = record_fixture("event");
+        let trace = Trace::parse(&jsonl).unwrap();
+        // Pick a task that left the root: lineage shows every stage.
+        let task = trace
+            .task_ids()
+            .into_iter()
+            .find(|&t| trace.compute_node(t).is_some_and(|n| n != 0))
+            .expect("some task computes off-root");
+        let (out, _) = run_io_with(
+            &["trace", "lineage", "t.jsonl", "--task", &task.to_string()],
+            &[("t.jsonl", &jsonl)],
+        )
+        .unwrap();
+        assert!(out.contains("enter    P0"), "got: {out}");
+        assert!(out.contains("dispatch P0 -> send"), "got: {out}");
+        assert!(out.contains("Lemma 1 c="), "got: {out}");
+        assert!(out.contains("compute"), "got: {out}");
+        assert!(out.contains("retired at"), "got: {out}");
+        assert!(out.contains("predicted root->P"), "got: {out}");
+    }
+
+    #[test]
+    fn trace_record_chrome_view_pairs_every_flow() {
+        let (_, files) = run_io(&[
+            "trace",
+            "record",
+            "example.json",
+            "--out",
+            "t.jsonl",
+            "--chrome",
+            "c.json",
+            "--tasks",
+            "20",
+            "--horizon",
+            "400",
+        ])
+        .unwrap();
+        let chrome_json = &files.iter().find(|(p, _)| p == "c.json").unwrap().1;
+        let v = bwfirst_obs::json::parse(chrome_json).expect("valid JSON");
+        let evs = v["traceEvents"].as_array().unwrap();
+        // Track metadata names every per-node lane.
+        assert!(evs.iter().any(|e| e["name"].as_str() == Some("thread_name")
+            && e["args"]["name"].as_str() == Some("P0 send")));
+        // Every flow start has exactly one matching flow end on the same id.
+        let ids = |phase: &str| {
+            let mut v: Vec<i128> = evs
+                .iter()
+                .filter(|e| e["ph"].as_str() == Some(phase))
+                .map(|e| e["id"].as_i128().unwrap())
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let starts = ids("s");
+        let ends = ids("f");
+        assert!(!starts.is_empty(), "hops produce flow events");
+        assert_eq!(starts, ends, "every hop arrow is closed");
+        assert!(evs
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("f"))
+            .all(|e| e["bp"].as_str() == Some("e")));
+    }
+
+    #[test]
+    fn trace_rejects_unknown_verbs_and_protocols() {
+        let err = run_io(&["trace", "summarize", "t.jsonl"]).unwrap_err();
+        assert!(matches!(err, CliError::BadValue { what: "trace verb", .. }));
+        let err = run_io(&[
+            "trace",
+            "record",
+            "example.json",
+            "--out",
+            "t.jsonl",
+            "--protocol",
+            "psychic",
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::BadValue { what: "--protocol", .. }));
+        let err = run_io(&["trace", "record", "example.json"]).unwrap_err();
+        assert!(matches!(err, CliError::MissingArgument(_)));
     }
 }

@@ -1,0 +1,847 @@
+//! The `bwfirst-trace/1` causal-provenance artifact.
+//!
+//! One JSONL file records every task's journey through the tree: where it
+//! entered, each stride-schedule decision that routed it (including the
+//! Ψ-index inside the interleaved bunch of Section 6.3), each hop over an
+//! edge, and the compute span that retired it. The format is
+//! line-oriented so traces stream, diff cleanly under `git`, and can be
+//! schema-checked a line at a time:
+//!
+//! * line 1 — a header object (`format`, executor `protocol`, `seed`,
+//!   `horizon`, platform shape, and the solver's predicted per-edge hop
+//!   times so lineage output is self-contained);
+//! * every later line — one record with a `k` discriminator:
+//!   `enter`, `dispatch`, `deliver`, or `compute`.
+//!
+//! [`Trace::lineage`] extracts one task's causal chain, [`Trace::diff`]
+//! aligns two traces by task id (the cross-executor Lemma 1 check), and
+//! [`Trace::to_events`] renders the journey as Chrome flow events so
+//! Perfetto draws connected arrows between tracks.
+
+use crate::event::{Event, EventKind, Ts};
+use crate::json::{obj, parse, Value};
+
+/// The artifact format tag carried in every trace header.
+pub const TRACE_FORMAT: &str = "bwfirst-trace/1";
+
+/// Task ids at or above this value are prefill stock (Proposition 3's χ
+/// buffers), not root-injected work; they exist only in executors that
+/// pre-position tasks and are excluded from cross-executor alignment.
+pub const STOCK_BASE: i128 = 1_000_000_000;
+
+/// The first line of a trace: run configuration plus the solver's
+/// predictions, enough to re-drive the executor and to annotate lineage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceHeader {
+    /// Executor name (`event`, `clocked`, `demand`, `demand-int`, `dynamic`).
+    pub protocol: String,
+    /// The seed the run was configured with (recorded even though the
+    /// executors are deterministic today, so replay carries it forward).
+    pub seed: u64,
+    /// Simulation horizon.
+    pub horizon: Ts,
+    /// Injection cap, when the run was task-bounded.
+    pub tasks: Option<u64>,
+    /// Node count.
+    pub nodes: u32,
+    /// Root node id.
+    pub root: u32,
+    /// Steady-state throughput `α₀` (tasks per time unit), when known.
+    pub throughput: Option<Ts>,
+    /// Root bunch size (tasks per period `T^ω`), when known.
+    pub bunch: Option<i128>,
+    /// The period `T^ω`, when known.
+    pub t_omega: Option<i128>,
+    /// Parent pointer per node (`None` at the root).
+    pub parent: Vec<Option<u32>>,
+    /// Predicted hop time from the parent per node (`None` at the root
+    /// or when the node is pruned from the steady state).
+    pub edge_time: Vec<Option<Ts>>,
+    /// Per-task compute time per node, when the node computes.
+    pub weight: Vec<Option<Ts>>,
+}
+
+/// Where a dispatched task was routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Keep the task: local computation.
+    Compute,
+    /// Forward the task to this child.
+    Send(u32),
+}
+
+/// One stride-schedule decision: a buffered task committed to an action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dispatch {
+    /// The task decided on.
+    pub task: i128,
+    /// The deciding node.
+    pub node: u32,
+    /// Decision time.
+    pub t: Ts,
+    /// The chosen action.
+    pub action: Action,
+    /// Ψ-index inside the node's interleaved bunch (Section 6.3), when
+    /// the executor is stride-scheduled; `None` for quota/demand modes.
+    pub slot: Option<i128>,
+    /// The chosen destination's ψ quota (the tie-break key: marks at
+    /// `k/(ψ+1)`, ties resolved toward smaller ψ).
+    pub psi: Option<i128>,
+    /// Which bunch (period `T^ω` repetition) the slot fell in.
+    pub period: Option<i128>,
+}
+
+/// One provenance record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// A task materialized: root injection, or pre-positioned stock.
+    Enter {
+        /// Task id.
+        task: i128,
+        /// Where it appeared.
+        node: u32,
+        /// When.
+        t: Ts,
+        /// True for prefill stock (χ), false for injected work.
+        stock: bool,
+    },
+    /// A routing decision.
+    Dispatch(Dispatch),
+    /// A task finished its hop over the edge `from → node`.
+    Deliver {
+        /// Task id.
+        task: i128,
+        /// Receiving node.
+        node: u32,
+        /// Sending node (always the receiver's tree parent).
+        from: u32,
+        /// Arrival time.
+        t: Ts,
+    },
+    /// A task's compute span.
+    Compute {
+        /// Task id.
+        task: i128,
+        /// Computing node.
+        node: u32,
+        /// Span start.
+        start: Ts,
+        /// Span end (the task is retired here).
+        end: Ts,
+    },
+}
+
+impl TraceRecord {
+    /// The task this record concerns.
+    #[must_use]
+    pub fn task(&self) -> i128 {
+        match self {
+            TraceRecord::Enter { task, .. }
+            | TraceRecord::Deliver { task, .. }
+            | TraceRecord::Compute { task, .. } => *task,
+            TraceRecord::Dispatch(d) => d.task,
+        }
+    }
+
+    /// The record's primary timestamp (span start for computes).
+    #[must_use]
+    pub fn time(&self) -> Ts {
+        match self {
+            TraceRecord::Enter { t, .. } | TraceRecord::Deliver { t, .. } => *t,
+            TraceRecord::Dispatch(d) => d.t,
+            TraceRecord::Compute { start, .. } => *start,
+        }
+    }
+
+    /// JSONL rendering.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        match self {
+            TraceRecord::Enter { task, node, t, stock } => {
+                let mut m = vec![
+                    ("k", Value::Str("enter".into())),
+                    ("task", Value::Int(*task)),
+                    ("node", Value::Int(i128::from(*node))),
+                    ("t", Value::Str(t.display())),
+                ];
+                if *stock {
+                    m.push(("stock", Value::Bool(true)));
+                }
+                obj(m)
+            }
+            TraceRecord::Dispatch(d) => {
+                let mut m = vec![
+                    ("k", Value::Str("dispatch".into())),
+                    ("task", Value::Int(d.task)),
+                    ("node", Value::Int(i128::from(d.node))),
+                    ("t", Value::Str(d.t.display())),
+                ];
+                match d.action {
+                    Action::Compute => m.push(("action", Value::Str("compute".into()))),
+                    Action::Send(child) => {
+                        m.push(("action", Value::Str("send".into())));
+                        m.push(("child", Value::Int(i128::from(child))));
+                    }
+                }
+                if let Some(s) = d.slot {
+                    m.push(("slot", Value::Int(s)));
+                }
+                if let Some(p) = d.psi {
+                    m.push(("psi", Value::Int(p)));
+                }
+                if let Some(p) = d.period {
+                    m.push(("period", Value::Int(p)));
+                }
+                obj(m)
+            }
+            TraceRecord::Deliver { task, node, from, t } => obj(vec![
+                ("k", Value::Str("deliver".into())),
+                ("task", Value::Int(*task)),
+                ("node", Value::Int(i128::from(*node))),
+                ("from", Value::Int(i128::from(*from))),
+                ("t", Value::Str(t.display())),
+            ]),
+            TraceRecord::Compute { task, node, start, end } => obj(vec![
+                ("k", Value::Str("compute".into())),
+                ("task", Value::Int(*task)),
+                ("node", Value::Int(i128::from(*node))),
+                ("start", Value::Str(start.display())),
+                ("end", Value::Str(end.display())),
+            ]),
+        }
+    }
+}
+
+impl TraceHeader {
+    /// JSONL rendering (the first line of the artifact).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let opt_ts = |x: &Option<Ts>| match x {
+            Some(t) => Value::Str(t.display()),
+            None => Value::Null,
+        };
+        obj(vec![
+            ("format", Value::Str(TRACE_FORMAT.into())),
+            ("protocol", Value::Str(self.protocol.clone())),
+            ("seed", Value::Int(i128::from(self.seed))),
+            ("horizon", Value::Str(self.horizon.display())),
+            (
+                "tasks",
+                match self.tasks {
+                    Some(n) => Value::Int(i128::from(n)),
+                    None => Value::Null,
+                },
+            ),
+            ("nodes", Value::Int(i128::from(self.nodes))),
+            ("root", Value::Int(i128::from(self.root))),
+            ("throughput", opt_ts(&self.throughput)),
+            (
+                "bunch",
+                match self.bunch {
+                    Some(b) => Value::Int(b),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "t_omega",
+                match self.t_omega {
+                    Some(t) => Value::Int(t),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "parent",
+                Value::Array(
+                    self.parent
+                        .iter()
+                        .map(|p| match p {
+                            Some(p) => Value::Int(i128::from(*p)),
+                            None => Value::Null,
+                        })
+                        .collect(),
+                ),
+            ),
+            ("edge_time", Value::Array(self.edge_time.iter().map(&opt_ts).collect())),
+            ("weight", Value::Array(self.weight.iter().map(&opt_ts).collect())),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<TraceHeader, String> {
+        match v["format"].as_str() {
+            Some(TRACE_FORMAT) => {}
+            Some(other) => return Err(format!("unsupported trace format `{other}`")),
+            None => return Err("missing `format`".to_string()),
+        }
+        let protocol =
+            v["protocol"].as_str().ok_or("missing or non-string `protocol`")?.to_string();
+        let seed = match v["seed"].as_i128() {
+            Some(s) if s >= 0 => s as u64,
+            _ => return Err("missing or negative `seed`".to_string()),
+        };
+        let horizon = parse_ts(&v["horizon"]).ok_or("missing or malformed `horizon`")?;
+        let tasks = match &v["tasks"] {
+            Value::Null => None,
+            other => {
+                Some(other.as_i128().filter(|n| *n >= 0).ok_or("`tasks` is not a count")? as u64)
+            }
+        };
+        let nodes = as_node(&v["nodes"]).ok_or("missing or malformed `nodes`")?;
+        let root = as_node(&v["root"]).ok_or("missing or malformed `root`")?;
+        let throughput = opt_ts_field(&v["throughput"], "throughput")?;
+        let bunch = opt_int_field(&v["bunch"], "bunch")?;
+        let t_omega = opt_int_field(&v["t_omega"], "t_omega")?;
+        let parent = v["parent"]
+            .as_array()
+            .ok_or("missing `parent` array")?
+            .iter()
+            .map(|x| match x {
+                Value::Null => Ok(None),
+                other => as_node(other).map(Some).ok_or("bad `parent` entry".to_string()),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let edge_time = opt_ts_array(&v["edge_time"], "edge_time")?;
+        let weight = opt_ts_array(&v["weight"], "weight")?;
+        if parent.len() != nodes as usize
+            || edge_time.len() != nodes as usize
+            || weight.len() != nodes as usize
+        {
+            return Err("per-node header arrays disagree with `nodes`".to_string());
+        }
+        Ok(TraceHeader {
+            protocol,
+            seed,
+            horizon,
+            tasks,
+            nodes,
+            root,
+            throughput,
+            bunch,
+            t_omega,
+            parent,
+            edge_time,
+            weight,
+        })
+    }
+}
+
+fn opt_ts_field(v: &Value, what: &str) -> Result<Option<Ts>, String> {
+    match v {
+        Value::Null => Ok(None),
+        other => parse_ts(other).map(Some).ok_or(format!("malformed `{what}`")),
+    }
+}
+
+fn opt_int_field(v: &Value, what: &str) -> Result<Option<i128>, String> {
+    match v {
+        Value::Null => Ok(None),
+        other => other.as_i128().map(Some).ok_or(format!("malformed `{what}`")),
+    }
+}
+
+fn opt_ts_array(v: &Value, what: &str) -> Result<Vec<Option<Ts>>, String> {
+    v.as_array()
+        .ok_or(format!("missing `{what}` array"))?
+        .iter()
+        .map(|x| opt_ts_field(x, what))
+        .collect()
+}
+
+fn as_node(v: &Value) -> Option<u32> {
+    v.as_i128().and_then(|n| u32::try_from(n).ok())
+}
+
+/// Parses the repo's `"p/q"` (or `"p"`) rational string into a [`Ts`].
+#[must_use]
+pub fn parse_rational(s: &str) -> Option<Ts> {
+    let (num, den) = match s.split_once('/') {
+        Some((n, d)) => (n.parse::<i128>().ok()?, d.parse::<i128>().ok()?),
+        None => (s.parse::<i128>().ok()?, 1),
+    };
+    if den <= 0 {
+        return None;
+    }
+    Some(Ts::new(num, den))
+}
+
+fn parse_ts(v: &Value) -> Option<Ts> {
+    v.as_str().and_then(parse_rational)
+}
+
+/// Exact rational difference `a - b`, reduced.
+#[must_use]
+pub fn ts_sub(a: Ts, b: Ts) -> Ts {
+    let num = a.num * b.den - b.num * a.den;
+    if num == 0 {
+        return Ts::ZERO;
+    }
+    let den = a.den * b.den;
+    let g = gcd(num.unsigned_abs(), den.unsigned_abs()) as i128;
+    Ts::new(num / g, den / g)
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+fn record_from_json(v: &Value) -> Result<TraceRecord, String> {
+    let task = v["task"].as_i128().ok_or("missing or non-integer `task`")?;
+    let node = as_node(&v["node"]).ok_or("missing or malformed `node`")?;
+    match v["k"].as_str() {
+        Some("enter") => {
+            let t = parse_ts(&v["t"]).ok_or("missing or malformed `t`")?;
+            let stock = matches!(&v["stock"], Value::Bool(true));
+            Ok(TraceRecord::Enter { task, node, t, stock })
+        }
+        Some("dispatch") => {
+            let t = parse_ts(&v["t"]).ok_or("missing or malformed `t`")?;
+            let action = match v["action"].as_str() {
+                Some("compute") => Action::Compute,
+                Some("send") => {
+                    Action::Send(as_node(&v["child"]).ok_or("`send` without a `child`")?)
+                }
+                _ => return Err("missing or unknown `action`".to_string()),
+            };
+            let slot = v["slot"].as_i128();
+            let psi = v["psi"].as_i128();
+            let period = v["period"].as_i128();
+            Ok(TraceRecord::Dispatch(Dispatch { task, node, t, action, slot, psi, period }))
+        }
+        Some("deliver") => Ok(TraceRecord::Deliver {
+            task,
+            node,
+            from: as_node(&v["from"]).ok_or("missing or malformed `from`")?,
+            t: parse_ts(&v["t"]).ok_or("missing or malformed `t`")?,
+        }),
+        Some("compute") => Ok(TraceRecord::Compute {
+            task,
+            node,
+            start: parse_ts(&v["start"]).ok_or("missing or malformed `start`")?,
+            end: parse_ts(&v["end"]).ok_or("missing or malformed `end`")?,
+        }),
+        Some(other) => Err(format!("unknown record kind `{other}`")),
+        None => Err("missing `k` discriminator".to_string()),
+    }
+}
+
+/// A parse problem, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line in the JSONL stream.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A full causal trace: header plus records in emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Run configuration and predictions.
+    pub header: TraceHeader,
+    /// Provenance records, in emission order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Serializes the artifact; byte-stable, one JSON object per line.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = self.header.to_json().to_string_compact();
+        out.push('\n');
+        for r in &self.records {
+            out.push_str(&r.to_json().to_string_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a `bwfirst-trace/1` JSONL artifact.
+    pub fn parse(text: &str) -> Result<Trace, TraceError> {
+        let mut header: Option<TraceHeader> = None;
+        let mut records = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = parse(line).map_err(|e| TraceError {
+                line: lineno,
+                message: format!("not valid JSON: {e}"),
+            })?;
+            if header.is_none() {
+                header = Some(
+                    TraceHeader::from_json(&v)
+                        .map_err(|message| TraceError { line: lineno, message })?,
+                );
+            } else {
+                records.push(
+                    record_from_json(&v).map_err(|message| TraceError { line: lineno, message })?,
+                );
+            }
+        }
+        match header {
+            Some(header) => Ok(Trace { header, records }),
+            None => Err(TraceError { line: 1, message: "empty trace (no header)".to_string() }),
+        }
+    }
+
+    /// All task ids that entered the trace, injected work first (sorted),
+    /// then prefill stock (sorted).
+    #[must_use]
+    pub fn task_ids(&self) -> Vec<i128> {
+        let mut ids: Vec<i128> = self
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Enter { task, .. } => Some(*task),
+                _ => None,
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// One task's causal chain, in emission order.
+    #[must_use]
+    pub fn lineage(&self, task: i128) -> Vec<&TraceRecord> {
+        self.records.iter().filter(|r| r.task() == task).collect()
+    }
+
+    /// The task's compute span end (its retirement time), if it computed.
+    #[must_use]
+    pub fn completion(&self, task: i128) -> Option<Ts> {
+        self.records.iter().find_map(|r| match r {
+            TraceRecord::Compute { task: t, end, .. } if *t == task => Some(*end),
+            _ => None,
+        })
+    }
+
+    /// Where the task was computed, if it was.
+    #[must_use]
+    pub fn compute_node(&self, task: i128) -> Option<u32> {
+        self.records.iter().find_map(|r| match r {
+            TraceRecord::Compute { task: t, node, .. } if *t == task => Some(*node),
+            _ => None,
+        })
+    }
+
+    /// Aligns two traces by task id (see [`TraceDiff`]).
+    #[must_use]
+    pub fn diff(&self, other: &Trace) -> TraceDiff {
+        let a_ids = self.task_ids();
+        let b_ids = other.task_ids();
+        let injected =
+            |ids: &[i128]| ids.iter().copied().filter(|t| *t < STOCK_BASE).collect::<Vec<_>>();
+        let stock = |ids: &[i128]| ids.iter().filter(|t| **t >= STOCK_BASE).count();
+        let ia = injected(&a_ids);
+        let ib = injected(&b_ids);
+        let only_a: Vec<i128> =
+            ia.iter().copied().filter(|t| ib.binary_search(t).is_err()).collect();
+        let only_b: Vec<i128> =
+            ib.iter().copied().filter(|t| ia.binary_search(t).is_err()).collect();
+        let mut count_divergence = Vec::new();
+        let mut routing = Vec::new();
+        let mut latency = Vec::new();
+        let mut common = 0usize;
+        let computes = |trace: &Trace, task: i128| {
+            trace
+                .records
+                .iter()
+                .filter(|r| matches!(r, TraceRecord::Compute { task: t, .. } if *t == task))
+                .count()
+        };
+        for &t in ia.iter().filter(|t| ib.binary_search(t).is_ok()) {
+            common += 1;
+            let (ca, cb) = (computes(self, t), computes(other, t));
+            if ca != cb {
+                count_divergence.push((t, ca, cb));
+            }
+            if let (Some(na), Some(nb)) = (self.compute_node(t), other.compute_node(t)) {
+                if na != nb {
+                    routing.push((t, na, nb));
+                }
+            }
+            if let (Some(ea), Some(eb)) = (self.completion(t), other.completion(t)) {
+                latency.push((t, ea, eb));
+            }
+        }
+        TraceDiff {
+            only_a,
+            only_b,
+            stock_a: stock(&a_ids),
+            stock_b: stock(&b_ids),
+            common,
+            count_divergence,
+            routing,
+            latency,
+        }
+    }
+
+    /// Renders the trace as Chrome-compatible events: compute spans on
+    /// each node's compute track, injection instants, and one `s`/`f`
+    /// flow pair per hop so Perfetto draws the task's journey as
+    /// connected arrows between the sender's send track and the
+    /// receiver's receive track.
+    #[must_use]
+    pub fn to_events(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.records.len() * 2);
+        let mut flow_id: i128 = 0;
+        // Pending flow per (task, child edge): dispatch opens, deliver closes.
+        let mut open: Vec<(i128, u32, i128)> = Vec::new();
+        for r in &self.records {
+            match r {
+                TraceRecord::Enter { task, node, t, stock } => {
+                    let name = if *stock { "stock" } else { "inject" };
+                    out.push(
+                        Event::new(*t, node * 3, format!("{name} task {task}"), EventKind::Instant)
+                            .arg("task", *task),
+                    );
+                }
+                TraceRecord::Dispatch(d) => {
+                    if let Action::Send(child) = d.action {
+                        flow_id += 1;
+                        open.push((d.task, child, flow_id));
+                        out.push(
+                            Event::new(
+                                d.t,
+                                d.node * 3 + 2,
+                                format!("task {}", d.task),
+                                EventKind::FlowStart,
+                            )
+                            .arg("id", flow_id)
+                            .arg("task", d.task),
+                        );
+                    }
+                }
+                TraceRecord::Deliver { task, node, t, .. } => {
+                    let slot =
+                        open.iter().position(|(tk, child, _)| *tk == *task && *child == *node);
+                    if let Some(i) = slot {
+                        let (_, _, id) = open.remove(i);
+                        out.push(
+                            Event::new(*t, node * 3, format!("task {task}"), EventKind::FlowEnd)
+                                .arg("id", id)
+                                .arg("task", *task),
+                        );
+                    }
+                }
+                TraceRecord::Compute { task, node, start, end } => {
+                    let name = format!("task {task}");
+                    out.push(
+                        Event::new(*start, node * 3 + 1, name.clone(), EventKind::Begin)
+                            .arg("task", *task),
+                    );
+                    out.push(Event::new(*end, node * 3 + 1, name, EventKind::End));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The result of aligning two traces by task id.
+///
+/// `count_divergence` is the conservation check the CI gate relies on: a
+/// task computed a different number of times in the two runs means work
+/// was lost or duplicated. `routing` and `latency` are informational —
+/// two correct executors may legally route the same task to different
+/// workers and will retire it at different absolute times (the Lemma 1
+/// period offsets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDiff {
+    /// Injected tasks present only in the first trace.
+    pub only_a: Vec<i128>,
+    /// Injected tasks present only in the second trace.
+    pub only_b: Vec<i128>,
+    /// Prefill-stock tasks in the first trace (never aligned).
+    pub stock_a: usize,
+    /// Prefill-stock tasks in the second trace (never aligned).
+    pub stock_b: usize,
+    /// Injected tasks present in both traces.
+    pub common: usize,
+    /// `(task, computes in a, computes in b)` where the counts differ.
+    pub count_divergence: Vec<(i128, usize, usize)>,
+    /// `(task, node in a, node in b)` where the task computed on
+    /// different nodes.
+    pub routing: Vec<(i128, u32, u32)>,
+    /// `(task, completion in a, completion in b)` for tasks retired in
+    /// both traces.
+    pub latency: Vec<(i128, Ts, Ts)>,
+}
+
+impl TraceDiff {
+    /// True when the conservation checks hold (no missing tasks, no
+    /// per-task count divergence).
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.only_a.is_empty() && self.only_b.is_empty() && self.count_divergence.is_empty()
+    }
+
+    /// `(min, mean, max)` of the completion offsets `b − a` in time
+    /// units, over tasks retired in both traces.
+    #[must_use]
+    pub fn latency_offsets(&self) -> Option<(f64, f64, f64)> {
+        if self.latency.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &(_, a, b) in &self.latency {
+            let d = ts_sub(b, a).to_f64();
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+        }
+        Some((min, sum / self.latency.len() as f64, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> TraceHeader {
+        TraceHeader {
+            protocol: "event".to_string(),
+            seed: 0,
+            horizon: Ts::new(36, 1),
+            tasks: Some(4),
+            nodes: 2,
+            root: 0,
+            throughput: Some(Ts::new(10, 9)),
+            bunch: Some(10),
+            t_omega: Some(9),
+            parent: vec![None, Some(0)],
+            edge_time: vec![None, Some(Ts::new(2, 1))],
+            weight: vec![Some(Ts::new(9, 1)), Some(Ts::new(5, 1))],
+        }
+    }
+
+    fn small_trace() -> Trace {
+        Trace {
+            header: header(),
+            records: vec![
+                TraceRecord::Enter { task: 0, node: 0, t: Ts::ZERO, stock: false },
+                TraceRecord::Dispatch(Dispatch {
+                    task: 0,
+                    node: 0,
+                    t: Ts::ZERO,
+                    action: Action::Send(1),
+                    slot: Some(0),
+                    psi: Some(3),
+                    period: Some(0),
+                }),
+                TraceRecord::Deliver { task: 0, node: 1, from: 0, t: Ts::new(2, 1) },
+                TraceRecord::Dispatch(Dispatch {
+                    task: 0,
+                    node: 1,
+                    t: Ts::new(2, 1),
+                    action: Action::Compute,
+                    slot: Some(0),
+                    psi: Some(1),
+                    period: Some(0),
+                }),
+                TraceRecord::Compute { task: 0, node: 1, start: Ts::new(2, 1), end: Ts::new(7, 1) },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_jsonl() {
+        let trace = small_trace();
+        let text = trace.to_jsonl();
+        let back = Trace::parse(&text).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn lineage_collects_a_tasks_chain_in_order() {
+        let trace = small_trace();
+        let chain = trace.lineage(0);
+        assert_eq!(chain.len(), 5);
+        assert!(matches!(chain[0], TraceRecord::Enter { .. }));
+        assert!(matches!(chain[4], TraceRecord::Compute { .. }));
+        assert_eq!(trace.completion(0), Some(Ts::new(7, 1)));
+        assert_eq!(trace.compute_node(0), Some(1));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_wrong_format() {
+        let err = Trace::parse("").unwrap_err();
+        assert!(err.message.contains("empty"));
+        let err = Trace::parse(r#"{"format":"bwfirst-postmortem/1"}"#).unwrap_err();
+        assert!(err.message.contains("unsupported"));
+        let mut text = small_trace().to_jsonl();
+        text.push_str("{\"k\":\"warp\",\"task\":0,\"node\":0}\n");
+        let err = Trace::parse(&text).unwrap_err();
+        assert!(err.message.contains("unknown record kind"));
+    }
+
+    #[test]
+    fn diff_flags_count_divergence_and_reports_offsets() {
+        let a = small_trace();
+        let mut b = small_trace();
+        // Same task retires later in the second trace.
+        if let Some(TraceRecord::Compute { end, .. }) = b.records.last_mut() {
+            *end = Ts::new(9, 1);
+        }
+        let d = a.diff(&b);
+        assert!(d.clean());
+        assert_eq!(d.common, 1);
+        assert_eq!(d.latency_offsets(), Some((2.0, 2.0, 2.0)));
+
+        // Dropping the compute record is a conservation failure.
+        b.records.pop();
+        let d = a.diff(&b);
+        assert_eq!(d.count_divergence, vec![(0, 1, 0)]);
+        assert!(!d.clean());
+    }
+
+    #[test]
+    fn stock_tasks_never_align() {
+        let mut b = small_trace();
+        b.records.push(TraceRecord::Enter {
+            task: STOCK_BASE + 3,
+            node: 1,
+            t: Ts::ZERO,
+            stock: true,
+        });
+        let d = small_trace().diff(&b);
+        assert!(d.only_b.is_empty());
+        assert_eq!(d.stock_b, 1);
+        assert!(d.clean());
+    }
+
+    #[test]
+    fn flow_events_pair_s_with_f() {
+        let events = small_trace().to_events();
+        let starts: Vec<_> = events.iter().filter(|e| e.kind == EventKind::FlowStart).collect();
+        let ends: Vec<_> = events.iter().filter(|e| e.kind == EventKind::FlowEnd).collect();
+        assert_eq!(starts.len(), 1);
+        assert_eq!(ends.len(), 1);
+        assert_eq!(starts[0].args, ends[0].args);
+        assert_eq!(starts[0].track, 2); // sender send lane
+        assert_eq!(ends[0].track, 3); // receiver receive lane
+    }
+
+    #[test]
+    fn rational_subtraction_reduces() {
+        let d = ts_sub(Ts::new(7, 2), Ts::new(1, 3));
+        assert_eq!((d.num, d.den), (19, 6));
+        let z = ts_sub(Ts::new(5, 1), Ts::new(5, 1));
+        assert_eq!((z.num, z.den), (0, 1));
+    }
+}

@@ -68,15 +68,29 @@ fn event_json(e: &Event, scale: f64) -> Value {
         // Thread-scoped instants render as small arrows on the track.
         members.push(("s", Value::Str("t".to_string())));
     }
-    if !e.args.is_empty() {
+    let flow = matches!(e.kind, EventKind::FlowStart | EventKind::FlowEnd);
+    if flow {
+        // Flow records need a category, a top-level binding id (hoisted
+        // from the `id` arg), and `bp:"e"` on the arrival so the arrow
+        // attaches to the enclosing slice rather than the next one.
+        members.push(("cat", Value::Str("flow".to_string())));
+        let id = e.args.iter().find(|(k, _)| k == "id").map_or(0, |(_, v)| v.to_f64() as i128);
+        members.push(("id", Value::Int(id)));
+        if e.kind == EventKind::FlowEnd {
+            members.push(("bp", Value::Str("e".to_string())));
+        }
+    }
+    let visible: Vec<&(String, crate::event::Arg)> =
+        e.args.iter().filter(|(k, _)| !(flow && k == "id")).collect();
+    if !visible.is_empty() {
         members.push((
             "args",
             match e.kind {
                 // Counter tracks chart each numeric arg as a series.
                 EventKind::Counter => Value::Object(
-                    e.args.iter().map(|(k, v)| (k.clone(), Value::Float(v.to_f64()))).collect(),
+                    visible.iter().map(|(k, v)| (k.clone(), Value::Float(v.to_f64()))).collect(),
                 ),
-                _ => Value::Object(e.args.iter().map(|(k, v)| (k.clone(), v.to_json())).collect()),
+                _ => Value::Object(visible.iter().map(|(k, v)| (k.clone(), v.to_json())).collect()),
             },
         ));
     }
@@ -107,6 +121,69 @@ mod tests {
         assert_eq!(evs[1]["ts"].as_f64(), Some(1500.0));
         assert_eq!(evs[2]["args"]["tasks"].as_f64(), Some(4.0));
         assert_eq!(v["displayTimeUnit"].as_str(), Some("ms"));
+    }
+
+    /// One task's full journey on a two-node tree: inject at the root,
+    /// stride-dispatch to the child, hop the edge, compute. Small enough
+    /// that the rendered Chrome JSON is reviewable by eye in the golden
+    /// file.
+    fn flow_fixture() -> crate::causal::Trace {
+        use crate::causal::{Action, Dispatch, TraceHeader, TraceRecord};
+        crate::causal::Trace {
+            header: TraceHeader {
+                protocol: "event".to_string(),
+                seed: 0,
+                horizon: Ts::new(36, 1),
+                tasks: Some(1),
+                nodes: 2,
+                root: 0,
+                throughput: Some(Ts::new(10, 9)),
+                bunch: Some(10),
+                t_omega: Some(9),
+                parent: vec![None, Some(0)],
+                edge_time: vec![None, Some(Ts::new(1, 1))],
+                weight: vec![Some(Ts::new(9, 1)), Some(Ts::new(6, 1))],
+            },
+            records: vec![
+                TraceRecord::Enter { task: 0, node: 0, t: Ts::ZERO, stock: false },
+                TraceRecord::Dispatch(Dispatch {
+                    task: 0,
+                    node: 0,
+                    t: Ts::ZERO,
+                    action: Action::Send(1),
+                    slot: Some(0),
+                    psi: Some(1),
+                    period: Some(0),
+                }),
+                TraceRecord::Deliver { task: 0, node: 1, from: 0, t: Ts::new(1, 1) },
+                TraceRecord::Compute { task: 0, node: 1, start: Ts::new(1, 1), end: Ts::new(7, 1) },
+            ],
+        }
+    }
+
+    /// Golden-file pin of the provenance flow export: the `s`/`f` flow
+    /// pair, the hoisted top-level binding id, `bp:"e"` on the arrival,
+    /// and the per-lane track-name metadata must not drift — Perfetto
+    /// silently drops malformed flow events instead of erroring. Set
+    /// `BLESS=1` to regenerate after an intentional format change.
+    #[test]
+    fn provenance_flow_export_matches_the_golden_file() {
+        let trace = flow_fixture();
+        let mut rec = MemoryRecorder::new();
+        rec.events = trace.to_events();
+        let tracks: Vec<(u32, String)> = (0..2u32)
+            .flat_map(|n| {
+                [(n * 3, "receive"), (n * 3 + 1, "compute"), (n * 3 + 2, "send")]
+                    .map(|(t, lane)| (t, format!("P{n} {lane}")))
+            })
+            .collect();
+        let got = to_chrome_trace_named(&rec, 1000.0, "bwfirst", &tracks);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/chrome_flow_golden.json");
+        if std::env::var_os("BLESS").is_some() {
+            std::fs::write(path, &got).expect("regenerate golden file");
+        }
+        let golden = std::fs::read_to_string(path).expect("golden file present");
+        assert_eq!(got, golden, "flow export drifted from the committed golden file");
     }
 
     #[test]

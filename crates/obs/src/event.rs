@@ -67,6 +67,12 @@ pub enum EventKind {
     Instant,
     /// A counter sample; the value rides in the `value` arg.
     Counter,
+    /// A flow (causal arrow) leaves this track; pairs with the
+    /// [`EventKind::FlowEnd`] that carries the same `id` argument.
+    FlowStart,
+    /// A flow arrives on this track, closing the matching
+    /// [`EventKind::FlowStart`].
+    FlowEnd,
 }
 
 impl EventKind {
@@ -78,6 +84,8 @@ impl EventKind {
             EventKind::End => "E",
             EventKind::Instant => "i",
             EventKind::Counter => "C",
+            EventKind::FlowStart => "s",
+            EventKind::FlowEnd => "f",
         }
     }
 }

@@ -8,6 +8,9 @@
 //! * [`json`] — a minimal JSON value, parser and writer (the only JSON
 //!   implementation in the workspace; platform/overlay/record files use it);
 //! * [`event`] — structured trace events on exact rational timestamps;
+//! * [`span`] — cheap causal span contexts with parent links;
+//! * [`causal`] — the `bwfirst-trace/1` task-provenance artifact:
+//!   per-task lineage, cross-executor diff, and Chrome flow rendering;
 //! * [`metrics`] — named counters and scalar histograms;
 //! * [`recorder`] — the [`Recorder`] sink trait with a zero-cost no-op
 //!   ([`recorder::Noop`]) and an in-memory collector ([`MemoryRecorder`]);
@@ -23,15 +26,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod causal;
 pub mod chrome;
 pub mod event;
 pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod span;
 pub mod summary;
 
+pub use causal::{Trace, TraceDiff, TraceHeader, TraceRecord};
 pub use event::{Arg, Event, EventKind, Ts};
 pub use flight::FlightRecorder;
 pub use metrics::Metrics;
 pub use recorder::{MemoryRecorder, Noop, Recorder};
+pub use span::{Lane, SpanAllocator, SpanContext, SpanId};

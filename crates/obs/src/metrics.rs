@@ -56,17 +56,26 @@ impl Histogram {
         }
     }
 
-    /// Estimates the `q`-quantile (`0 ≤ q ≤ 1`) from the power-of-two
-    /// buckets: the target rank is located in its bucket and linearly
-    /// interpolated across the bucket's value range, then clamped to the
-    /// exact observed `[min, max]`. Resolution is bounded by the bucket
-    /// width (a factor of two), which is plenty for queue depths and
-    /// latency tails. `NaN` when empty.
+    /// Estimates the `q`-quantile from the power-of-two buckets: the
+    /// target rank is located in its bucket and linearly interpolated
+    /// across the bucket's value range, then clamped to the exact
+    /// observed `[min, max]`. Resolution is bounded by the bucket width
+    /// (a factor of two), which is plenty for queue depths and latency
+    /// tails.
+    ///
+    /// Edge cases are pinned down: `q` is clamped to `[0, 1]`, an empty
+    /// histogram returns `NaN` (rendered as `null` in JSON), and a
+    /// single-sample or constant distribution returns the exact observed
+    /// value at every quantile.
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return f64::NAN;
         }
+        if self.count == 1 || self.min == self.max {
+            return self.min;
+        }
+        let q = q.clamp(0.0, 1.0);
         let rank = (q * self.count as f64).ceil().max(1.0);
         let mut seen = 0.0;
         for (i, &n) in self.buckets.iter().enumerate() {
@@ -155,19 +164,29 @@ impl Metrics {
                         k.clone(),
                         obj(vec![
                             ("count", h.count.into()),
-                            ("sum", h.sum.into()),
-                            ("min", h.min.into()),
-                            ("max", h.max.into()),
-                            ("mean", h.mean().into()),
-                            ("p50", h.quantile(0.50).into()),
-                            ("p95", h.quantile(0.95).into()),
-                            ("p99", h.quantile(0.99).into()),
+                            ("sum", finite(h.sum)),
+                            ("min", finite(h.min)),
+                            ("max", finite(h.max)),
+                            ("mean", finite(h.mean())),
+                            ("p50", finite(h.quantile(0.50))),
+                            ("p95", finite(h.quantile(0.95))),
+                            ("p99", finite(h.quantile(0.99))),
                         ]),
                     )
                 })
                 .collect(),
         );
         obj(vec![("counters", counters), ("histograms", histograms)])
+    }
+}
+
+/// Non-finite summary values (empty histogram, `NaN` quantiles) render
+/// as `null` so the registry always serializes to valid JSON.
+fn finite(x: f64) -> Value {
+    if x.is_finite() {
+        Value::Float(x)
+    } else {
+        Value::Null
     }
 }
 
@@ -214,6 +233,58 @@ mod tests {
         assert_eq!(h.quantile(1.0), 100.0);
         assert!(h.quantile(0.0) >= 1.0);
         assert!(Histogram::new().quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn quantiles_are_pinned_on_a_uniform_distribution() {
+        let mut m = Metrics::new();
+        for v in 1..=100 {
+            m.observe("lat", f64::from(v));
+        }
+        let h = &m.histograms["lat"];
+        // Rank 50 interpolates inside bucket [32, 64): 32 + 32·(18.5/32).
+        assert_eq!(h.quantile(0.50), 50.5);
+        // Ranks 95 and 99 land high in the top bucket [64, 128) and are
+        // clamped to the exact observed maximum.
+        assert_eq!(h.quantile(0.95), 100.0);
+        assert_eq!(h.quantile(0.99), 100.0);
+        // Out-of-range q is clamped rather than extrapolated.
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0));
+        assert_eq!(h.quantile(1.5), h.quantile(1.0));
+    }
+
+    #[test]
+    fn single_sample_quantiles_return_the_sample() {
+        let mut m = Metrics::new();
+        m.observe("one", 42.0);
+        let h = &m.histograms["one"];
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 42.0, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn constant_distribution_quantiles_are_exact() {
+        let mut m = Metrics::new();
+        for _ in 0..100 {
+            m.observe("const", 7.0);
+        }
+        let h = &m.histograms["const"];
+        assert_eq!(h.quantile(0.50), 7.0);
+        assert_eq!(h.quantile(0.99), 7.0);
+    }
+
+    #[test]
+    fn empty_histogram_serializes_to_valid_json() {
+        let h = Histogram::new();
+        assert!(h.quantile(0.5).is_nan());
+        assert!(h.quantile(0.99).is_nan());
+        let mut m = Metrics::new();
+        m.histograms.insert("empty".to_string(), h);
+        let json = m.to_json().to_string_compact();
+        crate::json::parse(&json).expect("empty histogram summary must stay parseable");
+        assert!(json.contains(r#""min":null"#), "got: {json}");
+        assert!(json.contains(r#""p99":null"#), "got: {json}");
     }
 
     #[test]

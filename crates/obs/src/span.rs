@@ -1,0 +1,173 @@
+//! Cheap causal span contexts.
+//!
+//! A [`SpanContext`] names one unit of causally-related work — a task's
+//! stay at a node, a transfer over an edge, a negotiation transaction —
+//! and links it to its causal parent. Contexts are plain `Copy` data
+//! (two ids, a task, an edge, a lane); allocating one is a counter
+//! increment, so layers can tag every message and every task hop without
+//! measurable overhead.
+//!
+//! The ids are only meaningful within one trace: the allocator starts at
+//! 1 and hands out ids in creation order, which also makes span ids a
+//! stable tie-break when rendering.
+
+use crate::json::{obj, Value};
+
+/// Which of a node's three single-port activities a span belongs to.
+///
+/// The numbering matches the simulator's track layout
+/// (`track = node * 3 + lane`), so spans map straight onto trace tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lane {
+    /// Receiving from the parent.
+    Receive,
+    /// Local computation.
+    Compute,
+    /// Sending to a child.
+    Send,
+}
+
+impl Lane {
+    /// The lane's offset within a node's track triple.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        match self {
+            Lane::Receive => 0,
+            Lane::Compute => 1,
+            Lane::Send => 2,
+        }
+    }
+
+    /// Human-readable lane name (matches the Chrome track labels).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Lane::Receive => "receive",
+            Lane::Compute => "compute",
+            Lane::Send => "send",
+        }
+    }
+}
+
+/// A unique span id within one trace (0 is reserved for "no span").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The reserved null id.
+    pub const NONE: SpanId = SpanId(0);
+}
+
+/// One span: where work happened, on whose behalf, and what caused it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    /// This span's id (unique within the trace, never 0).
+    pub id: SpanId,
+    /// The causal parent, if any.
+    pub parent: Option<SpanId>,
+    /// The task this span serves (`None` for control-plane spans such as
+    /// negotiation transactions).
+    pub task: Option<i128>,
+    /// The tree edge `(from, to)` for transfer spans.
+    pub edge: Option<(u32, u32)>,
+    /// The activity lane.
+    pub lane: Lane,
+}
+
+impl SpanContext {
+    /// A derived span on the same task, causally after `self`.
+    #[must_use]
+    pub fn child(&self, id: SpanId, lane: Lane) -> SpanContext {
+        SpanContext { id, parent: Some(self.id), task: self.task, edge: None, lane }
+    }
+
+    /// JSON form for embedding in trace artifacts.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut members = vec![("id", Value::Int(i128::from(self.id.0)))];
+        if let Some(p) = self.parent {
+            members.push(("parent", Value::Int(i128::from(p.0))));
+        }
+        if let Some(t) = self.task {
+            members.push(("task", Value::Int(t)));
+        }
+        if let Some((a, b)) = self.edge {
+            members.push((
+                "edge",
+                Value::Array(vec![Value::Int(i128::from(a)), Value::Int(i128::from(b))]),
+            ));
+        }
+        members.push(("lane", Value::Str(self.lane.label().to_string())));
+        obj(members)
+    }
+}
+
+/// Hands out span ids in creation order, starting at 1.
+#[derive(Debug, Default)]
+pub struct SpanAllocator {
+    next: u64,
+}
+
+impl SpanAllocator {
+    /// A fresh allocator.
+    #[must_use]
+    pub fn new() -> SpanAllocator {
+        SpanAllocator { next: 0 }
+    }
+
+    /// The next unused id.
+    pub fn fresh(&mut self) -> SpanId {
+        self.next += 1;
+        SpanId(self.next)
+    }
+
+    /// A root span (no parent) for a task at a lane.
+    pub fn root(&mut self, task: Option<i128>, lane: Lane) -> SpanContext {
+        SpanContext { id: self.fresh(), parent: None, task, edge: None, lane }
+    }
+
+    /// A span caused by `parent`, optionally crossing an edge.
+    pub fn derive(
+        &mut self,
+        parent: &SpanContext,
+        lane: Lane,
+        edge: Option<(u32, u32)>,
+    ) -> SpanContext {
+        SpanContext { id: self.fresh(), parent: Some(parent.id), task: parent.task, edge, lane }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_parents_link() {
+        let mut alloc = SpanAllocator::new();
+        let a = alloc.root(Some(7), Lane::Receive);
+        let b = alloc.derive(&a, Lane::Send, Some((0, 2)));
+        assert_eq!(a.id, SpanId(1));
+        assert_eq!(b.id, SpanId(2));
+        assert_eq!(b.parent, Some(a.id));
+        assert_eq!(b.task, Some(7));
+        assert_eq!(b.edge, Some((0, 2)));
+    }
+
+    #[test]
+    fn lanes_match_the_track_layout() {
+        assert_eq!(Lane::Receive.index(), 0);
+        assert_eq!(Lane::Compute.index(), 1);
+        assert_eq!(Lane::Send.index(), 2);
+    }
+
+    #[test]
+    fn span_json_shape() {
+        let mut alloc = SpanAllocator::new();
+        let a = alloc.root(Some(3), Lane::Compute);
+        let b = alloc.derive(&a, Lane::Send, Some((1, 4)));
+        assert_eq!(
+            b.to_json().to_string_compact(),
+            r#"{"id":2,"parent":1,"task":3,"edge":[1,4],"lane":"send"}"#
+        );
+    }
+}

@@ -25,7 +25,7 @@
 use crate::engine::{tick_scale_hint, BufferTracker, EventQueue, SimConfig, SimReport};
 use crate::error::SimError;
 use crate::gantt::SegmentKind;
-use crate::probe::{GanttProbe, Probe};
+use crate::probe::{GanttProbe, Probe, TaskAction};
 use bwfirst_core::schedule::TreeSchedule;
 use bwfirst_platform::{NodeId, Platform};
 use bwfirst_rational::Rat;
@@ -103,6 +103,7 @@ impl<P: Probe> ClockedSim<'_, P> {
             self.injected += 1;
             self.last_injection = Some(t);
             self.nodes[node.index()].received += 1;
+            self.probe.task_enter(node, t, false);
             true
         } else if self.nodes[node.index()].buffer > 0 {
             self.nodes[node.index()].buffer -= 1;
@@ -125,6 +126,7 @@ impl<P: Probe> ClockedSim<'_, P> {
         }
         self.nodes[i].cpu_quota -= 1;
         self.nodes[i].cpu_busy = true;
+        self.probe.task_dispatch(node, t, TaskAction::Compute, None);
         self.probe.segment(node, SegmentKind::Compute, t, t + w);
         self.queue.push(t + w, Ev::CpuEnd(node));
     }
@@ -159,6 +161,7 @@ impl<P: Probe> ClockedSim<'_, P> {
         }
         self.nodes[i].send_quota[pos].1 -= 1;
         self.nodes[i].port_busy = true;
+        self.probe.task_dispatch(node, t, TaskAction::Send(child), None);
         let c = self.platform.link_time(child).ok_or(SimError::MissingLink(child))?;
         self.probe.segment(node, SegmentKind::Send(child), t, t + c);
         self.probe.segment(child, SegmentKind::Receive, t, t + c);
@@ -215,6 +218,7 @@ impl<P: Probe> ClockedSim<'_, P> {
                     self.nodes[i].buffer += 1;
                     self.buffers.add(node, t, 1);
                     self.probe.buffer(node, t, self.buffers.size(node));
+                    self.probe.task_delivered(node, t);
                     self.try_cpu(node, t);
                     self.try_port(node, t)?;
                 }
@@ -302,6 +306,9 @@ pub fn simulate_probed(
                 nodes[i].prefilled = chi as u64;
                 buffers.set(s.node, Rat::ZERO, chi as u64);
                 probe.buffer(s.node, Rat::ZERO, chi as u64);
+                for _ in 0..chi {
+                    probe.task_enter(s.node, Rat::ZERO, true);
+                }
             }
         }
     }
@@ -379,6 +386,7 @@ mod tests {
             total_tasks: None,
             record_gantt: true,
             exact_queue: false,
+            seed: 0,
         };
         let rep = simulate(&p, &ts, ClockedConfig::default(), &cfg).unwrap();
         assert!(rep.gantt.as_ref().unwrap().find_overlap().is_none());

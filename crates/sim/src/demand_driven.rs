@@ -26,7 +26,7 @@
 
 use crate::engine::{tick_scale_hint, BufferTracker, EventQueue, SimConfig, SimReport};
 use crate::gantt::SegmentKind;
-use crate::probe::{GanttProbe, Probe};
+use crate::probe::{GanttProbe, Probe, TaskAction};
 use bwfirst_platform::{NodeId, Platform};
 use bwfirst_rational::Rat;
 
@@ -135,6 +135,7 @@ impl<P: Probe> DdSim<'_, P> {
             self.injected += 1;
             self.last_injection = Some(t);
             self.nodes[node.index()].received += 1;
+            self.probe.task_enter(node, t, false);
         } else {
             self.nodes[node.index()].buffer -= 1;
             self.buffers.add(node, t, -1);
@@ -219,6 +220,7 @@ impl<P: Probe> DdSim<'_, P> {
             }
             Candidate::Fresh { child, slot } => {
                 self.take_task(node, t);
+                self.probe.task_dispatch(node, t, TaskAction::Send(child), None);
                 let i = node.index();
                 self.nodes[i].pending[slot] -= 1;
                 let ci = child.index();
@@ -274,6 +276,7 @@ impl<P: Probe> DdSim<'_, P> {
         if !self.nodes[i].cpu_busy && self.stock(node, t) > 0 {
             if let Some(w) = self.platform.weight(node).time() {
                 self.take_task(node, t);
+                self.probe.task_dispatch(node, t, TaskAction::Compute, None);
                 self.nodes[node.index()].cpu_busy = true;
                 self.probe.segment(node, SegmentKind::Compute, t, t + w);
                 self.queue.push(t + w, Ev::CpuEnd(node));
@@ -298,6 +301,7 @@ impl<P: Probe> DdSim<'_, P> {
         self.nodes[ci].buffer += 1;
         self.buffers.add(child, t, 1);
         self.probe.buffer(child, t, self.buffers.size(child));
+        self.probe.task_delivered(child, t);
         self.replenish(child, t);
         self.dispatch(child, t);
         self.dispatch(node, t);
@@ -449,6 +453,7 @@ mod tests {
                 total_tasks: None,
                 record_gantt: false,
                 exact_queue: false,
+                seed: 0,
             };
             let rep = simulate(&p, demand, &cfg);
             assert_eq!(rep.total_computed(), rep.received[0]);
@@ -530,6 +535,7 @@ mod tests {
             total_tasks: None,
             record_gantt: true,
             exact_queue: false,
+            seed: 0,
         };
         let rep = simulate(&p, DemandConfig::interruptible(), &cfg);
         let g = rep.gantt.as_ref().unwrap();

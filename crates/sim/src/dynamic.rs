@@ -20,7 +20,7 @@
 use crate::engine::{tick_scale_hint, BufferTracker, EventQueue, SimConfig, SimReport};
 use crate::error::SimError;
 use crate::gantt::SegmentKind;
-use crate::probe::{GanttProbe, Probe};
+use crate::probe::{GanttProbe, Probe, TaskAction};
 use bwfirst_core::schedule::{EventDrivenSchedule, LocalScheduleKind, SlotAction};
 use bwfirst_core::{bw_first, SteadyState};
 use bwfirst_platform::{NodeId, Platform};
@@ -100,6 +100,7 @@ impl<P: Probe> DynSim<P> {
         if !self.active(node) {
             // A node the *new* schedule prunes may still hold tasks routed
             // by the old one: compute them locally rather than strand them.
+            self.probe.task_dispatch(node, t, TaskAction::Compute, None);
             self.nodes[node.index()].pending_cpu += 1;
             self.try_cpu(node, t);
             return Ok(());
@@ -107,8 +108,14 @@ impl<P: Probe> DynSim<P> {
         let i = node.index();
         let actions = &self.schedule.local(node).ok_or(SimError::NoSchedule(node))?.actions;
         let len = actions.len();
-        let action = actions[self.nodes[i].cursor % len];
-        self.nodes[i].cursor = (self.nodes[i].cursor + 1) % len;
+        let cursor = self.nodes[i].cursor % len;
+        let action = actions[cursor];
+        self.nodes[i].cursor = (cursor + 1) % len;
+        let routed = match action {
+            SlotAction::Compute => TaskAction::Compute,
+            SlotAction::Send(child) => TaskAction::Send(child),
+        };
+        self.probe.task_dispatch(node, t, routed, Some(cursor as u64));
         match action {
             SlotAction::Compute => {
                 self.nodes[i].pending_cpu += 1;
@@ -210,11 +217,15 @@ impl<P: Probe> DynSim<P> {
                 Ev::Release => {
                     self.injected += 1;
                     self.last_release = Some(t);
+                    self.probe.task_enter(self.platform.root(), t, false);
                     self.on_arrive(self.platform.root(), t)?;
                     let step = self.release_step;
                     self.schedule_next_release(t + step);
                 }
-                Ev::Arrive(node) => self.on_arrive(node, t)?,
+                Ev::Arrive(node) => {
+                    self.probe.task_delivered(node, t);
+                    self.on_arrive(node, t)?;
+                }
                 Ev::CpuEnd(node) => {
                     let i = node.index();
                     self.nodes[i].cpu_busy = false;
@@ -371,6 +382,7 @@ mod tests {
             total_tasks: None,
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let (rep, _) = simulate_dynamic(&p, &degrade_at_120(), AdaptPolicy::Stale, &cfg).unwrap();
         let before = rep.throughput_in(rat(76, 1), rat(112, 1));
@@ -391,6 +403,7 @@ mod tests {
             total_tasks: None,
             record_gantt: true,
             exact_queue: false,
+            seed: 0,
         };
         let policy = AdaptPolicy::Renegotiate { delay: rat(5, 1) };
         let (rep, adaptations) = simulate_dynamic(&p, &degrade_at_120(), policy, &cfg).unwrap();
@@ -416,6 +429,7 @@ mod tests {
             total_tasks: None,
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let policy = AdaptPolicy::Renegotiate { delay: rat(2, 1) };
         let (rep, adaptations) = simulate_dynamic(&p, &changes, policy, &cfg).unwrap();
@@ -433,6 +447,7 @@ mod tests {
             total_tasks: None,
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let policy = AdaptPolicy::Renegotiate { delay: rat(5, 1) };
         let (rep, _) = simulate_dynamic(&p, &degrade_at_120(), policy, &cfg).unwrap();

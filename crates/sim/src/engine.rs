@@ -22,6 +22,13 @@ pub struct SimConfig {
     /// fast path. Both orderings are identical (conformance-tested); this
     /// switch exists for benchmarking and cross-checking.
     pub exact_queue: bool,
+    /// Seed for randomized executor policies. Every executor in the repo
+    /// is fully deterministic today (the event queue breaks time ties by
+    /// insertion order), so the seed changes nothing at runtime — but it
+    /// is threaded through the demand-driven and dynamic executors and
+    /// recorded in `bwfirst-trace/1` headers so recorded runs stay
+    /// replayable bit-for-bit once stochastic policies exist.
+    pub seed: u64,
 }
 
 impl SimConfig {
@@ -34,6 +41,7 @@ impl SimConfig {
             total_tasks: None,
             record_gantt: true,
             exact_queue: false,
+            seed: 0,
         }
     }
 

@@ -23,7 +23,7 @@
 use crate::engine::{tick_scale_hint, BufferTracker, EventQueue, SimConfig, SimReport};
 use crate::error::SimError;
 use crate::gantt::SegmentKind;
-use crate::probe::{GanttProbe, Probe};
+use crate::probe::{GanttProbe, Probe, TaskAction};
 use bwfirst_core::schedule::{EventDrivenSchedule, SlotAction};
 use bwfirst_platform::{NodeId, Platform};
 use bwfirst_rational::Rat;
@@ -98,6 +98,11 @@ impl<P: Probe> EvSim<'_, P> {
         let action = actions[cursor];
         let len = actions.len();
         self.nodes[i].cursor = (cursor + 1) % len;
+        let routed = match action {
+            SlotAction::Compute => TaskAction::Compute,
+            SlotAction::Send(child) => TaskAction::Send(child),
+        };
+        self.probe.task_dispatch(node, t, routed, Some(cursor as u64));
         match action {
             SlotAction::Compute => {
                 self.nodes[i].pending_cpu.push_back(stamp);
@@ -184,10 +189,14 @@ impl<P: Probe> EvSim<'_, P> {
                 Ev::Release => {
                     self.injected += 1;
                     self.last_release = Some(t);
+                    self.probe.task_enter(root, t, false);
                     self.on_arrive(root, t, t)?;
                     self.schedule_next_release(t + self.release_step);
                 }
-                Ev::Arrive(node, stamp) => self.on_arrive(node, t, stamp)?,
+                Ev::Arrive(node, stamp) => {
+                    self.probe.task_delivered(node, t);
+                    self.on_arrive(node, t, stamp)?;
+                }
                 Ev::CpuEnd(node) => {
                     let i = node.index();
                     self.nodes[i].cpu_busy = false;
@@ -410,6 +419,7 @@ mod tests {
             total_tasks: None,
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let rep = simulate(&p, &ev, &cfg).unwrap();
         let wd = rep.wind_down().expect("injection stopped");
@@ -428,6 +438,7 @@ mod tests {
             total_tasks: Some(50),
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let rep = simulate(&p, &ev, &cfg).unwrap();
         assert_eq!(rep.received[0], 50);
@@ -444,6 +455,7 @@ mod tests {
             total_tasks: None,
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let rep = simulate(&p, &ev, &cfg).unwrap();
         // Everything injected is eventually computed somewhere.
@@ -495,6 +507,7 @@ mod tests {
             total_tasks: None,
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let ri = simulate(&p, &inter, &cfg).unwrap();
         let rb = simulate(&p, &burst, &cfg).unwrap();
@@ -517,6 +530,7 @@ mod tests {
             total_tasks: None,
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let ri = simulate(&p, &inter, &cfg).unwrap();
         let rb = simulate(&p, &burst, &cfg).unwrap();

@@ -62,6 +62,7 @@ pub mod gantt_svg;
 pub mod makespan;
 pub mod monitor;
 pub mod probe;
+pub mod provenance;
 pub mod result_return;
 pub mod returns;
 
@@ -69,4 +70,5 @@ pub use engine::{BufferStats, SimConfig, SimReport};
 pub use error::SimError;
 pub use gantt::{Gantt, GanttSegment, SegmentKind};
 pub use monitor::{MonitorConfig, MonitorProbe, MonitorReport, MonitorViolation, Snapshot};
-pub use probe::{GanttProbe, NoProbe, ObsProbe, Probe, Utilization, UtilizationProbe};
+pub use probe::{GanttProbe, NoProbe, ObsProbe, Probe, TaskAction, Utilization, UtilizationProbe};
+pub use provenance::{trace_header, ProvenanceProbe};

@@ -47,6 +47,7 @@ where
             total_tasks: Some(tasks),
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let rep = run(&cfg);
         if rep.total_computed() >= tasks {

@@ -47,6 +47,17 @@ pub fn track_names(n: usize) -> Vec<(u32, String)> {
     names
 }
 
+/// Where a dispatched task was routed (the provenance-level mirror of
+/// `bwfirst_core::schedule::SlotAction`, kept local so the probe API does
+/// not leak schedule types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskAction {
+    /// The task stays: local computation.
+    Compute,
+    /// The task is forwarded to this child.
+    Send(NodeId),
+}
+
 /// A sink for executor observations. All methods default to no-ops, so a
 /// probe implements only what it cares about.
 pub trait Probe {
@@ -66,6 +77,28 @@ pub trait Probe {
     #[inline(always)]
     fn buffer(&mut self, node: NodeId, t: Rat, size: u64) {
         let _ = (node, t, size);
+    }
+
+    /// A task materialized at `node`: a root injection, or (`stock`) a
+    /// pre-positioned χ prefill task.
+    #[inline(always)]
+    fn task_enter(&mut self, node: NodeId, t: Rat, stock: bool) {
+        let _ = (node, t, stock);
+    }
+
+    /// The oldest buffered task at `node` was committed to `action`.
+    /// `slot` is the position inside the node's interleaved bunch when the
+    /// executor is stride-scheduled (Section 6.3); `None` for quota or
+    /// demand modes.
+    #[inline(always)]
+    fn task_dispatch(&mut self, node: NodeId, t: Rat, action: TaskAction, slot: Option<u64>) {
+        let _ = (node, t, action, slot);
+    }
+
+    /// The oldest in-flight task on the edge into `node` finished its hop.
+    #[inline(always)]
+    fn task_delivered(&mut self, node: NodeId, t: Rat) {
+        let _ = (node, t);
     }
 }
 
@@ -90,6 +123,21 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     fn buffer(&mut self, node: NodeId, t: Rat, size: u64) {
         (**self).buffer(node, t, size);
     }
+
+    #[inline(always)]
+    fn task_enter(&mut self, node: NodeId, t: Rat, stock: bool) {
+        (**self).task_enter(node, t, stock);
+    }
+
+    #[inline(always)]
+    fn task_dispatch(&mut self, node: NodeId, t: Rat, action: TaskAction, slot: Option<u64>) {
+        (**self).task_dispatch(node, t, action, slot);
+    }
+
+    #[inline(always)]
+    fn task_delivered(&mut self, node: NodeId, t: Rat) {
+        (**self).task_delivered(node, t);
+    }
 }
 
 impl<A: Probe, B: Probe> Probe for (A, B) {
@@ -109,6 +157,24 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
     fn buffer(&mut self, node: NodeId, t: Rat, size: u64) {
         self.0.buffer(node, t, size);
         self.1.buffer(node, t, size);
+    }
+
+    #[inline(always)]
+    fn task_enter(&mut self, node: NodeId, t: Rat, stock: bool) {
+        self.0.task_enter(node, t, stock);
+        self.1.task_enter(node, t, stock);
+    }
+
+    #[inline(always)]
+    fn task_dispatch(&mut self, node: NodeId, t: Rat, action: TaskAction, slot: Option<u64>) {
+        self.0.task_dispatch(node, t, action, slot);
+        self.1.task_dispatch(node, t, action, slot);
+    }
+
+    #[inline(always)]
+    fn task_delivered(&mut self, node: NodeId, t: Rat) {
+        self.0.task_delivered(node, t);
+        self.1.task_delivered(node, t);
     }
 }
 

@@ -323,6 +323,7 @@ mod tests {
             total_tasks: Some(40),
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let rep = simulate(&rr, &cfg);
         assert_eq!(rep.completions.len(), 40);

@@ -328,6 +328,7 @@ mod tests {
             total_tasks: None,
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let rep = simulate_with_returns(&p, &ev, ReturnConfig { return_ratio: ratio }, &cfg);
         // Period-aligned window (4 x 36) well past start-up.
@@ -369,6 +370,7 @@ mod tests {
             total_tasks: Some(60),
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let rep = simulate_with_returns(&p, &ev, ReturnConfig { return_ratio: rat(1, 2) }, &cfg);
         // Every computed task's result eventually reached the root.

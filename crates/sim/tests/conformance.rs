@@ -22,6 +22,7 @@ fn run_all(p: &Platform, ss: &SteadyState, horizon: Rat) -> Vec<(&'static str, R
         total_tasks: None,
         record_gantt: false,
         exact_queue: false,
+        seed: 0,
     };
     let half = horizon / Rat::TWO;
     let mut out = Vec::new();

@@ -24,6 +24,7 @@ fn cfg(periods: i128) -> SimConfig {
         total_tasks: None,
         record_gantt: false,
         exact_queue: false,
+        seed: 0,
     }
 }
 

@@ -25,6 +25,7 @@ fn cfg(horizon: Rat, exact_queue: bool) -> SimConfig {
         total_tasks: None,
         record_gantt: true,
         exact_queue,
+        seed: 0,
     }
 }
 
@@ -125,6 +126,7 @@ fn wind_down_and_task_caps_are_queue_agnostic() {
             total_tasks: total,
             record_gantt: true,
             exact_queue,
+            seed: 0,
         };
         let t = event_driven::simulate(&p, &ev, &mk(false)).unwrap();
         let e = event_driven::simulate(&p, &ev, &mk(true)).unwrap();

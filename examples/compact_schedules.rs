@@ -73,6 +73,7 @@ fn main() {
         total_tasks: None,
         record_gantt: false,
         exact_queue: false,
+        seed: 0,
     };
     let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
     let measured = rep.throughput_in(settle, settle + rat(2520, 1));

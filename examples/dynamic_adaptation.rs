@@ -29,6 +29,7 @@ fn measure(platform: &bwfirst::platform::Platform, schedule: &EventDrivenSchedul
         total_tasks: None,
         record_gantt: false,
         exact_queue: false,
+        seed: 0,
     };
     let rep = event_driven::simulate(platform, schedule, &cfg).expect("simulate");
     rep.throughput_in(horizon / Rat::TWO, horizon)

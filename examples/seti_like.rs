@@ -56,6 +56,7 @@ fn main() {
         total_tasks: Some(total),
         record_gantt: false,
         exact_queue: false,
+        seed: 0,
     };
     let report = event_driven::simulate(&platform, &schedule, &cfg).expect("simulate");
     assert_eq!(report.total_computed(), total, "every work unit computed");

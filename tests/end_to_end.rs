@@ -82,6 +82,7 @@ fn simulator_matches_prediction_on_random_trees() {
             total_tasks: None,
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
         let measured = rep.throughput_in(settle, settle + window * rat(2, 1));
@@ -103,6 +104,7 @@ fn demand_driven_bounded_by_optimum() {
             total_tasks: None,
             record_gantt: false,
             exact_queue: false,
+            seed: 0,
         };
         let rep = demand_driven::simulate(&p, DemandConfig::default(), &cfg);
         let measured = rep.throughput_in(horizon / Rat::TWO, horizon);
@@ -131,6 +133,7 @@ fn wind_down_drains_completely() {
         total_tasks: None,
         record_gantt: false,
         exact_queue: false,
+        seed: 0,
     };
     let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
     assert_eq!(rep.total_computed(), rep.received[0]);
@@ -162,6 +165,7 @@ fn quantized_pipeline_delivers_its_rate() {
         total_tasks: None,
         record_gantt: false,
         exact_queue: false,
+        seed: 0,
     };
     let rep = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
     assert_eq!(rep.throughput_in(settle, settle + Rat::from_int(grid)), q.throughput);

@@ -40,6 +40,7 @@ fn drain_cfg(p: &Platform, ss: &SteadyState) -> SimConfig {
         total_tasks: None,
         record_gantt: true,
         exact_queue: false,
+        seed: 0,
     }
 }
 
@@ -130,7 +131,7 @@ proptest! {
         let bound = Rat::from_int(bwfirst::core::startup::tree_startup_bound(&p, &ts));
         let start = bound + window;
         let horizon = start + window * rat(3, 1);
-        let cfg = SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false, exact_queue: false };
+        let cfg = SimConfig { horizon, stop_injection_at: None, total_tasks: None, record_gantt: false, exact_queue: false, seed: 0 };
         let ev = EventDrivenSchedule::standard(&p, &ss).unwrap();
         let a = event_driven::simulate(&p, &ev, &cfg).expect("simulate");
         let b = clocked::simulate(&p, &ts, ClockedConfig { prefill: true }, &cfg).expect("simulate");
